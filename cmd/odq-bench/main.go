@@ -1,0 +1,71 @@
+// Command odq-bench regenerates the paper's tables and figures. It trains
+// the required models at the selected scale (caching them across
+// experiments in one process), runs every experiment — or a chosen subset
+// — and prints the resulting tables.
+//
+// Usage:
+//
+//	odq-bench [-scale test|quick|full] [-run figure19,table1|all] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "quick", "experiment scale: test, quick or full")
+	run := flag.String("run", "all", "comma-separated experiment ids (see -list) or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	quiet := flag.Bool("quiet", false, "suppress training progress logs")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "test":
+		scale = experiments.TestScale()
+	case "quick":
+		scale = experiments.QuickScale()
+	case "full":
+		scale = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want test, quick or full)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	logOut := os.Stderr
+	if *quiet {
+		logOut = nil
+	}
+	lab := experiments.NewLab(scale, logOut)
+
+	if *run == "all" {
+		if err := experiments.RunAll(lab, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, name := range strings.Split(*run, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		fmt.Printf("### %s\n\n", name)
+		if err := experiments.Run(lab, name, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command odq-infer runs inference on a synthetic test set under a chosen
+// quantization scheme — float, static INT-k, DRQ or ODQ — reporting
+// accuracy and, for the dynamic schemes, the precision mix.
+//
+// Usage:
+//
+//	odq-infer -model resnet20 -dataset c10 -ckpt resnet20.ckpt -scheme odq -threshold 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/drq"
+	"repro/internal/maskio"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/train"
+)
+
+func main() {
+	modelName := flag.String("model", "resnet20", "model architecture (must match the checkpoint)")
+	dsName := flag.String("dataset", "c10", "dataset: c10, c100 or mnist")
+	scale := flag.Float64("width", 0.25, "channel width multiplier (must match the checkpoint)")
+	qatBits := flag.Int("qat", 4, "QAT bit width the model was built with")
+	ckpt := flag.String("ckpt", "", "checkpoint path (empty = randomly initialized)")
+	scheme := flag.String("scheme", "odq", "scheme: float, int16, int8, int4, drq84, drq42, odq")
+	threshold := flag.Float64("threshold", 0.5, "ODQ sensitivity threshold")
+	samples := flag.Int("samples", 128, "test samples")
+	seed := flag.Int64("seed", 1, "random seed")
+	dump := flag.String("dump", "", "write per-layer profiles (with ODQ masks) to this path for odq-sim")
+	flag.Parse()
+
+	classes := 10
+	if *dsName == "c100" {
+		classes = 100
+	}
+	var testDS *dataset.Dataset
+	if *dsName == "mnist" {
+		testDS = dataset.MNISTLike(*samples, *seed+200)
+	} else {
+		testDS = dataset.SyntheticImages(classes, *samples, 3, 32, 32, *seed+200)
+	}
+
+	net, err := models.Build(*modelName, models.Config{
+		Classes: classes, Scale: *scale, QATBits: *qatBits, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *ckpt != "" {
+		f, err := os.Open(*ckpt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := nn.Load(f, net); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	var profiler interface{ Profiles() []*quant.LayerProfile }
+	switch *scheme {
+	case "float":
+	case "int16", "int8", "int4":
+		bits := map[string]int{"int16": 16, "int8": 8, "int4": 4}[*scheme]
+		e := quant.NewStaticExec(bits)
+		e.Enabled = true
+		nn.SetConvExec(net, e)
+		profiler = e
+	case "drq84", "drq42":
+		hi, lo := 8, 4
+		if *scheme == "drq42" {
+			hi, lo = 4, 2
+		}
+		e := drq.NewExec(hi, lo)
+		e.Enabled = true
+		nn.SetConvExecTail(net, e)
+		profiler = e
+		defer reportDRQ(e)
+	case "odq":
+		e := core.NewExec(float32(*threshold))
+		e.Enabled = true
+		e.KeepMasks = *dump != ""
+		nn.SetConvExecTail(net, e)
+		profiler = e
+		defer reportODQ(e)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	acc := train.Evaluate(net, testDS, 32)
+	fmt.Printf("scheme=%s accuracy=%.4f\n", *scheme, acc)
+
+	if *dump != "" {
+		if profiler == nil {
+			fmt.Fprintln(os.Stderr, "odq-infer: the float scheme records no profiles to dump")
+			os.Exit(2)
+		}
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = maskio.Write(f, profiler.Profiles())
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("profiles written to %s\n", *dump)
+	}
+}
+
+func reportODQ(e *core.Exec) {
+	fmt.Printf("sensitive outputs (INT4): %.1f%%, insensitive (INT2): %.1f%%\n",
+		e.SensitiveFraction()*100, (1-e.SensitiveFraction())*100)
+}
+
+func reportDRQ(e *drq.Exec) {
+	var hi, tot int64
+	for _, p := range e.Profiles() {
+		hi += p.HighInputMACs
+		tot += p.TotalMACs
+	}
+	if tot > 0 {
+		fmt.Printf("high-precision MACs: %.1f%%\n", 100*float64(hi)/float64(tot))
+	}
+}

@@ -1,0 +1,80 @@
+// Command odq-train trains a model with DoReFa-style 4-bit quantization-
+// aware training on a synthetic dataset and saves a checkpoint usable by
+// odq-infer.
+//
+// Usage:
+//
+//	odq-train -model resnet20 -dataset c10 -epochs 14 -o resnet20.ckpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/train"
+)
+
+func main() {
+	modelName := flag.String("model", "resnet20", "model: lenet5, resnet20, resnet56, vgg16, densenet")
+	dsName := flag.String("dataset", "c10", "dataset: c10, c100 or mnist")
+	scale := flag.Float64("width", 0.25, "channel width multiplier")
+	qatBits := flag.Int("qat", 4, "QAT bit width (0 = float training)")
+	samples := flag.Int("samples", 512, "training samples")
+	epochs := flag.Int("epochs", 14, "training epochs")
+	batch := flag.Int("batch", 16, "batch size")
+	lr := flag.Float64("lr", 0.02, "learning rate")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "checkpoint output path (optional)")
+	flag.Parse()
+
+	classes := 10
+	if *dsName == "c100" {
+		classes = 100
+	}
+	var trainDS, testDS *dataset.Dataset
+	switch *dsName {
+	case "mnist":
+		trainDS = dataset.MNISTLike(*samples, *seed+100)
+		testDS = dataset.MNISTLike(*samples/4, *seed+200)
+	case "c10", "c100":
+		trainDS = dataset.SyntheticImages(classes, *samples, 3, 32, 32, *seed+100)
+		testDS = dataset.SyntheticImages(classes, *samples/4, 3, 32, 32, *seed+200)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dsName)
+		os.Exit(2)
+	}
+
+	net, err := models.Build(*modelName, models.Config{
+		Classes: classes, Scale: *scale, QATBits: *qatBits, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	train.Fit(net, trainDS, train.Options{
+		Epochs: *epochs, BatchSize: *batch, LR: float32(*lr),
+		Momentum: 0.9, Decay: 1e-4, Seed: *seed,
+		LRDropEvery: *epochs * 2 / 3, Log: os.Stderr,
+	})
+	acc := train.Evaluate(net, testDS, 64)
+	fmt.Printf("test accuracy: %.4f\n", acc)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := nn.Save(f, net); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint written to %s\n", *out)
+	}
+}

@@ -1,0 +1,111 @@
+// Command odq-viz renders ODQ sensitivity masks from a profile dump
+// (produced with `odq-infer -scheme odq -dump profiles.bin`) as ASCII art
+// or PGM images — a quick way to *see* which output features the predictor
+// marked sensitive, per layer and channel.
+//
+// Usage:
+//
+//	odq-viz -in profiles.bin                 # list layers
+//	odq-viz -in profiles.bin -layer s1b0.conv1 -channel 2
+//	odq-viz -in profiles.bin -layer s1b0.conv1 -pgm mask.pgm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/maskio"
+	"repro/internal/stats"
+)
+
+func main() {
+	in := flag.String("in", "", "profile dump path")
+	layer := flag.String("layer", "", "layer name to render (empty = list layers)")
+	sample := flag.Int("sample", 0, "batch sample index")
+	channel := flag.Int("channel", 0, "output channel index")
+	pgm := flag.String("pgm", "", "write the mask as a PGM image to this path")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "odq-viz: -in is required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	profiles, err := maskio.Read(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *layer == "" {
+		t := stats.NewTable("Layers in dump", "layer", "geometry", "batch", "sensitive", "mask")
+		for _, p := range profiles {
+			frac := 0.0
+			if p.TotalOutputs > 0 {
+				frac = float64(p.SensitiveOutputs) / float64(p.TotalOutputs)
+			}
+			has := "no"
+			if len(p.Mask) > 0 {
+				has = "yes"
+			}
+			t.AddRow(p.Name,
+				fmt.Sprintf("%dx%dx%d", p.Geom.OutC, p.Geom.OutH, p.Geom.OutW),
+				p.Batch, stats.Pct(frac), has)
+		}
+		t.Render(os.Stdout)
+		return
+	}
+
+	for _, p := range profiles {
+		if p.Name != *layer {
+			continue
+		}
+		if len(p.Mask) == 0 {
+			fmt.Fprintf(os.Stderr, "odq-viz: layer %s carries no mask (dump with -scheme odq)\n", *layer)
+			os.Exit(1)
+		}
+		cols := p.Geom.OutH * p.Geom.OutW
+		ofm := *sample*p.Geom.OutC + *channel
+		if *sample < 0 || *sample >= p.Batch || *channel < 0 || *channel >= p.Geom.OutC {
+			fmt.Fprintf(os.Stderr, "odq-viz: sample/channel out of range (batch %d, %d channels)\n",
+				p.Batch, p.Geom.OutC)
+			os.Exit(2)
+		}
+		mask := p.Mask[ofm*cols : (ofm+1)*cols]
+		sens := 0
+		for _, m := range mask {
+			if m {
+				sens++
+			}
+		}
+		fmt.Printf("%s sample %d channel %d: %d/%d sensitive (%.1f%%)\n",
+			p.Name, *sample, *channel, sens, cols, 100*float64(sens)/float64(cols))
+		if *pgm != "" {
+			out, err := os.Create(*pgm)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			err = maskio.WritePGM(out, mask, p.Geom.OutH, p.Geom.OutW)
+			out.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *pgm)
+			return
+		}
+		for _, line := range maskio.RenderASCII(mask, p.Geom.OutH, p.Geom.OutW, 48) {
+			fmt.Println("  " + line)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "odq-viz: layer %q not in dump\n", *layer)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Thresholdtune: demonstrates ODQ's adaptive threshold selection (paper
+// §3, Table 3). A trained network's predictor-output distribution seeds a
+// large initial threshold, which is halved — with threshold-aware
+// fine-tuning in between — until ODQ accuracy lands within tolerance of
+// the INT4 static baseline. A final sweep shows the accuracy/precision
+// trade-off curve of Figure 22.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/stats"
+	"repro/internal/train"
+)
+
+func main() {
+	trainDS := dataset.SyntheticCIFAR10(256, 21)
+	testDS := dataset.SyntheticCIFAR10(64, 22)
+	net := models.ResNet(20, models.Config{Classes: 10, Scale: 0.25, QATBits: 4, Seed: 9})
+
+	fmt.Println("training (4-bit QAT)...")
+	train.Fit(net, trainDS, train.Options{
+		Epochs: 12, BatchSize: 16, LR: 0.02, Momentum: 0.9,
+		Decay: 1e-4, Seed: 10, LRDropEvery: 8,
+	})
+
+	evalWith := func(e nn.ConvExecutor) float64 {
+		nn.SetConvExecTail(net, e)
+		defer nn.SetConvExecTail(net, nil)
+		return train.Evaluate(net, testDS, 32)
+	}
+
+	nn.SetConvExec(net, quant.NewStaticExec(4))
+	refAcc := train.Evaluate(net, testDS, 32)
+	nn.SetConvExec(net, nil)
+	fmt.Printf("INT4 static reference accuracy: %.3f\n", refAcc)
+
+	// Seed the search from the predictor-output distribution.
+	calib, _ := testDS.Batch([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	e := core.NewExec(0)
+	e.NoWeightCache = true
+	init := e.InitialThreshold(net, calib, 0.90)
+	fmt.Printf("initial threshold (P90 of normalized predictor outputs): %.3f\n", init)
+
+	// Threshold-aware fine-tuning hook: one epoch of straight-through
+	// training with frozen batch-norm statistics per candidate.
+	retrain := func(th float32) {
+		nn.SetConvTrainExec(net, e)
+		nn.SetBNFrozen(net, true)
+		train.Fit(net, trainDS, train.Options{
+			Epochs: 1, BatchSize: 16, LR: 0.005, Momentum: 0.9, Seed: 11,
+		})
+		nn.SetBNFrozen(net, false)
+		nn.SetConvTrainExec(net, nil)
+	}
+
+	res := e.FindThreshold(init, refAcc, 0.05, 4, retrain, func() float64 { return evalWith(e) })
+	fmt.Printf("search finished: threshold=%.3f accuracy=%.3f converged=%v (%d iterations)\n",
+		res.Threshold, res.Accuracy, res.Converged, res.Iterations)
+	for _, step := range res.Trace {
+		fmt.Printf("  tried threshold %.3f -> accuracy %.3f\n", step.Threshold, step.Accuracy)
+	}
+
+	// Figure-22-style sweep around the selected value.
+	t := stats.NewTable("Threshold sweep (Figure 22 machinery)",
+		"threshold", "accuracy", "INT4 share", "INT2 share")
+	for _, th := range []float32{0, 0.25, 0.5, 0.75, 1.0, 1.5} {
+		se := core.NewExec(th)
+		se.Enabled = true
+		acc := evalWith(se)
+		t.AddRow(th, stats.Pct(acc), stats.Pct(se.SensitiveFraction()),
+			stats.Pct(1-se.SensitiveFraction()))
+	}
+	t.Render(os.Stdout)
+}

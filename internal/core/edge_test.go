@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Edge-case and failure-injection coverage for the ODQ executor.
+
+func TestODQZeroInput(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	conv := nn.NewConv2D("c", 2, 3, 3, 1, 1, false, rng)
+	e := NewExec(0.5)
+	e.Enabled = true
+	conv.Exec = e
+	out := conv.Forward(tensor.New(1, 2, 6, 6), false)
+	for _, v := range out.Data {
+		if v != 0 {
+			t.Fatalf("zero input must give zero output, got %v", v)
+		}
+	}
+	// With meanAbs 0, the cut is 0 and |0| >= 0: everything counts
+	// sensitive — degenerate but well-defined.
+	p := e.Profiles()[0]
+	if p.SensitiveOutputs != p.TotalOutputs {
+		t.Fatalf("zero-input sensitivity: %d/%d", p.SensitiveOutputs, p.TotalOutputs)
+	}
+}
+
+func TestODQ1x1Conv(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	conv := nn.NewConv2D("c", 4, 4, 1, 1, 0, false, rng)
+	x := tensor.New(1, 4, 5, 5)
+	rng.FillUniform(x, 0, 1)
+	e := NewExec(-1) // all sensitive → must equal static INT4
+	conv.Exec = e
+	got := conv.Forward(x, false)
+	conv.Exec = quant.NewStaticExec(4)
+	want := conv.Forward(x, false)
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-4 {
+		t.Fatalf("1x1 ODQ deviates from INT4 by %v", d)
+	}
+}
+
+func TestODQNonSquareStride(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	conv := nn.NewConv2D("c", 3, 5, 3, 2, 1, false, rng)
+	x := tensor.New(2, 3, 9, 7)
+	rng.FillUniform(x, 0, 1)
+	e := NewExec(-1)
+	conv.Exec = e
+	got := conv.Forward(x, false)
+	if got.Shape[2] != 5 || got.Shape[3] != 4 {
+		t.Fatalf("strided non-square geometry wrong: %v", got.Shape)
+	}
+	conv.Exec = quant.NewStaticExec(4)
+	want := conv.Forward(x, false)
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-4 {
+		t.Fatalf("non-square ODQ deviates from INT4 by %v", d)
+	}
+}
+
+func TestODQZeroWeights(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	conv := nn.NewConv2D("c", 2, 2, 3, 1, 1, false, rng)
+	conv.Weight.W.Zero()
+	e := NewExec(0.5)
+	conv.Exec = e
+	x := tensor.New(1, 2, 5, 5)
+	rng.FillUniform(x, 0, 1)
+	out := conv.Forward(x, false)
+	for _, v := range out.Data {
+		if v != 0 {
+			t.Fatalf("zero weights must give zero output, got %v", v)
+		}
+	}
+}
+
+func TestODQBatchMaskLayout(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	conv := nn.NewConv2D("c", 2, 3, 3, 1, 1, false, rng)
+	e := NewExec(0.5)
+	e.Enabled = true
+	e.KeepMasks = true
+	conv.Exec = e
+	x := tensor.New(3, 2, 6, 6)
+	rng.FillUniform(x, 0, 1)
+	conv.Forward(x, false)
+	p := e.Profiles()[0]
+	if int64(len(p.Mask)) != p.TotalOutputs || p.TotalOutputs != 3*3*36 {
+		t.Fatalf("batched mask layout wrong: %d bits for %d outputs",
+			len(p.Mask), p.TotalOutputs)
+	}
+}
+
+func TestODQRepeatedCallsAccumulateProfiles(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	conv := nn.NewConv2D("c", 2, 2, 3, 1, 1, false, rng)
+	e := NewExec(0.5)
+	e.Enabled = true
+	conv.Exec = e
+	x := tensor.New(1, 2, 6, 6)
+	rng.FillUniform(x, 0, 1)
+	conv.Forward(x, false)
+	conv.Forward(x, false)
+	p := e.Profiles()
+	if len(p) != 1 {
+		t.Fatalf("same layer must merge, got %d profiles", len(p))
+	}
+	if p[0].Batch != 2 {
+		t.Fatalf("batches must accumulate: %d", p[0].Batch)
+	}
+	// Determinism: same input twice → sensitive counts double exactly.
+	if p[0].SensitiveOutputs%2 != 0 {
+		t.Fatal("identical passes must classify identically")
+	}
+}
+
+func TestSensitiveFractionEmptyProfiler(t *testing.T) {
+	e := NewExec(0.5)
+	if f := e.SensitiveFraction(); f != 0 {
+		t.Fatalf("empty profiler fraction %v", f)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// InitialThreshold runs the predictor over a calibration batch and returns
+// the given percentile of the normalized |predictor partial sum|
+// distribution (in units of each layer's mean, i.e. directly usable as a
+// Threshold). The paper's adaptive search starts from "a relatively large
+// initial threshold chosen based on the output distribution" of each
+// layer; we take a network-wide high percentile.
+func (e *Exec) InitialThreshold(net nn.Module, calib *tensor.Tensor, percentile float64) float32 {
+	e.distMu.Lock()
+	e.collectDist = true
+	e.dist = nil
+	e.distMu.Unlock()
+
+	prev := e.Threshold
+	e.Threshold = 0 // value is irrelevant for distribution collection
+	nn.SetConvExecTail(net, e)
+	net.Forward(calib, false)
+	nn.SetConvExecTail(net, nil)
+	e.Threshold = prev
+
+	e.distMu.Lock()
+	defer e.distMu.Unlock()
+	e.collectDist = false
+	if len(e.dist) == 0 {
+		return 0
+	}
+	sort.Slice(e.dist, func(i, j int) bool { return e.dist[i] < e.dist[j] })
+	idx := int(percentile * float64(len(e.dist)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(e.dist) {
+		idx = len(e.dist) - 1
+	}
+	v := e.dist[idx]
+	e.dist = nil
+	return v
+}
+
+// SearchResult reports the outcome of the adaptive threshold search.
+type SearchResult struct {
+	// Threshold is the accepted value (or the last one tried).
+	Threshold float32
+	// Accuracy is the ODQ accuracy at that threshold.
+	Accuracy float64
+	// Iterations counts the halving steps performed.
+	Iterations int
+	// Converged is true if the accuracy criterion was met.
+	Converged bool
+	// Trace records (threshold, accuracy) for every step.
+	Trace []SearchStep
+}
+
+// SearchStep is one step of the threshold search.
+type SearchStep struct {
+	Threshold float32
+	Accuracy  float64
+}
+
+// FindThreshold performs the paper's adaptive threshold selection: start
+// from a large initial value, evaluate ODQ accuracy (optionally after the
+// caller's retraining hook runs), and halve until the accuracy is within
+// tol of refAcc or maxIters is exhausted. evalAcc must evaluate the model
+// with THIS executor installed at the current e.Threshold. retrain may be
+// nil.
+func (e *Exec) FindThreshold(initial float32, refAcc, tol float64, maxIters int,
+	retrain func(threshold float32), evalAcc func() float64) SearchResult {
+	res := SearchResult{}
+	cur := initial
+	for i := 0; i < maxIters; i++ {
+		e.Threshold = cur
+		if retrain != nil {
+			retrain(cur)
+			e.InvalidateCache()
+		}
+		acc := evalAcc()
+		res.Trace = append(res.Trace, SearchStep{Threshold: cur, Accuracy: acc})
+		res.Threshold = cur
+		res.Accuracy = acc
+		res.Iterations = i + 1
+		if refAcc-acc <= tol {
+			res.Converged = true
+			return res
+		}
+		cur /= 2
+	}
+	return res
+}

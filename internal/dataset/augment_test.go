@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestReflect(t *testing.T) {
+	cases := []struct{ i, n, want int }{
+		{0, 4, 0}, {3, 4, 3}, {-1, 4, 1}, {-2, 4, 2},
+		{4, 4, 2}, {5, 4, 1}, {0, 1, 0}, {7, 1, 0},
+	}
+	for _, c := range cases {
+		if got := reflect(c.i, c.n); got != c.want {
+			t.Fatalf("reflect(%d,%d) = %d, want %d", c.i, c.n, got, c.want)
+		}
+	}
+}
+
+func TestAugmenterPreservesShapeAndRange(t *testing.T) {
+	d := SyntheticCIFAR10(8, 1)
+	a := NewAugmenter(4, true, 7)
+	out := a.Apply(d.X)
+	if !out.SameShape(d.X) {
+		t.Fatalf("augmented shape %v", out.Shape)
+	}
+	mn, mx, _ := out.Stats()
+	if mn < 0 || mx > 1 {
+		t.Fatalf("augmented range [%v,%v]", mn, mx)
+	}
+	// Input must be untouched.
+	d2 := SyntheticCIFAR10(8, 1)
+	if tensor.MaxAbsDiff(d.X, d2.X) != 0 {
+		t.Fatal("Apply must not mutate its input")
+	}
+}
+
+func TestAugmenterNoOpConfig(t *testing.T) {
+	d := SyntheticCIFAR10(4, 2)
+	a := NewAugmenter(0, false, 1)
+	out := a.Apply(d.X)
+	if tensor.MaxAbsDiff(out, d.X) != 0 {
+		t.Fatal("pad=0, flip=false must be the identity")
+	}
+}
+
+func TestAugmenterDeterministic(t *testing.T) {
+	d := SyntheticCIFAR10(4, 3)
+	a1 := NewAugmenter(4, true, 9)
+	a2 := NewAugmenter(4, true, 9)
+	if tensor.MaxAbsDiff(a1.Apply(d.X), a2.Apply(d.X)) != 0 {
+		t.Fatal("same seed must give identical augmentation")
+	}
+}
+
+func TestAugmenterActuallyMoves(t *testing.T) {
+	d := SyntheticCIFAR10(8, 4)
+	a := NewAugmenter(4, true, 11)
+	out := a.Apply(d.X)
+	if tensor.MaxAbsDiff(out, d.X) == 0 {
+		t.Fatal("augmentation should change at least one sample")
+	}
+}
+
+func TestFlipOnlyIsExactMirrorForSome(t *testing.T) {
+	// With pad 0, samples are either untouched or exactly mirrored.
+	d := SyntheticCIFAR10(16, 5)
+	a := NewAugmenter(0, true, 13)
+	out := a.Apply(d.X)
+	h, w := 32, 32
+	for s := 0; s < 16; s++ {
+		same, mirror := true, true
+		for ch := 0; ch < 3 && (same || mirror); ch++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					v := out.At4(s, ch, y, x)
+					if v != d.X.At4(s, ch, y, x) {
+						same = false
+					}
+					if v != d.X.At4(s, ch, y, w-1-x) {
+						mirror = false
+					}
+				}
+			}
+		}
+		if !same && !mirror {
+			t.Fatalf("sample %d neither identity nor mirror", s)
+		}
+	}
+}

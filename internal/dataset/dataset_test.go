@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSyntheticCIFAR10Basics(t *testing.T) {
+	d := SyntheticCIFAR10(50, 1)
+	if d.Len() != 50 || d.Classes != 10 {
+		t.Fatalf("len=%d classes=%d", d.Len(), d.Classes)
+	}
+	if d.X.Shape[1] != 3 || d.X.Shape[2] != 32 || d.X.Shape[3] != 32 {
+		t.Fatalf("shape %v", d.X.Shape)
+	}
+	mn, mx, _ := d.X.Stats()
+	if mn < 0 || mx > 1 {
+		t.Fatalf("pixel range [%v,%v] outside [0,1]", mn, mx)
+	}
+	// Labels cycle through classes.
+	for i := 0; i < 20; i++ {
+		if d.Y[i] != i%10 {
+			t.Fatalf("label %d = %d", i, d.Y[i])
+		}
+	}
+}
+
+func TestSyntheticCIFAR100Labels(t *testing.T) {
+	d := SyntheticCIFAR100(200, 2)
+	if d.Classes != 100 {
+		t.Fatalf("classes %d", d.Classes)
+	}
+	seen := map[int]bool{}
+	for _, y := range d.Y {
+		if y < 0 || y >= 100 {
+			t.Fatalf("label out of range: %d", y)
+		}
+		seen[y] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("only %d distinct labels in 200 samples", len(seen))
+	}
+}
+
+func TestMNISTLikeShape(t *testing.T) {
+	d := MNISTLike(10, 3)
+	if d.X.Shape[1] != 1 || d.X.Shape[2] != 28 {
+		t.Fatalf("mnist shape %v", d.X.Shape)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := SyntheticCIFAR10(20, 7)
+	b := SyntheticCIFAR10(20, 7)
+	if tensor.MaxAbsDiff(a.X, b.X) != 0 {
+		t.Fatal("same seed must give identical images")
+	}
+	c := SyntheticCIFAR10(20, 8)
+	if tensor.MaxAbsDiff(a.X, c.X) == 0 {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// Same-class images must be more alike than cross-class images on
+	// average (per-class signature dominates per-sample noise).
+	d := SyntheticCIFAR10(100, 4)
+	per := d.X.Len() / d.Len()
+	meanOf := func(class int) []float32 {
+		acc := make([]float32, per)
+		cnt := 0
+		for s := 0; s < d.Len(); s++ {
+			if d.Y[s] != class {
+				continue
+			}
+			for i := 0; i < per; i++ {
+				acc[i] += d.X.Data[s*per+i]
+			}
+			cnt++
+		}
+		for i := range acc {
+			acc[i] /= float32(cnt)
+		}
+		return acc
+	}
+	dist := func(a, b []float32) float64 {
+		var s float64
+		for i := range a {
+			df := float64(a[i] - b[i])
+			s += df * df
+		}
+		return s
+	}
+	m0, m1, m2 := meanOf(0), meanOf(1), meanOf(2)
+	if dist(m0, m1) < 1e-3 || dist(m0, m2) < 1e-3 {
+		t.Fatal("class means are not separated")
+	}
+}
+
+func TestBatchExtraction(t *testing.T) {
+	d := SyntheticCIFAR10(10, 5)
+	x, y := d.Batch([]int{3, 7})
+	if x.Shape[0] != 2 || len(y) != 2 {
+		t.Fatalf("batch shapes %v %v", x.Shape, y)
+	}
+	if y[0] != d.Y[3] || y[1] != d.Y[7] {
+		t.Fatal("labels wrong")
+	}
+	per := 3 * 32 * 32
+	for i := 0; i < per; i++ {
+		if x.Data[i] != d.X.Data[3*per+i] {
+			t.Fatal("batch pixels wrong")
+		}
+	}
+}
+
+func TestBatchesCoverAll(t *testing.T) {
+	d := SyntheticCIFAR10(23, 6)
+	bs := d.Batches(5, true, 1)
+	if len(bs) != 5 {
+		t.Fatalf("batch count %d", len(bs))
+	}
+	seen := map[int]bool{}
+	for _, b := range bs {
+		for _, i := range b {
+			if seen[i] {
+				t.Fatalf("index %d repeated", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 23 {
+		t.Fatalf("covered %d of 23", len(seen))
+	}
+	if len(bs[4]) != 3 {
+		t.Fatalf("last batch size %d, want 3", len(bs[4]))
+	}
+}

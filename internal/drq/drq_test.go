@@ -1,0 +1,207 @@
+package drq
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+func TestRegionMaskMarksHotRegions(t *testing.T) {
+	x := tensor.New(1, 1, 8, 8)
+	// Make the top-left 4×4 region hot.
+	for y := 0; y < 4; y++ {
+		for xx := 0; xx < 4; xx++ {
+			x.Set4(0, 0, y, xx, 1)
+		}
+	}
+	masks := RegionMask(x, 4, 0.5)
+	if !masks[0][0] || !masks[0][3*8+3] {
+		t.Fatal("hot region must be sensitive")
+	}
+	if masks[0][0*8+4] || masks[0][7*8+7] {
+		t.Fatal("cold regions must be insensitive")
+	}
+}
+
+func TestRegionMaskRaggedEdges(t *testing.T) {
+	// 6×6 image with 4-pixel regions exercises partial edge regions.
+	x := tensor.New(1, 2, 6, 6)
+	x.Fill(1)
+	masks := RegionMask(x, 4, 0.5)
+	for i, m := range masks[0] {
+		if !m {
+			t.Fatalf("uniformly hot image: position %d not sensitive", i)
+		}
+	}
+}
+
+func TestMaskedCopyPartition(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	x := tensor.New(2, 3, 8, 8)
+	rng.FillUniform(x, 0, 1)
+	masks := RegionMask(x, 4, meanMagnitude(x))
+	hi := maskedCopy(x, masks, true)
+	lo := maskedCopy(x, masks, false)
+	sum := hi.Clone()
+	sum.Add(lo)
+	if tensor.MaxAbsDiff(sum, x) != 0 {
+		t.Fatal("hi+lo must partition x exactly")
+	}
+}
+
+func TestAllSensitiveEqualsStaticHigh(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	conv := nn.NewConv2D("c", 3, 4, 3, 1, 1, false, rng)
+	x := tensor.New(1, 3, 8, 8)
+	rng.FillUniform(x, 0.1, 1) // strictly positive so every region is hot
+
+	e := NewExec(8, 4)
+	e.ThresholdScale = 0 // threshold 0 → all regions sensitive
+	conv.Exec = e
+	got := conv.Forward(x, false)
+
+	conv.Exec = quant.NewStaticExec(8)
+	want := conv.Forward(x, false)
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-5 {
+		t.Fatalf("all-sensitive DRQ must equal INT8 static, diff %v", d)
+	}
+}
+
+func TestAllInsensitiveEqualsStaticLow(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	conv := nn.NewConv2D("c", 3, 4, 3, 1, 1, false, rng)
+	x := tensor.New(1, 3, 8, 8)
+	rng.FillUniform(x, 0, 1)
+
+	e := NewExec(8, 4)
+	e.ThresholdScale = 1e9 // nothing clears the threshold
+	conv.Exec = e
+	got := conv.Forward(x, false)
+
+	conv.Exec = quant.NewStaticExec(4)
+	want := conv.Forward(x, false)
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-5 {
+		t.Fatalf("all-insensitive DRQ must equal INT4 static, diff %v", d)
+	}
+}
+
+func TestMixedPrecisionBetweenExtremes(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	conv := nn.NewConv2D("c", 3, 4, 3, 1, 1, false, rng)
+	x := tensor.New(1, 3, 16, 16)
+	rng.FillUniform(x, 0, 1)
+	ref := conv.Forward(x, false)
+
+	errAt := func(scale float32) float32 {
+		e := NewExec(8, 4)
+		e.ThresholdScale = scale
+		conv.Exec = e
+		defer func() { conv.Exec = nil }()
+		return tensor.MeanAbsDiff(ref, conv.Forward(x, false))
+	}
+	allHigh := errAt(0)
+	mixed := errAt(1)
+	allLow := errAt(1e9)
+	if !(allHigh <= mixed && mixed <= allLow) {
+		t.Fatalf("error ordering violated: high=%v mixed=%v low=%v", allHigh, mixed, allLow)
+	}
+}
+
+func TestHighInputMACAccounting(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	conv := nn.NewConv2D("c", 2, 3, 3, 1, 0, false, rng) // pad=0: all taps in bounds
+	x := tensor.New(1, 2, 8, 8)
+	rng.FillUniform(x, 0.1, 1)
+
+	e := NewExec(8, 4)
+	e.ThresholdScale = 0
+	e.Enabled = true
+	conv.Exec = e
+	conv.Forward(x, false)
+	p := e.Profiles()[0]
+	if p.HighInputMACs != p.TotalMACs {
+		t.Fatalf("all-sensitive with no padding: high=%d total=%d", p.HighInputMACs, p.TotalMACs)
+	}
+
+	e.Reset()
+	e.ThresholdScale = 1e9
+	conv.Forward(x, false)
+	p = e.Profiles()[0]
+	if p.HighInputMACs != 0 {
+		t.Fatalf("all-insensitive: high MACs = %d", p.HighInputMACs)
+	}
+}
+
+func TestMotivationStatsPopulate(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	conv := nn.NewConv2D("c1", 3, 4, 3, 1, 1, false, rng)
+	x := tensor.New(1, 3, 16, 16)
+	rng.FillUniform(x, 0, 1)
+
+	e := NewExec(8, 4)
+	e.CollectMotivation = true
+	e.OutputThreshold = 0.3
+	conv.Exec = e
+	conv.Forward(x, false)
+
+	stats := e.MotivationStats()
+	if len(stats) != 1 {
+		t.Fatalf("stats count %d", len(stats))
+	}
+	s := stats[0]
+	total := s.SensitiveCount + s.InsensitiveCount
+	if total != int64(4*16*16) {
+		t.Fatalf("classified %d outputs, want %d", total, 4*16*16)
+	}
+	var bsum int64
+	for _, b := range s.SensLowFracBuckets {
+		bsum += b
+	}
+	if bsum != s.SensitiveCount {
+		t.Fatalf("sensitive buckets sum %d != count %d", bsum, s.SensitiveCount)
+	}
+	bsum = 0
+	for _, b := range s.InsensHighFracBuckets {
+		bsum += b
+	}
+	if bsum != s.InsensitiveCount {
+		t.Fatalf("insensitive buckets sum %d != count %d", bsum, s.InsensitiveCount)
+	}
+	if s.PrecLossCount != s.SensitiveCount {
+		t.Fatal("precision loss must be measured on every sensitive output")
+	}
+	e.ResetMotivation()
+	if len(e.MotivationStats()) != 0 {
+		t.Fatal("ResetMotivation must clear")
+	}
+}
+
+func TestFracBucket(t *testing.T) {
+	cases := []struct {
+		f float64
+		b int
+	}{{0, 0}, {0.25, 0}, {0.3, 1}, {0.5, 1}, {0.6, 2}, {0.75, 2}, {0.8, 3}, {1, 3}}
+	for _, c := range cases {
+		if got := fracBucket(c.f); got != c.b {
+			t.Fatalf("fracBucket(%v) = %d, want %d", c.f, got, c.b)
+		}
+	}
+}
+
+func TestInvalidateCache(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	conv := nn.NewConv2D("c", 1, 1, 3, 1, 1, false, rng)
+	e := NewExec(8, 4)
+	conv.Exec = e
+	x := tensor.New(1, 1, 6, 6)
+	rng.FillUniform(x, 0, 1)
+	out1 := conv.Forward(x, false)
+	conv.Weight.W.Scale(2)
+	e.InvalidateCache()
+	out2 := conv.Forward(x, false)
+	if tensor.MaxAbsDiff(out1, out2) == 0 {
+		t.Fatal("cache invalidation must pick up new weights")
+	}
+}

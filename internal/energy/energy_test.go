@@ -1,0 +1,105 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+func profileWith(sensFrac, highFrac float64) *quant.LayerProfile {
+	g := tensor.Geometry(16, 16, 16, 32, 3, 1, 1)
+	total := int64(g.TotalOutputs())
+	macs := g.TotalMACs()
+	return &quant.LayerProfile{
+		Name: "c", Geom: g, Batch: 1,
+		TotalOutputs:     total,
+		SensitiveOutputs: int64(sensFrac * float64(total)),
+		TotalMACs:        macs,
+		HighInputMACs:    int64(highFrac * float64(macs)),
+	}
+}
+
+func TestDefaultConstantsQuadraticMACs(t *testing.T) {
+	c := DefaultConstants()
+	if c.MACpJ[4] != 4*c.MACpJ[2] || c.MACpJ[8] != 4*c.MACpJ[4] || c.MACpJ[16] != 4*c.MACpJ[8] {
+		t.Fatalf("MAC energy must scale quadratically with width: %v", c.MACpJ)
+	}
+	if c.DRAMPJPerByte <= c.BufferPJPerByte {
+		t.Fatal("DRAM must cost more than SRAM")
+	}
+}
+
+func TestEnergyOrderingAcrossAccels(t *testing.T) {
+	profiles := []*quant.LayerProfile{profileWith(0.25, 0.5)}
+	accels := sim.Table2Accels()
+	c := DefaultConstants()
+	total := func(name string) float64 {
+		b, _ := SchemeEnergy(accels[name], profiles, c)
+		return b.Total()
+	}
+	e16, e8, edrq, eodq := total("INT16"), total("INT8"), total("DRQ"), total("ODQ")
+	if !(eodq < edrq && edrq < e8 && e8 < e16) {
+		t.Fatalf("energy ordering violated: INT16=%.0f INT8=%.0f DRQ=%.0f ODQ=%.0f",
+			e16, e8, edrq, eodq)
+	}
+	// Shape target mirroring the paper's 97.6% / 66.9% savings: ODQ saves
+	// the lion's share vs INT16 and a clear majority vs DRQ.
+	if 1-eodq/e16 < 0.8 {
+		t.Fatalf("ODQ vs INT16 saving only %.1f%%", (1-eodq/e16)*100)
+	}
+	if 1-eodq/edrq < 0.3 {
+		t.Fatalf("ODQ vs DRQ saving only %.1f%%", (1-eodq/edrq)*100)
+	}
+}
+
+func TestBreakdownComponentsPositive(t *testing.T) {
+	profiles := []*quant.LayerProfile{profileWith(0.25, 0.5)}
+	a := sim.Table2Accels()["ODQ"]
+	b, nc := SchemeEnergy(a, profiles, DefaultConstants())
+	if b.DRAM <= 0 || b.Buffer <= 0 || b.Cores <= 0 {
+		t.Fatalf("breakdown has non-positive component: %+v", b)
+	}
+	if b.Total() != b.DRAM+b.Buffer+b.Cores {
+		t.Fatal("Total must sum components")
+	}
+	if nc.TotalCycles() <= 0 {
+		t.Fatal("cost model returned no cycles")
+	}
+}
+
+func TestSensitivityRaisesODQEnergy(t *testing.T) {
+	a := sim.Table2Accels()["ODQ"]
+	c := DefaultConstants()
+	lo, _ := SchemeEnergy(a, []*quant.LayerProfile{profileWith(0.1, 0)}, c)
+	hi, _ := SchemeEnergy(a, []*quant.LayerProfile{profileWith(0.9, 0)}, c)
+	if hi.Cores <= lo.Cores {
+		t.Fatal("more sensitive outputs must burn more core energy")
+	}
+}
+
+func TestStaticEnergyScalesWithRuntime(t *testing.T) {
+	// Same work on a slower accelerator must burn more background energy.
+	profiles := []*quant.LayerProfile{profileWith(0.25, 0.5)}
+	accels := sim.Table2Accels()
+	c := DefaultConstants()
+	// Zero out per-byte and per-MAC costs: only background/leak remains.
+	c.MACpJ = map[int]float64{2: 0, 4: 0, 8: 0, 16: 0}
+	c.DRAMPJPerByte = 0
+	c.BufferPJPerByte = 0
+	c.LeakPJPerPECycle = 0
+	slow, _ := SchemeEnergy(accels["INT16"], profiles, c)
+	fast, _ := SchemeEnergy(accels["ODQ"], profiles, c)
+	if fast.Total() >= slow.Total() {
+		t.Fatalf("background energy must track runtime: fast=%.0f slow=%.0f",
+			fast.Total(), slow.Total())
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{DRAM: 1000, Buffer: 2000, Cores: 3000}
+	if b.String() == "" {
+		t.Fatal("String must render")
+	}
+}

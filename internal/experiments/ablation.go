@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// AblationThresholdResult compares the paper's single network-wide
+// threshold (§6.4: "we use the same threshold across all layers, which
+// greatly simplifies the design") against per-layer thresholds calibrated
+// to equalize every layer's sensitivity at the same overall level.
+type AblationThresholdResult struct {
+	Model string
+	// Global run.
+	GlobalThreshold float32
+	GlobalAccuracy  float64
+	GlobalSensFrac  float64
+	// Per-layer calibrated run.
+	PerLayerAccuracy float64
+	PerLayerSensFrac float64
+	// LayerThresholds is the calibrated per-layer map.
+	LayerThresholds map[string]float32
+}
+
+// AblationThreshold runs the global-vs-per-layer threshold comparison on
+// ResNet-20.
+func AblationThreshold(l *Lab) *AblationThresholdResult {
+	tm := l.Model("resnet20", "c10")
+	th := l.Threshold(tm)
+
+	global := core.NewExec(th)
+	global.Enabled = true
+	r := &AblationThresholdResult{Model: tm.ModelName, GlobalThreshold: th}
+	r.GlobalAccuracy = l.EvalDynamic(tm, global)
+	r.GlobalSensFrac = global.SensitiveFraction()
+
+	// Calibrate per-layer thresholds toward the global run's overall
+	// sensitive fraction with a few multiplicative passes over the
+	// profiling batch.
+	target := r.GlobalSensFrac
+	if target <= 0 {
+		target = 0.5
+	}
+	idx, ds := l.profileBatch(tm)
+	x, _ := ds.Batch(idx)
+	overrides := map[string]float32{}
+	for pass := 0; pass < 3; pass++ {
+		pe := core.NewExec(th)
+		pe.LayerThresholds = overrides
+		pe.Enabled = true
+		nn.SetConvExecTail(tm.Net, pe)
+		tm.Net.Forward(x, false)
+		nn.SetConvExecTail(tm.Net, nil)
+		for _, p := range pe.Profiles() {
+			if p.TotalOutputs == 0 {
+				continue
+			}
+			frac := float64(p.SensitiveOutputs) / float64(p.TotalOutputs)
+			cur, ok := overrides[p.Name]
+			if !ok {
+				cur = th
+			}
+			switch {
+			case frac > target*1.1: // too sensitive → raise threshold
+				overrides[p.Name] = cur * 1.4
+			case frac < target*0.9: // too insensitive → lower threshold
+				overrides[p.Name] = cur * 0.7
+			default:
+				overrides[p.Name] = cur
+			}
+		}
+	}
+	r.LayerThresholds = overrides
+
+	per := core.NewExec(th)
+	per.LayerThresholds = overrides
+	per.Enabled = true
+	r.PerLayerAccuracy = l.EvalDynamic(tm, per)
+	r.PerLayerSensFrac = per.SensitiveFraction()
+	return r
+}
+
+// Render implements the experiment output.
+func (r *AblationThresholdResult) Render(w io.Writer) {
+	t := stats.NewTable("Ablation: global vs per-layer sensitivity thresholds (ResNet-20)",
+		"variant", "accuracy", "sensitive fraction")
+	t.AddRow("global (paper)", stats.Pct(r.GlobalAccuracy), stats.Pct(r.GlobalSensFrac))
+	t.AddRow("per-layer calibrated", stats.Pct(r.PerLayerAccuracy), stats.Pct(r.PerLayerSensFrac))
+	t.Render(w)
+}
+
+// AblationPrecisionResult evaluates the paper's precision-extension claim
+// ("ODQ is not limited to 4-bit and 2-bit quantization and can be easily
+// extended to support other types of precision, e.g., INT8"): the same
+// executor at 8-bit codes with a 4-bit predictor. Caveat when reading the
+// numbers: the lab's model is threshold-aware-retrained against the 4/2
+// error pattern, so the 8/4 variant runs on a network tuned for a
+// different approximation profile.
+type AblationPrecisionResult struct {
+	Model     string
+	Threshold float32
+	// Rows: {name, accuracy, sensitive fraction}.
+	Acc42, Acc84   float64
+	Sens42, Sens84 float64
+}
+
+// AblationPrecision compares ODQ 4/2 against the INT8/INT4 extension on
+// ResNet-20.
+func AblationPrecision(l *Lab) *AblationPrecisionResult {
+	tm := l.Model("resnet20", "c10")
+	th := l.Threshold(tm)
+	r := &AblationPrecisionResult{Model: tm.ModelName, Threshold: th}
+
+	e42 := core.NewExec(th)
+	e42.Enabled = true
+	r.Acc42 = l.EvalDynamic(tm, e42)
+	r.Sens42 = e42.SensitiveFraction()
+
+	e84 := core.NewExec(th)
+	e84.Bits = 8
+	e84.PredBits = 4
+	e84.Enabled = true
+	r.Acc84 = l.EvalDynamic(tm, e84)
+	r.Sens84 = e84.SensitiveFraction()
+	return r
+}
+
+// Render implements the experiment output.
+func (r *AblationPrecisionResult) Render(w io.Writer) {
+	t := stats.NewTable("Ablation: ODQ precision extension (ResNet-20, same threshold)",
+		"variant", "accuracy", "sensitive fraction")
+	t.AddRow("ODQ 4/2 (paper)", stats.Pct(r.Acc42), stats.Pct(r.Sens42))
+	t.AddRow("ODQ 8/4 (extension)", stats.Pct(r.Acc84), stats.Pct(r.Sens84))
+	t.Render(w)
+}
+
+// AblationAllocResult totals modeled cycles over a network's masks for
+// three scheduler variants, quantifying what Figures 11 and 20 show
+// per layer.
+type AblationAllocResult struct {
+	Model string
+	// Cycles per variant.
+	StaticStatic    int64 // fixed 15P/12E, static round-robin workload
+	StaticDynamic   int64 // fixed 15P/12E, dynamic workload
+	ReconfigDynamic int64 // per-layer Table-1 reconfig + dynamic workload
+}
+
+// AblationAlloc runs the scheduler ablation on ResNet-20 masks.
+func AblationAlloc(l *Lab) *AblationAllocResult {
+	profiles := odqMaskProfiles(l, "resnet20")
+	r := &AblationAllocResult{Model: "resnet20"}
+	fixed := sim.AllocConfig{Predictor: 15, Executor: 12}
+	for _, p := range profiles {
+		w := sim.LayerWorkFromProfile(p)
+		r.StaticStatic += sim.SimulateLayer(w, sim.DefaultSliceConfig(fixed, false)).Cycles
+		r.StaticDynamic += sim.SimulateLayer(w, sim.DefaultSliceConfig(fixed, true)).Cycles
+		res, _ := sim.SimulateLayerAuto(w)
+		r.ReconfigDynamic += res.Cycles
+	}
+	return r
+}
+
+// Render implements the experiment output.
+func (r *AblationAllocResult) Render(w io.Writer) {
+	t := stats.NewTable("Ablation: PE allocation & workload scheduling (ResNet-20, total slice cycles)",
+		"variant", "cycles", "vs static/static")
+	base := float64(r.StaticStatic)
+	t.AddRow("static alloc + static workload", r.StaticStatic, "1.000x")
+	t.AddRow("static alloc + dynamic workload", r.StaticDynamic,
+		stats.FormatFloat(float64(r.StaticDynamic)/base)+"x")
+	t.AddRow("reconfigurable + dynamic (ODQ)", r.ReconfigDynamic,
+		stats.FormatFloat(float64(r.ReconfigDynamic)/base)+"x")
+	t.Render(w)
+}

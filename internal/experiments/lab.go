@@ -1,0 +1,458 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a function on a Lab, which owns the
+// trained models, datasets, calibrated thresholds and scale parameters
+// shared across experiments. Results are structured values that also
+// render as text tables, so the bench harness can both assert on shapes
+// and regenerate the paper's artifacts.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/drq"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/train"
+)
+
+// Scale sizes the experiments. The paper's full workloads (ResNet-56 on
+// CIFAR-scale data, tens of thousands of images) are out of reach for a
+// pure-Go laptop run, so the default scales shrink widths and sample
+// counts while preserving every structural property the figures measure.
+type Scale struct {
+	Name string
+	// ModelScale multiplies channel widths (models.Config.Scale).
+	ModelScale float64
+	// TrainSamples/TestSamples size the synthetic datasets.
+	TrainSamples, TestSamples int
+	// Epochs/BatchSize/LR drive QAT training. QAT trains from scratch
+	// and needs a conservative learning rate (max-abs weight scales
+	// destabilize above ~0.02).
+	Epochs    int
+	BatchSize int
+	LR        float32
+	// ProfileSamples is how many test images feed mask/profile dumps.
+	ProfileSamples int
+	// FTEpochs is the number of threshold-aware retraining epochs per
+	// threshold-search step (the paper retrains after introducing the
+	// threshold, §3).
+	FTEpochs int
+	// SearchIters caps the threshold-halving steps.
+	SearchIters int
+	// FTSamples caps the training samples used during threshold-aware
+	// retraining (0 = full training set).
+	FTSamples int
+	// TolAcc is the acceptable ODQ accuracy drop versus the INT4 static
+	// baseline for the threshold search. The paper targets ≤0.6%; small
+	// test sets need looser tolerances (one sample is worth 1–2%).
+	TolAcc float64
+	// Seed namespaces all randomness.
+	Seed int64
+}
+
+// TestScale is for unit tests: tens of seconds for the shared models.
+func TestScale() Scale {
+	return Scale{Name: "test", ModelScale: 0.25, TrainSamples: 256, TestSamples: 64,
+		Epochs: 12, BatchSize: 16, LR: 0.02, ProfileSamples: 8,
+		FTEpochs: 1, SearchIters: 4, FTSamples: 192, TolAcc: 0.05, Seed: 1}
+}
+
+// QuickScale is the default harness scale: minutes for the full suite.
+func QuickScale() Scale {
+	return Scale{Name: "quick", ModelScale: 0.25, TrainSamples: 384, TestSamples: 192,
+		Epochs: 12, BatchSize: 16, LR: 0.02, ProfileSamples: 16,
+		FTEpochs: 1, SearchIters: 5, FTSamples: 256, TolAcc: 0.04, Seed: 1}
+}
+
+// FullScale runs wider models on more data (tens of minutes).
+func FullScale() Scale {
+	return Scale{Name: "full", ModelScale: 0.5, TrainSamples: 1536, TestSamples: 384,
+		Epochs: 18, BatchSize: 16, LR: 0.02, ProfileSamples: 24,
+		FTEpochs: 2, SearchIters: 5, FTSamples: 768, TolAcc: 0.02, Seed: 1}
+}
+
+// TrainedModel bundles a QAT-trained, threshold-calibrated network with
+// its data and reference accuracy.
+type TrainedModel struct {
+	ModelName   string
+	DatasetName string
+	Net         *nn.Sequential
+	Train       *dataset.Dataset
+	Test        *dataset.Dataset
+	// FP32Acc is the accuracy of the QAT model evaluated with float
+	// convolution arithmetic (the reference all schemes compare to).
+	FP32Acc float64
+	// Threshold is the ODQ sensitivity threshold selected by the
+	// adaptive search (with threshold-aware retraining).
+	Threshold float32
+	// Search is the full threshold-search trace (Table 3 machinery).
+	Search core.SearchResult
+	// baseState is the plain QAT checkpoint from before threshold-aware
+	// retraining. Static and DRQ baselines evaluate against it; the
+	// live weights are the ODQ-specialized (deployed) ones.
+	baseState []byte
+}
+
+// Lab owns shared state across experiments.
+type Lab struct {
+	Scale Scale
+	// Out receives progress logging; nil silences it.
+	Out io.Writer
+
+	mu       sync.Mutex
+	models   map[string]*TrainedModel
+	datasets map[string][2]*dataset.Dataset
+	memo     map[string]interface{}
+}
+
+// NewLab builds a lab at the given scale.
+func NewLab(scale Scale, out io.Writer) *Lab {
+	return &Lab{
+		Scale:    scale,
+		Out:      out,
+		models:   make(map[string]*TrainedModel),
+		datasets: make(map[string][2]*dataset.Dataset),
+		memo:     make(map[string]interface{}),
+	}
+}
+
+// Memo caches an arbitrary computed value under a key so experiments can
+// share expensive intermediate results (profile runs, cost models).
+func (l *Lab) Memo(key string, compute func() interface{}) interface{} {
+	l.mu.Lock()
+	if v, ok := l.memo[key]; ok {
+		l.mu.Unlock()
+		return v
+	}
+	l.mu.Unlock()
+	v := compute()
+	l.mu.Lock()
+	l.memo[key] = v
+	l.mu.Unlock()
+	return v
+}
+
+func (l *Lab) logf(format string, args ...interface{}) {
+	if l.Out != nil {
+		fmt.Fprintf(l.Out, format, args...)
+	}
+}
+
+// classesOf maps dataset names to class counts.
+func classesOf(ds string) (int, error) {
+	switch ds {
+	case "c10":
+		return 10, nil
+	case "c100":
+		return 100, nil
+	case "mnist":
+		return 10, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown dataset %q", ds)
+}
+
+// Datasets returns (train, test) for a dataset name, cached.
+func (l *Lab) Datasets(ds string) (*dataset.Dataset, *dataset.Dataset) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if pair, ok := l.datasets[ds]; ok {
+		return pair[0], pair[1]
+	}
+	classes, err := classesOf(ds)
+	if err != nil {
+		panic(err)
+	}
+	var tr, te *dataset.Dataset
+	switch ds {
+	case "mnist":
+		tr = dataset.MNISTLike(l.Scale.TrainSamples, l.Scale.Seed+100)
+		te = dataset.MNISTLike(l.Scale.TestSamples, l.Scale.Seed+200)
+	default:
+		// Keep a usable per-class sample count: the 100-class dataset
+		// needs more absolute samples than the 10-class one.
+		nTrain := l.Scale.TrainSamples
+		if min := classes * 8; nTrain < min {
+			nTrain = min
+		}
+		nTest := l.Scale.TestSamples
+		if min := classes * 2; nTest < min {
+			nTest = min
+		}
+		tr = dataset.SyntheticImages(classes, nTrain, 3, 32, 32, l.Scale.Seed+100)
+		te = dataset.SyntheticImages(classes, nTest, 3, 32, 32, l.Scale.Seed+200)
+	}
+	l.datasets[ds] = [2]*dataset.Dataset{tr, te}
+	return tr, te
+}
+
+// Model returns the QAT-trained model for (modelName, datasetName),
+// training and caching it on first use. Training uses 4-bit DoReFa QAT —
+// the regime ODQ and DRQ 4/2 operate in.
+func (l *Lab) Model(modelName, datasetName string) *TrainedModel {
+	key := modelName + "/" + datasetName
+	l.mu.Lock()
+	if tm, ok := l.models[key]; ok {
+		l.mu.Unlock()
+		return tm
+	}
+	l.mu.Unlock()
+
+	trainDS, testDS := l.Datasets(datasetName)
+	classes, _ := classesOf(datasetName)
+	cfg := models.Config{
+		Classes: classes,
+		Scale:   l.Scale.ModelScale,
+		QATBits: 4,
+		Seed:    l.Scale.Seed,
+	}
+	net, err := models.Build(modelName, cfg)
+	if err != nil {
+		panic(err)
+	}
+	l.logf("[lab] training %s on %s (%d samples, %d epochs)...\n",
+		modelName, datasetName, trainDS.Len(), l.Scale.Epochs)
+	lr := l.Scale.LR
+	if lr == 0 {
+		lr = 0.02
+	}
+	// Two-phase QAT: clipped-float warm-up (activation clipping active,
+	// grids off), then quantization-aware fine-tuning. Landing clip and
+	// grid together keeps deep networks from training at all.
+	warm := l.Scale.Epochs * 2 / 3
+	if warm < 1 {
+		warm = 1
+	}
+	qat := l.Scale.Epochs - warm
+	if qat < 1 {
+		qat = 1
+	}
+	models.SetQATRelaxed(net, true)
+	train.Fit(net, trainDS, train.Options{
+		Epochs:      warm,
+		BatchSize:   l.Scale.BatchSize,
+		LR:          lr,
+		Momentum:    0.9,
+		Decay:       1e-4,
+		Seed:        l.Scale.Seed,
+		LRDropEvery: warm * 3 / 4,
+	})
+	models.SetQATRelaxed(net, false)
+	train.Fit(net, trainDS, train.Options{
+		Epochs:    qat,
+		BatchSize: l.Scale.BatchSize,
+		LR:        lr / 2,
+		Momentum:  0.9,
+		Decay:     1e-4,
+		Seed:      l.Scale.Seed + 1,
+	})
+	tm := &TrainedModel{
+		ModelName:   modelName,
+		DatasetName: datasetName,
+		Net:         net,
+		Train:       trainDS,
+		Test:        testDS,
+		FP32Acc:     train.Evaluate(net, testDS, 64),
+	}
+	l.logf("[lab] %s/%s reference accuracy %.3f\n", modelName, datasetName, tm.FP32Acc)
+
+	// Adaptive threshold selection with threshold-aware retraining
+	// (paper §3): the network fine-tunes with ODQ's straight-through
+	// forward so it learns to tolerate predictor-only insensitive
+	// outputs, then the threshold halves until accuracy recovers.
+	tol := l.Scale.TolAcc
+	if tol == 0 {
+		tol = 0.02
+	}
+	tm.Search = l.searchThreshold(tm, tol, l.Scale.SearchIters)
+	tm.Threshold = tm.Search.Threshold
+
+	l.mu.Lock()
+	l.models[key] = tm
+	l.mu.Unlock()
+	return tm
+}
+
+// searchThreshold runs the paper's adaptive threshold algorithm on a
+// freshly trained model (mutating it via retraining).
+func (l *Lab) searchThreshold(tm *TrainedModel, tol float64, maxIters int) core.SearchResult {
+	idx, ds := l.profileBatch(tm)
+	x, _ := ds.Batch(idx)
+
+	e := core.NewExec(0)
+	e.NoWeightCache = true
+	init := e.InitialThreshold(tm.Net, x, 0.75)
+	refAcc := l.EvalWithExec(tm, quant.NewStaticExec(4))
+
+	lr := l.Scale.LR
+	if lr == 0 {
+		lr = 0.02
+	}
+	// Snapshot the QAT-trained weights: every threshold candidate
+	// fine-tunes from the same base model, so the halving sequence's
+	// early (too-aggressive) candidates cannot wreck later ones, and
+	// baseline schemes evaluate the un-specialized network.
+	var snapshot bytes.Buffer
+	if err := nn.Save(&snapshot, tm.Net); err != nil {
+		panic(err)
+	}
+	tm.baseState = snapshot.Bytes()
+	retrain := func(float32) {
+		if l.Scale.FTEpochs <= 0 {
+			return
+		}
+		if err := nn.Load(bytes.NewReader(snapshot.Bytes()), tm.Net); err != nil {
+			panic(err)
+		}
+		// Fine-tune with the ODQ straight-through forward and frozen
+		// batch-norm statistics (standard fine-tuning configuration;
+		// batch stats of approximated activations would drift).
+		ftData := tm.Train
+		if l.Scale.FTSamples > 0 {
+			ftData = tm.Train.Subset(l.Scale.FTSamples)
+		}
+		nn.SetConvTrainExec(tm.Net, e)
+		nn.SetBNFrozen(tm.Net, true)
+		train.Fit(tm.Net, ftData, train.Options{
+			Epochs:    l.Scale.FTEpochs,
+			BatchSize: l.Scale.BatchSize,
+			LR:        lr / 4,
+			Momentum:  0.9,
+			Decay:     1e-4,
+			Seed:      l.Scale.Seed + 7,
+		})
+		nn.SetBNFrozen(tm.Net, false)
+		nn.SetConvTrainExec(tm.Net, nil)
+	}
+	evalAcc := func() float64 { return l.EvalDynamic(tm, e) }
+	res := e.FindThreshold(init, refAcc, tol, maxIters, retrain, evalAcc)
+	l.logf("[lab] %s/%s threshold search: init=%.3f final=%.3f acc=%.3f (ref %.3f, %d iters, converged=%v)\n",
+		tm.ModelName, tm.DatasetName, init, res.Threshold, res.Accuracy, refAcc, res.Iterations, res.Converged)
+	return res
+}
+
+// withBaseWeights runs f with the pre-retraining QAT weights installed,
+// then restores the current (ODQ-specialized) weights.
+func (l *Lab) withBaseWeights(tm *TrainedModel, f func()) {
+	if tm.baseState == nil {
+		f()
+		return
+	}
+	var cur bytes.Buffer
+	if err := nn.Save(&cur, tm.Net); err != nil {
+		panic(err)
+	}
+	if err := nn.Load(bytes.NewReader(tm.baseState), tm.Net); err != nil {
+		panic(err)
+	}
+	defer func() {
+		if err := nn.Load(&cur, tm.Net); err != nil {
+			panic(err)
+		}
+	}()
+	f()
+}
+
+// EvalWithExec evaluates test accuracy with the given conv executor
+// installed on every layer (static schemes); nil = float path. Baseline
+// schemes run on the pre-retraining QAT weights.
+func (l *Lab) EvalWithExec(tm *TrainedModel, exec nn.ConvExecutor) float64 {
+	var acc float64
+	l.withBaseWeights(tm, func() {
+		nn.SetConvExec(tm.Net, exec)
+		defer nn.SetConvExec(tm.Net, nil)
+		acc = train.Evaluate(tm.Net, tm.Test, 32)
+	})
+	return acc
+}
+
+// EvalDynamic evaluates test accuracy with a dynamic-scheme executor
+// installed on every layer but the first (DoReFa first-layer convention),
+// on the current (ODQ-specialized) weights — the deployed configuration.
+func (l *Lab) EvalDynamic(tm *TrainedModel, exec nn.ConvExecutor) float64 {
+	nn.SetConvExecTail(tm.Net, exec)
+	defer nn.SetConvExecTail(tm.Net, nil)
+	return train.Evaluate(tm.Net, tm.Test, 32)
+}
+
+// EvalDynamicBase is EvalDynamic on the pre-retraining weights — for
+// dynamic baselines (DRQ) that do not share ODQ's retraining.
+func (l *Lab) EvalDynamicBase(tm *TrainedModel, exec nn.ConvExecutor) float64 {
+	var acc float64
+	l.withBaseWeights(tm, func() {
+		acc = l.EvalDynamic(tm, exec)
+	})
+	return acc
+}
+
+// profileBatch returns the profiling input batch for a model.
+func (l *Lab) profileBatch(tm *TrainedModel) ([]int, *dataset.Dataset) {
+	n := l.Scale.ProfileSamples
+	if n > tm.Test.Len() {
+		n = tm.Test.Len()
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx, tm.Test
+}
+
+// Threshold returns the ODQ sensitivity threshold selected for this model
+// by the adaptive search run at training time.
+func (l *Lab) Threshold(tm *TrainedModel) float32 { return tm.Threshold }
+
+// SearchThreshold returns the stored adaptive-search trace for the model
+// (the search runs once, during Model construction, because it retrains
+// the network as the paper prescribes).
+func (l *Lab) SearchThreshold(tm *TrainedModel, _ float64, _ int) core.SearchResult {
+	return tm.Search
+}
+
+// ProfileODQ runs ODQ inference over the profiling batch and returns the
+// per-layer profiles (with masks when keepMasks) plus the executor used.
+func (l *Lab) ProfileODQ(tm *TrainedModel, threshold float32, keepMasks bool) ([]*quant.LayerProfile, *core.Exec) {
+	e := core.NewExec(threshold)
+	e.Enabled = true
+	e.KeepMasks = keepMasks
+	idx, ds := l.profileBatch(tm)
+	x, _ := ds.Batch(idx)
+	nn.SetConvExecTail(tm.Net, e)
+	tm.Net.Forward(x, false)
+	nn.SetConvExecTail(tm.Net, nil)
+	return e.Profiles(), e
+}
+
+// ProfileDRQ runs DRQ inference over the profiling batch and returns the
+// per-layer profiles plus the executor (whose motivation stats are
+// populated when collectMotivation).
+func (l *Lab) ProfileDRQ(tm *TrainedModel, hiBits, loBits int, collectMotivation bool, outputThreshold float32) ([]*quant.LayerProfile, *drq.Exec) {
+	e := drq.NewExec(hiBits, loBits)
+	e.Enabled = true
+	e.CollectMotivation = collectMotivation
+	e.OutputThreshold = outputThreshold
+	idx, ds := l.profileBatch(tm)
+	x, _ := ds.Batch(idx)
+	nn.SetConvExecTail(tm.Net, e)
+	tm.Net.Forward(x, false)
+	nn.SetConvExecTail(tm.Net, nil)
+	return e.Profiles(), e
+}
+
+// ProfileStatic runs static INT-k inference over the profiling batch and
+// returns the per-layer profiles (geometry and MAC counts).
+func (l *Lab) ProfileStatic(tm *TrainedModel, bits int) []*quant.LayerProfile {
+	e := quant.NewStaticExec(bits)
+	e.Enabled = true
+	idx, ds := l.profileBatch(tm)
+	x, _ := ds.Batch(idx)
+	nn.SetConvExec(tm.Net, e)
+	tm.Net.Forward(x, false)
+	nn.SetConvExec(tm.Net, nil)
+	return e.Profiles()
+}

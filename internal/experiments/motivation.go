@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/drq"
+	"repro/internal/nn"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// motivationStats runs (once per lab) the instrumented DRQ INT8/INT4 pass
+// on ResNet-20 / synthetic-CIFAR-10 that Figures 2–5 are measured from.
+func motivationStats(l *Lab) []*drq.MotivationStat {
+	v := l.Memo("motivation/resnet20/c10", func() interface{} {
+		tm := l.Model("resnet20", "c10")
+		th := l.Threshold(tm)
+		_, exec := l.ProfileDRQ(tm, 8, 4, true, th)
+		return exec.MotivationStats()
+	})
+	return v.([]*drq.MotivationStat)
+}
+
+// layerLabel renders the paper's C1..Cn naming.
+func layerLabel(i int) string { return fmt.Sprintf("C%d", i+1) }
+
+// Figure1Result illustrates the input-directed mismatch on LeNet-5: how
+// many sensitive outputs are produced mostly from insensitive (low-
+// precision) inputs, and vice versa — the two failure cases of Figure 1.
+type Figure1Result struct {
+	Layer string
+	// SensitiveFromLowInputs counts sensitive outputs computed with
+	// >50% low-precision inputs (case 1 of Figure 1).
+	SensitiveFromLowInputs int64
+	SensitiveTotal         int64
+	// InsensitiveFromHighInputs counts insensitive outputs computed
+	// with >50% high-precision inputs (case 2).
+	InsensitiveFromHighInputs int64
+	InsensitiveTotal          int64
+	// InputMask/OutputMask are small ASCII renderings of one sample's
+	// input-region sensitivity and output sensitivity.
+	InputMask  []string
+	OutputMask []string
+}
+
+// Figure1 reproduces the Figure-1 illustration with LeNet-5 on the
+// MNIST-like dataset.
+func Figure1(l *Lab) *Figure1Result {
+	tm := l.Model("lenet5", "mnist")
+	_, exec := l.ProfileDRQ(tm, 8, 4, true, 0.3)
+	ms := exec.MotivationStats()
+	if len(ms) == 0 {
+		return &Figure1Result{}
+	}
+	s := ms[0]
+	res := &Figure1Result{
+		Layer:                     s.Name,
+		SensitiveFromLowInputs:    s.SensLowFracBuckets[2] + s.SensLowFracBuckets[3],
+		SensitiveTotal:            s.SensitiveCount,
+		InsensitiveFromHighInputs: s.InsensHighFracBuckets[2] + s.InsensHighFracBuckets[3],
+		InsensitiveTotal:          s.InsensitiveCount,
+	}
+
+	// Render one sample's masks for the first conv layer.
+	idx, ds := l.profileBatch(tm)
+	x, _ := ds.Batch(idx[:1])
+	inMask := drq.RegionMask(x, 4, meanAbs(x))
+	res.InputMask = asciiMask(inMask[0], x.Shape[2], x.Shape[3])
+
+	conv := nn.Convs(tm.Net)[0]
+	odq := core.NewExec(0.3)
+	odq.Enabled = true
+	odq.KeepMasks = true
+	nn.SetConvExec(tm.Net, odq)
+	tm.Net.Forward(x, false)
+	nn.SetConvExec(tm.Net, nil)
+	for _, p := range odq.Profiles() {
+		if p.Name == conv.Name {
+			cols := p.Geom.OutH * p.Geom.OutW
+			if len(p.Mask) >= cols {
+				res.OutputMask = asciiMask(p.Mask[:cols], p.Geom.OutH, p.Geom.OutW)
+			}
+		}
+	}
+	return res
+}
+
+// Render implements the experiment output.
+func (r *Figure1Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== Figure 1 (illustration): input- vs output-directed sensitivity, LeNet-5 ==\n")
+	fmt.Fprintf(w, "layer %s: %d/%d sensitive outputs built from >50%% low-precision inputs (case 1)\n",
+		r.Layer, r.SensitiveFromLowInputs, r.SensitiveTotal)
+	fmt.Fprintf(w, "layer %s: %d/%d insensitive outputs built from >50%% high-precision inputs (case 2)\n",
+		r.Layer, r.InsensitiveFromHighInputs, r.InsensitiveTotal)
+	fmt.Fprintln(w, "input-region sensitivity (one sample, '#'=sensitive):")
+	for _, line := range r.InputMask {
+		fmt.Fprintln(w, "  "+line)
+	}
+	fmt.Fprintln(w, "output sensitivity, first conv channel ('#'=sensitive):")
+	for _, line := range r.OutputMask {
+		fmt.Fprintln(w, "  "+line)
+	}
+	fmt.Fprintln(w)
+}
+
+// Figure2Result is the per-layer quartile histogram of low-precision
+// input fractions feeding sensitive outputs.
+type Figure2Result struct {
+	Layers  []string
+	Buckets [][4]float64 // fraction of sensitive outputs per quartile
+}
+
+// Figure2 reproduces Figure 2 (DRQ on ResNet-20).
+func Figure2(l *Lab) *Figure2Result {
+	ms := motivationStats(l)
+	r := &Figure2Result{}
+	for i, s := range ms {
+		r.Layers = append(r.Layers, layerLabel(i))
+		var b [4]float64
+		if s.SensitiveCount > 0 {
+			for j := range b {
+				b[j] = float64(s.SensLowFracBuckets[j]) / float64(s.SensitiveCount)
+			}
+		}
+		r.Buckets = append(r.Buckets, b)
+	}
+	return r
+}
+
+// Render implements the experiment output.
+func (r *Figure2Result) Render(w io.Writer) {
+	t := stats.NewTable("Figure 2: % of low-precision inputs feeding SENSITIVE outputs (DRQ, ResNet-20)",
+		"layer", "0-25%", "25-50%", "50-75%", "75-100%")
+	for i, l := range r.Layers {
+		b := r.Buckets[i]
+		t.AddRow(l, stats.Pct(b[0]), stats.Pct(b[1]), stats.Pct(b[2]), stats.Pct(b[3]))
+	}
+	t.Render(w)
+}
+
+// Figure3Result is the per-layer mean precision loss on sensitive outputs.
+type Figure3Result struct {
+	Layers []string
+	Loss   []float64
+}
+
+// Figure3 reproduces Figure 3.
+func Figure3(l *Lab) *Figure3Result {
+	ms := motivationStats(l)
+	r := &Figure3Result{}
+	for i, s := range ms {
+		r.Layers = append(r.Layers, layerLabel(i))
+		loss := 0.0
+		if s.PrecLossCount > 0 {
+			loss = s.PrecLossSum / float64(s.PrecLossCount)
+		}
+		r.Loss = append(r.Loss, loss)
+	}
+	return r
+}
+
+// Render implements the experiment output.
+func (r *Figure3Result) Render(w io.Writer) {
+	t := stats.NewTable("Figure 3: precision loss on sensitive outputs (DRQ, ResNet-20)",
+		"layer", "mean |float-DRQ|")
+	for i, l := range r.Layers {
+		t.AddRow(l, r.Loss[i])
+	}
+	t.Render(w)
+}
+
+// Figure4Result is the per-layer quartile histogram of high-precision
+// input fractions feeding insensitive outputs.
+type Figure4Result struct {
+	Layers  []string
+	Buckets [][4]float64
+}
+
+// Figure4 reproduces Figure 4.
+func Figure4(l *Lab) *Figure4Result {
+	ms := motivationStats(l)
+	r := &Figure4Result{}
+	for i, s := range ms {
+		r.Layers = append(r.Layers, layerLabel(i))
+		var b [4]float64
+		if s.InsensitiveCount > 0 {
+			for j := range b {
+				b[j] = float64(s.InsensHighFracBuckets[j]) / float64(s.InsensitiveCount)
+			}
+		}
+		r.Buckets = append(r.Buckets, b)
+	}
+	return r
+}
+
+// Render implements the experiment output.
+func (r *Figure4Result) Render(w io.Writer) {
+	t := stats.NewTable("Figure 4: % of high-precision inputs feeding INSENSITIVE outputs (DRQ, ResNet-20)",
+		"layer", "0-25%", "25-50%", "50-75%", "75-100%")
+	for i, l := range r.Layers {
+		b := r.Buckets[i]
+		t.AddRow(l, stats.Pct(b[0]), stats.Pct(b[1]), stats.Pct(b[2]), stats.Pct(b[3]))
+	}
+	t.Render(w)
+}
+
+// Figure5Result is the per-layer computation waste (extra precision,
+// Eq. 1) on insensitive outputs.
+type Figure5Result struct {
+	Layers []string
+	Extra  []float64
+}
+
+// Figure5 reproduces Figure 5.
+func Figure5(l *Lab) *Figure5Result {
+	ms := motivationStats(l)
+	r := &Figure5Result{}
+	for i, s := range ms {
+		r.Layers = append(r.Layers, layerLabel(i))
+		r.Extra = append(r.Extra, s.ExtraPrecision)
+	}
+	return r
+}
+
+// Render implements the experiment output.
+func (r *Figure5Result) Render(w io.Writer) {
+	t := stats.NewTable("Figure 5: computation waste on insensitive outputs (Eq. 1, DRQ, ResNet-20)",
+		"layer", "max |DRQ-allLow|")
+	for i, l := range r.Layers {
+		t.AddRow(l, r.Extra[i])
+	}
+	t.Render(w)
+}
+
+// asciiMask renders a boolean H×W mask as '#'/'.' rows, downsampling to at
+// most 16 rows/cols for terminal friendliness.
+func asciiMask(mask []bool, h, w int) []string {
+	stepY, stepX := (h+15)/16, (w+15)/16
+	if stepY < 1 {
+		stepY = 1
+	}
+	if stepX < 1 {
+		stepX = 1
+	}
+	var out []string
+	for y := 0; y < h; y += stepY {
+		line := make([]byte, 0, w/stepX+1)
+		for x := 0; x < w; x += stepX {
+			if mask[y*w+x] {
+				line = append(line, '#')
+			} else {
+				line = append(line, '.')
+			}
+		}
+		out = append(out, string(line))
+	}
+	return out
+}
+
+func meanAbs(x *tensor.Tensor) float32 {
+	if x.Len() == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x.Data {
+		if v < 0 {
+			v = -v
+		}
+		s += float64(v)
+	}
+	return float32(s / float64(x.Len()))
+}

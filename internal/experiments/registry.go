@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Renderer is implemented by every experiment result.
+type Renderer interface {
+	Render(w io.Writer)
+}
+
+// Runner executes one experiment against a lab.
+type Runner func(l *Lab) Renderer
+
+// Registry maps experiment ids (as used by the CLI and EXPERIMENTS.md) to
+// their runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"figure1":  func(l *Lab) Renderer { return Figure1(l) },
+		"figure2":  func(l *Lab) Renderer { return Figure2(l) },
+		"figure3":  func(l *Lab) Renderer { return Figure3(l) },
+		"figure4":  func(l *Lab) Renderer { return Figure4(l) },
+		"figure5":  func(l *Lab) Renderer { return Figure5(l) },
+		"figure9":  func(l *Lab) Renderer { return Figure9(l) },
+		"figure10": func(l *Lab) Renderer { return Figure10(l) },
+		"figure11": func(l *Lab) Renderer { return Figure11(l) },
+		"table1":   func(l *Lab) Renderer { return Table1(l) },
+		"table2":   func(l *Lab) Renderer { return Table2(l) },
+		"figure18": func(l *Lab) Renderer { return Figure18(l, nil, nil) },
+		"figure19": func(l *Lab) Renderer { return Figure19(l, nil) },
+		"figure20": func(l *Lab) Renderer { return Figure20(l) },
+		"figure21": func(l *Lab) Renderer { return Figure21(l, nil) },
+		"figure22": func(l *Lab) Renderer { return Figure22(l) },
+		"table3":   func(l *Lab) Renderer { return Table3(l) },
+		// Ablations beyond the paper's artifacts (DESIGN.md §6).
+		"ablation-threshold": func(l *Lab) Renderer { return AblationThreshold(l) },
+		"ablation-alloc":     func(l *Lab) Renderer { return AblationAlloc(l) },
+		"ablation-precision": func(l *Lab) Renderer { return AblationPrecision(l) },
+		"headlines":          func(l *Lab) Renderer { return ComputeHeadlines(l, nil) },
+	}
+}
+
+// Names returns the experiment ids in a stable presentation order.
+func Names() []string {
+	order := []string{
+		"figure1", "figure2", "figure3", "figure4", "figure5",
+		"figure9", "figure10", "figure11", "table1", "table2",
+		"figure18", "figure19", "figure20", "figure21", "figure22", "table3",
+		"ablation-threshold", "ablation-alloc", "ablation-precision", "headlines",
+	}
+	reg := Registry()
+	if len(order) != len(reg) {
+		// Keep the list exhaustive; fall back to sorted keys if it drifts.
+		var keys []string
+		for k := range reg {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	return order
+}
+
+// Run executes one experiment by id and renders it to w.
+func Run(l *Lab, name string, w io.Writer) error {
+	r, ok := Registry()[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	r(l).Render(w)
+	return nil
+}
+
+// RunAll executes every experiment in presentation order.
+func RunAll(l *Lab, w io.Writer) error {
+	for _, name := range Names() {
+		fmt.Fprintf(w, "### %s\n\n", name)
+		if err := Run(l, name, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// InsensitivityResult is the per-layer percentage of insensitive output
+// features under ODQ (Figures 9 and 10).
+type InsensitivityResult struct {
+	Title       string
+	Model       string
+	Threshold   float32
+	Layers      []string
+	Insensitive []float64 // fraction per layer
+}
+
+// insensitivityFor profiles a model with ODQ and extracts per-layer
+// insensitive-output fractions.
+func insensitivityFor(l *Lab, modelName, title string) *InsensitivityResult {
+	key := "insens/" + modelName
+	v := l.Memo(key, func() interface{} {
+		tm := l.Model(modelName, "c10")
+		th := l.Threshold(tm)
+		profiles, _ := l.ProfileODQ(tm, th, false)
+		r := &InsensitivityResult{Title: title, Model: modelName, Threshold: th}
+		for i, p := range profiles {
+			r.Layers = append(r.Layers, layerLabel(i))
+			frac := 0.0
+			if p.TotalOutputs > 0 {
+				frac = 1 - float64(p.SensitiveOutputs)/float64(p.TotalOutputs)
+			}
+			r.Insensitive = append(r.Insensitive, frac)
+		}
+		return r
+	})
+	return v.(*InsensitivityResult)
+}
+
+// Figure9 reproduces Figure 9: insensitive output percentage per layer of
+// ResNet-56 under ODQ.
+func Figure9(l *Lab) *InsensitivityResult {
+	return insensitivityFor(l, "resnet56",
+		"Figure 9: % insensitive output features per layer (ODQ, ResNet-56)")
+}
+
+// Figure10 reproduces Figure 10 for ResNet-20.
+func Figure10(l *Lab) *InsensitivityResult {
+	return insensitivityFor(l, "resnet20",
+		"Figure 10: % insensitive output features per layer (ODQ, ResNet-20)")
+}
+
+// Render implements the experiment output.
+func (r *InsensitivityResult) Render(w io.Writer) {
+	t := stats.NewTable(r.Title, "layer", "insensitive", "")
+	for i, l := range r.Layers {
+		t.AddRow(l, stats.Pct(r.Insensitive[i]), stats.Bar(r.Insensitive[i], 30))
+	}
+	t.Render(w)
+}
+
+// Figure22Result is the threshold sweep of Figure 22: accuracy and the
+// INT4 (sensitive) / INT2 (insensitive) computation split versus the
+// sensitivity threshold.
+type Figure22Result struct {
+	Model      string
+	Thresholds []float32
+	Accuracy   []float64
+	SensFrac   []float64 // = INT4 share; 1-SensFrac is the INT2 share
+}
+
+// Figure22 sweeps the ODQ threshold on ResNet-20.
+func Figure22(l *Lab) *Figure22Result {
+	tm := l.Model("resnet20", "c10")
+	r := &Figure22Result{Model: tm.ModelName}
+	for _, th := range []float32{0, 0.0625, 0.125, 0.25, 0.375, 0.5, 0.75, 1.0} {
+		e := core.NewExec(th)
+		e.Enabled = true
+		acc := l.EvalDynamic(tm, e)
+		// Reuse the evaluation pass's profiles for the precision split.
+		r.Thresholds = append(r.Thresholds, th)
+		r.Accuracy = append(r.Accuracy, acc)
+		r.SensFrac = append(r.SensFrac, e.SensitiveFraction())
+	}
+	return r
+}
+
+// Render implements the experiment output.
+func (r *Figure22Result) Render(w io.Writer) {
+	t := stats.NewTable("Figure 22: threshold analysis (ODQ, ResNet-20)",
+		"threshold", "accuracy", "INT4 (sensitive)", "INT2 (insensitive)")
+	for i := range r.Thresholds {
+		t.AddRow(r.Thresholds[i], stats.Pct(r.Accuracy[i]),
+			stats.Pct(r.SensFrac[i]), stats.Pct(1-r.SensFrac[i]))
+	}
+	t.Render(w)
+}
+
+// Table3Row is one model's adaptive-threshold outcome.
+type Table3Row struct {
+	Model      string
+	Threshold  float32
+	Accuracy   float64
+	RefAcc     float64
+	Iterations int
+	Converged  bool
+}
+
+// Table3Result reproduces Table 3: the threshold chosen per model by the
+// adaptive search.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 runs the adaptive threshold search for all four models.
+func Table3(l *Lab) *Table3Result {
+	r := &Table3Result{}
+	for _, m := range []string{"resnet56", "resnet20", "vgg16", "densenet"} {
+		tm := l.Model(m, "c10")
+		res := l.SearchThreshold(tm, 0.02, 6)
+		refAcc := l.FP32AccOf(tm)
+		r.Rows = append(r.Rows, Table3Row{
+			Model:      m,
+			Threshold:  res.Threshold,
+			Accuracy:   res.Accuracy,
+			RefAcc:     refAcc,
+			Iterations: res.Iterations,
+			Converged:  res.Converged,
+		})
+	}
+	return r
+}
+
+// FP32AccOf returns the model's float reference accuracy.
+func (l *Lab) FP32AccOf(tm *TrainedModel) float64 { return tm.FP32Acc }
+
+// Render implements the experiment output.
+func (r *Table3Result) Render(w io.Writer) {
+	t := stats.NewTable("Table 3: adaptive sensitivity thresholds",
+		"model", "threshold", "ODQ acc", "FP32 acc", "iterations", "converged")
+	for _, row := range r.Rows {
+		t.AddRow(row.Model, row.Threshold, stats.Pct(row.Accuracy),
+			stats.Pct(row.RefAcc), row.Iterations, row.Converged)
+	}
+	t.Render(w)
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// PaperHeadlines are the numbers the paper reports for its headline
+// claims, used for the paper-vs-measured summary.
+var PaperHeadlines = struct {
+	SpeedupVsINT16, SpeedupVsINT8, SpeedupVsDRQ float64 // exec-time reduction
+	SavingVsINT16, SavingVsINT8, SavingVsDRQ    float64 // energy reduction
+	MaxAccuracyDrop                             float64 // ODQ vs INT8 (≤)
+	DRQ42DropLow, DRQ42DropHigh                 float64 // DRQ 4/2 degradation range
+	MaxODQIdle                                  float64 // Figure 20 peak idle
+	SensLow, SensHigh                           float64 // sensitive-output range (§4.2)
+}{
+	SpeedupVsINT16: 0.978, SpeedupVsINT8: 0.958, SpeedupVsDRQ: 0.676,
+	SavingVsINT16: 0.976, SavingVsINT8: 0.935, SavingVsDRQ: 0.669,
+	MaxAccuracyDrop: 0.006,
+	DRQ42DropLow:    0.025, DRQ42DropHigh: 0.10,
+	MaxODQIdle: 0.18,
+	SensLow:    0.08, SensHigh: 0.50,
+}
+
+// Headlines aggregates the measured headline numbers from the (cached)
+// experiment results for a set of models on the c10 dataset.
+type Headlines struct {
+	Models []string
+
+	SpeedupVsINT16, SpeedupVsINT8, SpeedupVsDRQ float64
+	SavingVsINT16, SavingVsINT8, SavingVsDRQ    float64
+
+	// MaxAccuracyDrop is the worst ODQ-vs-INT8 drop across models.
+	MaxAccuracyDrop float64
+	// DRQ42Drop is the worst DRQ 4/2 drop versus INT8.
+	DRQ42Drop float64
+	// MaxODQIdle is Figure 20's peak idle fraction.
+	MaxODQIdle float64
+	// SensMin/SensMax bound the per-model overall sensitive fractions.
+	SensMin, SensMax float64
+}
+
+// ComputeHeadlines runs (or reuses) the experiments needed for the
+// headline summary. Passing nil models uses the paper's four.
+func ComputeHeadlines(l *Lab, modelNames []string) *Headlines {
+	if modelNames == nil {
+		modelNames = []string{"resnet56", "resnet20", "vgg16", "densenet"}
+	}
+	h := &Headlines{Models: modelNames, SensMin: 1}
+
+	f19 := Figure19(l, modelNames)
+	h.SpeedupVsINT16 = f19.Speedup("INT16")
+	h.SpeedupVsINT8 = f19.Speedup("INT8")
+	h.SpeedupVsDRQ = f19.Speedup("DRQ")
+
+	f21 := Figure21(l, modelNames)
+	h.SavingVsINT16 = f21.Saving("INT16")
+	h.SavingVsINT8 = f21.Saving("INT8")
+	h.SavingVsDRQ = f21.Saving("DRQ")
+
+	f18 := Figure18(l, modelNames, []string{"c10"})
+	accOf := func(model, scheme string) float64 {
+		for _, row := range f18.Rows {
+			if row.Model == model && row.Scheme == scheme {
+				return row.Accuracy
+			}
+		}
+		return 0
+	}
+	for _, m := range modelNames {
+		if d := accOf(m, "INT8") - accOf(m, "ODQ 4/2"); d > h.MaxAccuracyDrop {
+			h.MaxAccuracyDrop = d
+		}
+		if d := accOf(m, "INT8") - accOf(m, "DRQ 4/2"); d > h.DRQ42Drop {
+			h.DRQ42Drop = d
+		}
+		mc := costsFor(l, m)
+		if mc.SensFrac < h.SensMin {
+			h.SensMin = mc.SensFrac
+		}
+		if mc.SensFrac > h.SensMax {
+			h.SensMax = mc.SensFrac
+		}
+	}
+
+	f20 := Figure20(l)
+	h.MaxODQIdle = f20.MaxIdle
+	return h
+}
+
+// Render implements Renderer: the paper-vs-measured headline table.
+func (h *Headlines) Render(w io.Writer) {
+	p := PaperHeadlines
+	t := stats.NewTable("Headline claims: paper vs this reproduction",
+		"claim", "paper", "measured")
+	t.AddRow("ODQ exec-time reduction vs INT16", stats.Pct(p.SpeedupVsINT16), stats.Pct(h.SpeedupVsINT16))
+	t.AddRow("ODQ exec-time reduction vs INT8", stats.Pct(p.SpeedupVsINT8), stats.Pct(h.SpeedupVsINT8))
+	t.AddRow("ODQ exec-time reduction vs DRQ", stats.Pct(p.SpeedupVsDRQ), stats.Pct(h.SpeedupVsDRQ))
+	t.AddRow("ODQ energy reduction vs INT16", stats.Pct(p.SavingVsINT16), stats.Pct(h.SavingVsINT16))
+	t.AddRow("ODQ energy reduction vs INT8", stats.Pct(p.SavingVsINT8), stats.Pct(h.SavingVsINT8))
+	t.AddRow("ODQ energy reduction vs DRQ", stats.Pct(p.SavingVsDRQ), stats.Pct(h.SavingVsDRQ))
+	t.AddRow("ODQ accuracy drop vs INT8 (worst)",
+		"<= "+stats.Pct(p.MaxAccuracyDrop), stats.Pct(h.MaxAccuracyDrop))
+	t.AddRow("DRQ 4/2 accuracy drop (worst)",
+		fmt.Sprintf("%s..%s", stats.Pct(p.DRQ42DropLow), stats.Pct(p.DRQ42DropHigh)),
+		stats.Pct(h.DRQ42Drop))
+	t.AddRow("peak ODQ PE idleness (Fig 20)",
+		"<= "+stats.Pct(p.MaxODQIdle), stats.Pct(h.MaxODQIdle))
+	t.AddRow("sensitive-output range",
+		fmt.Sprintf("%s..%s", stats.Pct(p.SensLow), stats.Pct(p.SensHigh)),
+		fmt.Sprintf("%s..%s", stats.Pct(h.SensMin), stats.Pct(h.SensMax)))
+	t.Render(w)
+}

@@ -1,0 +1,100 @@
+package fabric
+
+import (
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Exec adapts the functional datapath model to nn.ConvExecutor, so an
+// entire network can be run *through the modeled hardware*, sample by
+// sample, layer by layer — the strongest end-to-end check that the
+// accelerator model computes what the arithmetic definition of ODQ says.
+// It is orders of magnitude slower than core.Exec; use it for validation
+// and demos, not evaluation sweeps.
+type Exec struct {
+	// Bits is the code width (4).
+	Bits int
+	// Cfg is the slice configuration (threshold included).
+	Cfg Config
+
+	mu     sync.Mutex
+	wcache map[*nn.Conv2D]*tensor.IntTensor
+	// Totals accumulated across layers and samples.
+	TotalCycles     int64
+	TotalDRAMBytes  int64
+	TotalSensitive  int64
+	TotalOutputs    int64
+	PredIdle        int64
+	ExecIdle        int64
+	TotalArrayCycle int64
+}
+
+// NewExec builds a fabric-backed executor.
+func NewExec(cfg Config) *Exec {
+	return &Exec{Bits: 4, Cfg: cfg, wcache: make(map[*nn.Conv2D]*tensor.IntTensor)}
+}
+
+func (e *Exec) weights(layer *nn.Conv2D) *tensor.IntTensor {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if q, ok := e.wcache[layer]; ok {
+		return q
+	}
+	q := quant.WeightCodes(layer.EffectiveWeight(), e.Bits)
+	e.wcache[layer] = q
+	return q
+}
+
+// Conv implements nn.ConvExecutor by pushing each sample through RunConv.
+func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
+	n := x.Shape[0]
+	qw := e.weights(layer)
+	g := layer.Geom(x.Shape[2], x.Shape[3])
+	out := tensor.New(n, g.OutC, g.OutH, g.OutW)
+	outPer := g.OutC * g.OutH * g.OutW
+	for s := 0; s < n; s++ {
+		sample := x.Slice4Batch(s)
+		qx := quant.ActCodes(sample, e.Bits)
+		res, err := RunConv(qx, qw, layer.Stride, layer.Pad, e.Cfg)
+		if err != nil {
+			panic("fabric: " + err.Error())
+		}
+		copy(out.Data[s*outPer:(s+1)*outPer], res.Output.Data)
+
+		e.mu.Lock()
+		e.TotalCycles += res.Cycles
+		e.TotalDRAMBytes += res.DRAMBytes
+		e.TotalSensitive += int64(res.Sensitive)
+		e.TotalOutputs += int64(len(res.Mask))
+		e.PredIdle += res.PredIdle
+		e.ExecIdle += res.ExecIdle
+		e.TotalArrayCycle += res.Cycles * int64(e.Cfg.PredictorArrays+e.Cfg.ExecutorArrays)
+		e.mu.Unlock()
+	}
+	return out
+}
+
+// IdleFraction returns the accumulated whole-run idle fraction.
+func (e *Exec) IdleFraction() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.TotalArrayCycle == 0 {
+		return 0
+	}
+	return float64(e.PredIdle+e.ExecIdle) / float64(e.TotalArrayCycle)
+}
+
+// SensitiveFraction returns the accumulated sensitive-output fraction.
+func (e *Exec) SensitiveFraction() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.TotalOutputs == 0 {
+		return 0
+	}
+	return float64(e.TotalSensitive) / float64(e.TotalOutputs)
+}
+
+var _ nn.ConvExecutor = (*Exec)(nil)

@@ -1,0 +1,215 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+func testCodes(seed int64, c, h, w, outC, k int) (*tensor.IntTensor, *tensor.IntTensor) {
+	rng := tensor.NewRNG(seed)
+	xf := tensor.New(c, h, w)
+	rng.FillUniform(xf, 0, 1)
+	wf := tensor.New(outC, c, k, k)
+	rng.FillNormal(wf, 0, 0.4)
+	return quant.ActCodes(xf, 4), quant.WeightCodes(wf, 4)
+}
+
+func TestRunConvAllSensitiveMatchesFullConv(t *testing.T) {
+	x, w := testCodes(1, 3, 10, 10, 5, 3)
+	res, err := RunConv(x, w, 1, 1, DefaultConfig(0)) // threshold 0 → all sensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sensitive != len(res.Mask) {
+		t.Fatalf("threshold 0 must mark everything sensitive: %d/%d", res.Sensitive, len(res.Mask))
+	}
+	acc, g := quant.ConvAccum(
+		&tensor.IntTensor{Shape: []int{1, 3, 10, 10}, Data: x.Data, Scale: x.Scale, Bits: 4},
+		w, 1, 1)
+	want := quant.DequantAccum(acc, x.Scale*w.Scale, 1, g)
+	if d := tensor.MaxAbsDiff(res.Output, want); d > 1e-4 {
+		t.Fatalf("all-sensitive fabric output deviates from INT4 conv by %v", d)
+	}
+}
+
+func TestRunConvInsensitiveIsPredictorOnly(t *testing.T) {
+	x, w := testCodes(2, 3, 8, 8, 4, 3)
+	res, err := RunConv(x, w, 1, 1, DefaultConfig(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sensitive != 0 {
+		t.Fatalf("huge threshold left %d sensitive outputs", res.Sensitive)
+	}
+	// Manual HH partial with the same rounded splits.
+	g := tensor.Geometry(3, 8, 8, 4, 3, 1, 1)
+	xh, _ := quant.SplitCodesRounded(
+		&tensor.IntTensor{Shape: []int{1, 3, 8, 8}, Data: x.Data, Scale: x.Scale, Bits: 4}, 2, false)
+	wh, _ := quant.SplitCodesRounded(w, 2, true)
+	acc, _ := quant.ConvAccum(xh, wh, 1, 1)
+	want := quant.DequantAccum(acc, xh.Scale*wh.Scale, 1, g)
+	if d := tensor.MaxAbsDiff(res.Output, want); d > 1e-5 {
+		t.Fatalf("insensitive fabric output deviates from predictor partial by %v", d)
+	}
+}
+
+func TestRunConvMixedMaskExactPerOutput(t *testing.T) {
+	x, w := testCodes(3, 4, 12, 12, 6, 3)
+	res, err := RunConv(x, w, 1, 1, DefaultConfig(0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sensitive == 0 || res.Sensitive == len(res.Mask) {
+		t.Fatalf("want a mixed mask, got %d/%d", res.Sensitive, len(res.Mask))
+	}
+	acc, g := quant.ConvAccum(
+		&tensor.IntTensor{Shape: []int{1, 4, 12, 12}, Data: x.Data, Scale: x.Scale, Bits: 4},
+		w, 1, 1)
+	full := quant.DequantAccum(acc, x.Scale*w.Scale, 1, g)
+	for i, sens := range res.Mask {
+		if sens {
+			d := res.Output.Data[i] - full.Data[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e-4 {
+				t.Fatalf("sensitive output %d deviates by %v", i, d)
+			}
+		}
+	}
+}
+
+func TestRunConvWorkConservation(t *testing.T) {
+	x, w := testCodes(4, 3, 10, 10, 8, 3)
+	cfg := DefaultConfig(0.8)
+	res, err := RunConv(x, w, 1, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(len(res.Mask))
+	if res.PredBusy != total {
+		t.Fatalf("predictor busy %d, want %d (one cycle per output)", res.PredBusy, total)
+	}
+	if res.ExecBusy != 3*int64(res.Sensitive) {
+		t.Fatalf("executor busy %d, want %d", res.ExecBusy, 3*res.Sensitive)
+	}
+	if res.PredBusy+res.PredIdle != int64(cfg.PredictorArrays)*res.Cycles {
+		t.Fatal("predictor cycle accounting broken")
+	}
+	if res.ExecBusy+res.ExecIdle != int64(cfg.ExecutorArrays)*res.Cycles {
+		t.Fatal("executor cycle accounting broken")
+	}
+}
+
+func TestClusterStaggeringThrottlesStarts(t *testing.T) {
+	x, w := testCodes(5, 3, 10, 10, 6, 3)
+	cfg := DefaultConfig(0)
+	cfg.ExecutorArrays = 3
+	cfg.Clusters = 3
+	staggered, err := RunConv(x, w, 1, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Clusters = 1
+	free, err := RunConv(x, w, 1, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staggered.Cycles < free.Cycles {
+		t.Fatalf("cluster staggering should not speed things up: %d vs %d",
+			staggered.Cycles, free.Cycles)
+	}
+}
+
+func TestLineBufferSharing(t *testing.T) {
+	x, w := testCodes(6, 3, 10, 10, 12, 3)
+	res, err := RunConv(x, w, 1, 1, DefaultConfig(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All predictor arrays sweep positions in lockstep across different
+	// output channels, so the line buffers must show heavy sharing.
+	if res.LineBufferShared == 0 {
+		t.Fatal("expected line-buffer read sharing across arrays")
+	}
+	if res.LineBufferReads == 0 || res.DRAMBytes == 0 || res.MaskBits == 0 {
+		t.Fatalf("traffic accounting empty: %+v", res)
+	}
+}
+
+func TestCrossCheckWithAbstractSim(t *testing.T) {
+	// With one cluster and identical slice shape, the fabric pipeline and
+	// the abstract scheduler should agree on total cycles for an
+	// all-sensitive workload (where mask timing cannot diverge).
+	x, w := testCodes(7, 3, 12, 12, 10, 3)
+	cfg := Config{
+		PredictorArrays: 15, ExecutorArrays: 12, Clusters: 1,
+		Threshold: 0, BufferOFMs: 21, DynamicWorkload: true,
+	}
+	fres, err := RunConv(x, w, 1, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := 12 * 12
+	work := sim.LayerWork{OutputsPerOFM: cols, SensPerOFM: make([]int, 10)}
+	for i := range work.SensPerOFM {
+		work.SensPerOFM[i] = cols
+	}
+	sres := sim.SimulateLayer(work, sim.SliceConfig{
+		Alloc:           sim.AllocConfig{Predictor: 15, Executor: 12},
+		DynamicWorkload: true,
+		BufferOFMs:      21,
+	})
+	ratio := float64(fres.Cycles) / float64(sres.Cycles)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("fabric %d cycles vs abstract sim %d (ratio %.3f)",
+			fres.Cycles, sres.Cycles, ratio)
+	}
+}
+
+func TestRunConvErrors(t *testing.T) {
+	x, w := testCodes(8, 3, 8, 8, 4, 3)
+
+	batch := tensor.NewInt(4, x.Scale, 2, 3, 8, 8)
+	if _, err := RunConv(batch, w, 1, 1, DefaultConfig(0.5)); err == nil {
+		t.Fatal("batch > 1 must error")
+	}
+
+	badBits := x.Clone()
+	badBits.Bits = 8
+	if _, err := RunConv(badBits, w, 1, 1, DefaultConfig(0.5)); err == nil {
+		t.Fatal("bit-width mismatch must error")
+	}
+
+	cfg := DefaultConfig(0.5)
+	cfg.PredictorArrays = 0
+	if _, err := RunConv(x, w, 1, 1, cfg); err == nil {
+		t.Fatal("zero predictor arrays must error")
+	}
+
+	wBad := tensor.NewInt(4, w.Scale, 4, 9, 3, 3)
+	if _, err := RunConv(x, wBad, 1, 1, DefaultConfig(0.5)); err == nil {
+		t.Fatal("channel mismatch must error")
+	}
+}
+
+func TestStridedAndPaddedGeometry(t *testing.T) {
+	x, w := testCodes(9, 3, 9, 9, 4, 3)
+	res, err := RunConv(x, w, 2, 1, DefaultConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.Shape[2] != 5 || res.Output.Shape[3] != 5 {
+		t.Fatalf("strided geometry wrong: %v", res.Output.Shape)
+	}
+	acc, g := quant.ConvAccum(
+		&tensor.IntTensor{Shape: []int{1, 3, 9, 9}, Data: x.Data, Scale: x.Scale, Bits: 4},
+		w, 2, 1)
+	want := quant.DequantAccum(acc, x.Scale*w.Scale, 1, g)
+	if d := tensor.MaxAbsDiff(res.Output, want); d > 1e-4 {
+		t.Fatalf("strided all-sensitive output deviates by %v", d)
+	}
+}

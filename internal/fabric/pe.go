@@ -1,0 +1,57 @@
+package fabric
+
+// This file models the multi-precision processing element of Figure 7 /
+// Figure 13 at the bit level: a PE whose primitive operation is a signed
+// 2-bit × 2-bit multiply-accumulate, from which wider MACs are composed
+// BitFusion-style by summing shifted 2-bit partial products. It
+// substantiates the cycle costs the rest of the simulator assumes:
+//
+//	INT2 MAC                       1 cycle  (predictor PE, Fig 13(a))
+//	INT4 MAC                       4 cycles (2×2 partial products, Fig 7)
+//	executor remainder (HL+LH+LL)  3 cycles (Fig 13(b))
+
+// MultiPrecisionPE is one PE: an accumulator plus a cycle counter.
+type MultiPrecisionPE struct {
+	// Acc is the running partial sum (the paper's P register, widened).
+	Acc int64
+	// Cycles counts primitive 2-bit MAC issues.
+	Cycles int64
+}
+
+// Reset clears the accumulator (the cycle counter persists — it tracks
+// lifetime occupancy).
+func (pe *MultiPrecisionPE) Reset() { pe.Acc = 0 }
+
+// mul2 is the primitive: a signed 2-bit × 2-bit product. Operands must
+// fit the 2-bit signed range [-2, 1] or the unsigned range [0, 3]; the
+// product of any such pair fits comfortably in the PE's adder.
+func (pe *MultiPrecisionPE) mul2(a, w int32) int64 {
+	pe.Cycles++
+	return int64(a) * int64(w)
+}
+
+// MAC2 issues one predictor-style INT2 MAC: one cycle.
+func (pe *MultiPrecisionPE) MAC2(a, w int32) {
+	pe.Acc += pe.mul2(a, w)
+}
+
+// MAC4 composes a full 4-bit × 4-bit MAC from four shifted 2-bit partial
+// products (aH·wH<<4 + aH·wL<<2 + aL·wH<<2 + aL·wL): four cycles. The
+// activation uses the unsigned rounded split, the weight the signed one —
+// exactly the executor's operand encoding.
+func (pe *MultiPrecisionPE) MAC4(aHi, aLo, wHi, wLo int32) {
+	pe.Acc += pe.mul2(aHi, wHi) << 4
+	pe.Acc += pe.mul2(aHi, wLo) << 2
+	pe.Acc += pe.mul2(aLo, wHi) << 2
+	pe.Acc += pe.mul2(aLo, wLo)
+}
+
+// ExecutorMAC issues the result-generation remainder of one operand pair:
+// the three partial products the predictor did NOT compute (Fig 13(b)),
+// in three cycles. Adding a prior MAC2(aHi, wHi)<<4 yields the exact
+// 4-bit MAC.
+func (pe *MultiPrecisionPE) ExecutorMAC(aHi, aLo, wHi, wLo int32) {
+	pe.Acc += pe.mul2(aHi, wLo) << 2
+	pe.Acc += pe.mul2(aLo, wHi) << 2
+	pe.Acc += pe.mul2(aLo, wLo)
+}

@@ -1,0 +1,89 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+func TestMAC2CycleCost(t *testing.T) {
+	var pe MultiPrecisionPE
+	pe.MAC2(3, -2)
+	if pe.Acc != -6 || pe.Cycles != 1 {
+		t.Fatalf("MAC2: acc=%d cycles=%d", pe.Acc, pe.Cycles)
+	}
+}
+
+// MAC4 must reproduce the full 4-bit product for every code pair, using
+// the executor's operand encoding (rounded splits), in exactly 4 cycles.
+func TestMAC4ExactOverFullRange(t *testing.T) {
+	for a := int32(0); a <= 15; a++ { // unsigned 4-bit activation codes
+		for w := int32(-7); w <= 7; w++ { // signed symmetric weight codes
+			aT := tensor.NewInt(4, 1, 1)
+			aT.Data[0] = a
+			wT := tensor.NewInt(4, 1, 1)
+			wT.Data[0] = w
+			ah, al := quant.SplitCodesRounded(aT, 2, false)
+			wh, wl := quant.SplitCodesRounded(wT, 2, true)
+
+			var pe MultiPrecisionPE
+			pe.MAC4(ah.Data[0], al.Data[0], wh.Data[0], wl.Data[0])
+			if pe.Acc != int64(a)*int64(w) {
+				t.Fatalf("MAC4(%d,%d) = %d, want %d", a, w, pe.Acc, a*w)
+			}
+			if pe.Cycles != 4 {
+				t.Fatalf("MAC4 must take 4 cycles, took %d", pe.Cycles)
+			}
+		}
+	}
+}
+
+// Predictor cycle + executor remainder must equal the full MAC: the
+// single-shot pipeline of Figure 6 in one PE.
+func TestPredictorPlusExecutorEqualsFullMAC(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		a := int32(rng.Intn(16))
+		w := int32(rng.Intn(15)) - 7
+		aT := tensor.NewInt(4, 1, 1)
+		aT.Data[0] = a
+		wT := tensor.NewInt(4, 1, 1)
+		wT.Data[0] = w
+		ah, al := quant.SplitCodesRounded(aT, 2, false)
+		wh, wl := quant.SplitCodesRounded(wT, 2, true)
+
+		var pred, exec MultiPrecisionPE
+		pred.MAC2(ah.Data[0], wh.Data[0]) // 1 cycle
+		exec.ExecutorMAC(ah.Data[0], al.Data[0], wh.Data[0], wl.Data[0])
+
+		if pred.Cycles != 1 || exec.Cycles != 3 {
+			return false
+		}
+		return pred.Acc<<4+exec.Acc == int64(a)*int64(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPEAccumulatesAcrossTaps(t *testing.T) {
+	var pe MultiPrecisionPE
+	taps := [][2]int32{{1, 1}, {2, -1}, {3, 1}}
+	var want int64
+	for _, tp := range taps {
+		pe.MAC2(tp[0], tp[1])
+		want += int64(tp[0]) * int64(tp[1])
+	}
+	if pe.Acc != want {
+		t.Fatalf("accumulation wrong: %d vs %d", pe.Acc, want)
+	}
+	pe.Reset()
+	if pe.Acc != 0 {
+		t.Fatal("Reset must clear the accumulator")
+	}
+	if pe.Cycles != 3 {
+		t.Fatal("Reset must not clear lifetime cycles")
+	}
+}

@@ -1,0 +1,116 @@
+// Package maskio serializes per-layer inference profiles — geometry, MAC
+// counts and the ODQ sensitivity bit masks — to a compact binary format.
+// This is the artifact the paper's methodology revolves around (§5.2: the
+// framework dumps binary mask maps, the simulator consumes them); here it
+// decouples odq-infer (produce profiles) from odq-sim (model performance
+// and energy) the same way.
+package maskio
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+const version = 1
+
+// layerDTO is the on-disk form of one layer profile; masks are bit-packed.
+type layerDTO struct {
+	Name             string
+	Index            int
+	Geom             tensor.ConvGeom
+	Batch            int
+	TotalOutputs     int64
+	SensitiveOutputs int64
+	HighInputMACs    int64
+	TotalMACs        int64
+	MaskBits         int64
+	Mask             []byte
+}
+
+type fileDTO struct {
+	Version int
+	Layers  []layerDTO
+}
+
+// PackMask bit-packs a boolean mask (LSB-first within each byte).
+func PackMask(mask []bool) []byte {
+	out := make([]byte, (len(mask)+7)/8)
+	for i, b := range mask {
+		if b {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}
+
+// UnpackMask expands n bits from a packed mask.
+func UnpackMask(packed []byte, n int) ([]bool, error) {
+	if len(packed) < (n+7)/8 {
+		return nil, fmt.Errorf("maskio: packed mask holds %d bytes, need %d", len(packed), (n+7)/8)
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = packed[i/8]&(1<<uint(i%8)) != 0
+	}
+	return out, nil
+}
+
+// Write serializes profiles to w.
+func Write(w io.Writer, profiles []*quant.LayerProfile) error {
+	f := fileDTO{Version: version}
+	for _, p := range profiles {
+		d := layerDTO{
+			Name:             p.Name,
+			Index:            p.Index,
+			Geom:             p.Geom,
+			Batch:            p.Batch,
+			TotalOutputs:     p.TotalOutputs,
+			SensitiveOutputs: p.SensitiveOutputs,
+			HighInputMACs:    p.HighInputMACs,
+			TotalMACs:        p.TotalMACs,
+		}
+		if len(p.Mask) > 0 {
+			d.MaskBits = int64(len(p.Mask))
+			d.Mask = PackMask(p.Mask)
+		}
+		f.Layers = append(f.Layers, d)
+	}
+	return gob.NewEncoder(w).Encode(&f)
+}
+
+// Read deserializes profiles from r.
+func Read(r io.Reader) ([]*quant.LayerProfile, error) {
+	var f fileDTO
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("maskio: decode: %w", err)
+	}
+	if f.Version != version {
+		return nil, fmt.Errorf("maskio: unsupported version %d", f.Version)
+	}
+	var out []*quant.LayerProfile
+	for _, d := range f.Layers {
+		p := &quant.LayerProfile{
+			Name:             d.Name,
+			Index:            d.Index,
+			Geom:             d.Geom,
+			Batch:            d.Batch,
+			TotalOutputs:     d.TotalOutputs,
+			SensitiveOutputs: d.SensitiveOutputs,
+			HighInputMACs:    d.HighInputMACs,
+			TotalMACs:        d.TotalMACs,
+		}
+		if d.MaskBits > 0 {
+			mask, err := UnpackMask(d.Mask, int(d.MaskBits))
+			if err != nil {
+				return nil, fmt.Errorf("maskio: layer %s: %w", d.Name, err)
+			}
+			p.Mask = mask
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package maskio
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 1 + rng.Intn(100)
+		mask := make([]bool, n)
+		for i := range mask {
+			mask[i] = rng.Intn(2) == 1
+		}
+		packed := PackMask(mask)
+		back, err := UnpackMask(packed, n)
+		if err != nil {
+			return false
+		}
+		for i := range mask {
+			if mask[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackDensity(t *testing.T) {
+	mask := make([]bool, 17)
+	if got := len(PackMask(mask)); got != 3 {
+		t.Fatalf("17 bits should pack into 3 bytes, got %d", got)
+	}
+}
+
+func TestUnpackShortBuffer(t *testing.T) {
+	if _, err := UnpackMask([]byte{0}, 9); err == nil {
+		t.Fatal("short buffer must error")
+	}
+}
+
+func TestWriteReadProfiles(t *testing.T) {
+	g := tensor.Geometry(4, 8, 8, 6, 3, 1, 1)
+	mask := make([]bool, 6*64)
+	for i := 0; i < 50; i++ {
+		mask[i*7%len(mask)] = true
+	}
+	sens := int64(0)
+	for _, m := range mask {
+		if m {
+			sens++
+		}
+	}
+	in := []*quant.LayerProfile{
+		{Name: "c1", Index: 0, Geom: g, Batch: 1,
+			TotalOutputs: int64(len(mask)), SensitiveOutputs: sens,
+			HighInputMACs: 123, TotalMACs: g.TotalMACs(), Mask: mask},
+		{Name: "c2", Index: 1, Geom: g, Batch: 2,
+			TotalOutputs: 99, SensitiveOutputs: 7, TotalMACs: 1000},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("layers %d", len(out))
+	}
+	p := out[0]
+	if p.Name != "c1" || p.SensitiveOutputs != sens || p.TotalMACs != g.TotalMACs() {
+		t.Fatalf("metadata wrong: %+v", p)
+	}
+	for i := range mask {
+		if p.Mask[i] != mask[i] {
+			t.Fatalf("mask bit %d wrong", i)
+		}
+	}
+	if out[1].Mask != nil {
+		t.Fatal("maskless layer must round-trip as maskless")
+	}
+	if out[1].Batch != 2 || out[1].HighInputMACs != 0 {
+		t.Fatalf("second layer wrong: %+v", out[1])
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("junk")); err == nil {
+		t.Fatal("garbage must error")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	mask := make([]bool, 16)
+	mask[0], mask[5], mask[10], mask[15] = true, true, true, true // diagonal
+	lines := RenderASCII(mask, 4, 4, 8)
+	if len(lines) != 4 {
+		t.Fatalf("lines %d", len(lines))
+	}
+	if lines[0][0] != '#' || lines[1][1] != '#' || lines[0][1] != '.' {
+		t.Fatalf("diagonal render wrong: %v", lines)
+	}
+}
+
+func TestRenderASCIIDownsamples(t *testing.T) {
+	mask := make([]bool, 64*64)
+	mask[63] = true // one sensitive bit in the top-right corner
+	lines := RenderASCII(mask, 64, 64, 16)
+	if len(lines) != 16 || len(lines[0]) != 16 {
+		t.Fatalf("downsample shape %dx%d", len(lines), len(lines[0]))
+	}
+	// Any-set semantics must keep the lone bit visible.
+	if lines[0][15] != '#' {
+		t.Fatal("downsampling lost the sensitive bit")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	mask := []bool{true, false, false, true}
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, mask, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n2 2\n255\n")) {
+		t.Fatalf("bad PGM header: %q", out[:12])
+	}
+	pix := out[len(out)-4:]
+	if pix[0] != 255 || pix[1] != 0 || pix[2] != 0 || pix[3] != 255 {
+		t.Fatalf("bad pixels: %v", pix)
+	}
+}
+
+func TestWritePGMSizeMismatch(t *testing.T) {
+	if err := WritePGM(&bytes.Buffer{}, []bool{true}, 2, 2); err == nil {
+		t.Fatal("size mismatch must error")
+	}
+}

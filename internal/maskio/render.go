@@ -1,0 +1,72 @@
+package maskio
+
+import (
+	"fmt"
+	"io"
+)
+
+// RenderASCII draws an h×w boolean mask as '#'/'.' rows, downsampling to
+// at most maxDim rows/columns.
+func RenderASCII(mask []bool, h, w, maxDim int) []string {
+	if maxDim <= 0 {
+		maxDim = 32
+	}
+	stepY := (h + maxDim - 1) / maxDim
+	stepX := (w + maxDim - 1) / maxDim
+	if stepY < 1 {
+		stepY = 1
+	}
+	if stepX < 1 {
+		stepX = 1
+	}
+	var out []string
+	for y := 0; y < h; y += stepY {
+		line := make([]byte, 0, w/stepX+1)
+		for x := 0; x < w; x += stepX {
+			// A downsampled cell is "set" if any member bit is set,
+			// so sparse sensitivity stays visible.
+			set := false
+			for yy := y; yy < y+stepY && yy < h && !set; yy++ {
+				for xx := x; xx < x+stepX && xx < w; xx++ {
+					if mask[yy*w+xx] {
+						set = true
+						break
+					}
+				}
+			}
+			if set {
+				line = append(line, '#')
+			} else {
+				line = append(line, '.')
+			}
+		}
+		out = append(out, string(line))
+	}
+	return out
+}
+
+// WritePGM writes an h×w boolean mask as a binary PGM image (sensitive =
+// white). PGM is the simplest portable grayscale format and opens
+// anywhere.
+func WritePGM(w io.Writer, mask []bool, height, width int) error {
+	if height*width != len(mask) {
+		return fmt.Errorf("maskio: mask has %d bits, want %d×%d", len(mask), height, width)
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", width, height); err != nil {
+		return err
+	}
+	row := make([]byte, width)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			if mask[y*width+x] {
+				row[x] = 255
+			} else {
+				row[x] = 0
+			}
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+// Package mem models the accelerator's memory system (paper §4.3): the
+// global weight/input buffer that hides DRAM latency, the per-array line
+// buffers that provide input reuse, and the off-chip DRAM interface.
+//
+// The model answers one question per layer: how many bytes actually cross
+// each boundary under weight-stationary dataflow, given finite on-chip
+// capacity? When a layer's filters do not all fit, the output channels are
+// processed in tiles and the input feature map streams from DRAM once per
+// tile — the capacity effect that makes the equal-on-chip-memory
+// comparison of Table 2 meaningful.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// System describes one accelerator's memory resources.
+type System struct {
+	// GlobalBufferBytes is the on-chip buffer capacity (0.17 MB in
+	// Table 2, for every accelerator).
+	GlobalBufferBytes int64
+	// DRAMBytesPerCycle is the off-chip bandwidth.
+	DRAMBytesPerCycle float64
+	// DRAMLatencyCycles is the fixed startup cost per streaming pass
+	// (burst setup; hidden within a pass by double buffering).
+	DRAMLatencyCycles int64
+	// LineBufferRows is how many input rows the line buffers hold per
+	// array (K rows suffice for a K×K kernel sweep).
+	LineBufferRows int
+}
+
+// DefaultSystem returns the Table-2 memory configuration.
+func DefaultSystem() *System {
+	return &System{
+		GlobalBufferBytes: 17 * 1048576 / 100, // 0.17 MB
+		DRAMBytesPerCycle: 32,
+		DRAMLatencyCycles: 64,
+		LineBufferRows:    3,
+	}
+}
+
+// Traffic is the modeled movement for one layer.
+type Traffic struct {
+	// Tiles is the number of output-channel tiles the layer needed.
+	Tiles int
+	// InputPasses counts how many times the input streamed from DRAM
+	// (= Tiles under weight-stationary tiling).
+	InputPasses int
+	// DRAMBytes is total off-chip traffic (weights once, inputs per
+	// pass, outputs written back once).
+	DRAMBytes int64
+	// DRAMCycles is the bandwidth-and-latency cost of that traffic.
+	DRAMCycles int64
+	// BufferBytes is on-chip buffer traffic (line-buffer refills, the
+	// K-fold input reuse reads, and output-buffer accumulation).
+	BufferBytes int64
+}
+
+// ConvTraffic models one convolution layer. Bit widths are per element
+// for weights, activations and (re-quantized) outputs.
+func (s *System) ConvTraffic(g tensor.ConvGeom, batch, wBits, aBits, oBits int) (Traffic, error) {
+	if batch <= 0 {
+		return Traffic{}, fmt.Errorf("mem: batch %d", batch)
+	}
+	if wBits <= 0 || aBits <= 0 || oBits <= 0 {
+		return Traffic{}, fmt.Errorf("mem: non-positive bit width (%d/%d/%d)", wBits, aBits, oBits)
+	}
+	weights := int64(g.OutC) * int64(g.InC) * int64(g.K) * int64(g.K)
+	inputs := int64(batch) * int64(g.InC) * int64(g.InH) * int64(g.InW)
+	outputs := int64(batch) * int64(g.TotalOutputs())
+
+	wBytes := bits2bytes(weights, wBits)
+	aBytes := bits2bytes(inputs, aBits)
+	oBytes := bits2bytes(outputs, oBits)
+
+	// Reserve room for the line buffers (K input rows across channels)
+	// and a strip of output partial sums; the rest holds weights.
+	lineBytes := bits2bytes(int64(s.LineBufferRows)*int64(g.InC)*int64(g.InW), aBits)
+	outStrip := bits2bytes(int64(g.OutC)*int64(g.OutW), 32)
+	avail := s.GlobalBufferBytes - lineBytes - outStrip
+	if avail < 1 {
+		avail = 1
+	}
+
+	tiles := 1
+	if wBytes > avail {
+		// Tile over output channels: each tile's filters must fit.
+		perChan := bits2bytes(int64(g.InC)*int64(g.K)*int64(g.K), wBits)
+		chansPerTile := avail / max64(perChan, 1)
+		if chansPerTile < 1 {
+			chansPerTile = 1
+		}
+		tiles = int((int64(g.OutC) + chansPerTile - 1) / chansPerTile)
+	}
+
+	t := Traffic{Tiles: tiles, InputPasses: tiles}
+	t.DRAMBytes = wBytes + aBytes*int64(tiles) + oBytes
+	t.DRAMCycles = int64(float64(t.DRAMBytes)/s.DRAMBytesPerCycle) +
+		s.DRAMLatencyCycles*int64(tiles+1)
+	// Line buffers serve each input K times (once per kernel row) per
+	// pass; outputs bounce through the output buffer twice (predictor
+	// partials in, final accumulation out).
+	t.BufferBytes = aBytes*int64(g.K)*int64(tiles) + wBytes + 2*oBytes
+	return t, nil
+}
+
+func bits2bytes(n int64, bits int) int64 {
+	b := n * int64(bits) / 8
+	if b < 1 && n > 0 {
+		b = 1
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

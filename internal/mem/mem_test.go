@@ -1,0 +1,104 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSmallLayerSinglePass(t *testing.T) {
+	s := DefaultSystem()
+	g := tensor.Geometry(16, 32, 32, 32, 3, 1, 1)
+	tr, err := s.ConvTraffic(g, 1, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tiles != 1 || tr.InputPasses != 1 {
+		t.Fatalf("small layer should need one pass: %+v", tr)
+	}
+	wantW := int64(32*16*9) * 4 / 8
+	wantA := int64(16*32*32) * 4 / 8
+	wantO := int64(32*32*32) * 4 / 8
+	if tr.DRAMBytes != wantW+wantA+wantO {
+		t.Fatalf("DRAM bytes %d, want %d", tr.DRAMBytes, wantW+wantA+wantO)
+	}
+	if tr.DRAMCycles <= 0 || tr.BufferBytes <= 0 {
+		t.Fatalf("degenerate cycles/traffic: %+v", tr)
+	}
+}
+
+func TestBigLayerTiles(t *testing.T) {
+	s := DefaultSystem()
+	// 512×512×3×3 at 8 bits = 2.25 MB of weights > 0.17 MB buffer.
+	g := tensor.Geometry(512, 8, 8, 512, 3, 1, 1)
+	tr, err := s.ConvTraffic(g, 1, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tiles < 10 {
+		t.Fatalf("2.25MB of weights in a 0.17MB buffer needs many tiles, got %d", tr.Tiles)
+	}
+	// Input traffic must scale with passes.
+	single, _ := s.ConvTraffic(tensor.Geometry(512, 8, 8, 4, 3, 1, 1), 1, 8, 8, 8)
+	inBytes := int64(512*8*8) * 8 / 8
+	if tr.DRAMBytes < single.DRAMBytes+(int64(tr.Tiles)-1)*inBytes {
+		t.Fatalf("tiled layer must refetch inputs per tile: %+v", tr)
+	}
+}
+
+func TestBiggerBufferFewerTiles(t *testing.T) {
+	g := tensor.Geometry(256, 16, 16, 256, 3, 1, 1)
+	small := &System{GlobalBufferBytes: 64 * 1024, DRAMBytesPerCycle: 32, DRAMLatencyCycles: 64, LineBufferRows: 3}
+	big := &System{GlobalBufferBytes: 1024 * 1024, DRAMBytesPerCycle: 32, DRAMLatencyCycles: 64, LineBufferRows: 3}
+	trS, _ := small.ConvTraffic(g, 1, 8, 8, 8)
+	trB, _ := big.ConvTraffic(g, 1, 8, 8, 8)
+	if trB.Tiles >= trS.Tiles {
+		t.Fatalf("bigger buffer should tile less: %d vs %d", trB.Tiles, trS.Tiles)
+	}
+	if trB.DRAMBytes >= trS.DRAMBytes {
+		t.Fatalf("bigger buffer should move fewer DRAM bytes: %d vs %d", trB.DRAMBytes, trS.DRAMBytes)
+	}
+}
+
+func TestNarrowerOperandsLessTraffic(t *testing.T) {
+	s := DefaultSystem()
+	g := tensor.Geometry(64, 16, 16, 64, 3, 1, 1)
+	tr16, _ := s.ConvTraffic(g, 1, 16, 16, 16)
+	tr4, _ := s.ConvTraffic(g, 1, 4, 4, 4)
+	if tr4.DRAMBytes*3 >= tr16.DRAMBytes {
+		t.Fatalf("4-bit traffic should be ~4x below 16-bit: %d vs %d", tr4.DRAMBytes, tr16.DRAMBytes)
+	}
+}
+
+func TestBatchScalesInputs(t *testing.T) {
+	s := DefaultSystem()
+	g := tensor.Geometry(16, 16, 16, 16, 3, 1, 1)
+	tr1, _ := s.ConvTraffic(g, 1, 4, 4, 4)
+	tr4, _ := s.ConvTraffic(g, 4, 4, 4, 4)
+	if tr4.DRAMBytes <= tr1.DRAMBytes*3 {
+		t.Fatalf("batch-4 traffic should be near 4x: %d vs %d", tr4.DRAMBytes, tr1.DRAMBytes)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := DefaultSystem()
+	g := tensor.Geometry(4, 8, 8, 4, 3, 1, 1)
+	if _, err := s.ConvTraffic(g, 0, 4, 4, 4); err == nil {
+		t.Fatal("batch 0 must error")
+	}
+	if _, err := s.ConvTraffic(g, 1, 0, 4, 4); err == nil {
+		t.Fatal("zero bits must error")
+	}
+}
+
+func TestTinyBufferStillProgresses(t *testing.T) {
+	s := &System{GlobalBufferBytes: 128, DRAMBytesPerCycle: 32, DRAMLatencyCycles: 8, LineBufferRows: 3}
+	g := tensor.Geometry(16, 16, 16, 32, 3, 1, 1)
+	tr, err := s.ConvTraffic(g, 1, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tiles < 1 || tr.Tiles > 32 {
+		t.Fatalf("tile count out of range: %d", tr.Tiles)
+	}
+}

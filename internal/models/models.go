@@ -1,0 +1,269 @@
+// Package models builds the DNN architectures evaluated in the paper —
+// ResNet-20, ResNet-56, VGG-16 and DenseNet (CIFAR variants), plus LeNet-5
+// for the Figure-1 illustration. Every constructor accepts a width scale so
+// the experiment harness can run laptop-sized variants, and a QAT bit width
+// that installs DoReFa-style weight fake-quantizers and QuantReLU
+// activations throughout.
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Config controls model construction.
+type Config struct {
+	// Classes is the classifier output width (10 for the CIFAR-10-like
+	// dataset, 100 for the CIFAR-100-like one).
+	Classes int
+	// Scale multiplies every channel width (1.0 = paper-size). Widths
+	// are floored at 4 channels.
+	Scale float64
+	// QATBits, when nonzero, builds the network for quantization-aware
+	// training at that bit width: weight fake-quantizers on every conv
+	// and QuantReLU activations in place of ReLU.
+	QATBits int
+	// ActRange is the PACT-style activation clipping range in
+	// pre-activation units (see quant.QuantReLU.Range); 0 defaults to 3,
+	// which keeps gradients alive through deep stacks.
+	ActRange float64
+	// Seed drives weight initialization.
+	Seed int64
+}
+
+func (c Config) width(w int) int {
+	s := c.Scale
+	if s == 0 {
+		s = 1
+	}
+	out := int(float64(w)*s + 0.5)
+	if out < 4 {
+		out = 4
+	}
+	return out
+}
+
+// act returns the activation module appropriate for the config: QuantReLU
+// under QAT, plain ReLU otherwise.
+func (c Config) act(name string) nn.Module {
+	if c.QATBits > 0 {
+		q := quant.NewQuantReLU(name, c.QATBits)
+		r := c.ActRange
+		if r == 0 {
+			r = 3
+		}
+		q.Range = float32(r)
+		return q
+	}
+	return nn.NewReLU(name)
+}
+
+// conv builds a conv layer, installing the weight fake-quantizer under QAT.
+func (c Config) conv(name string, inC, outC, k, stride, pad int, bias bool, rng *tensor.RNG) *nn.Conv2D {
+	l := nn.NewConv2D(name, inC, outC, k, stride, pad, bias, rng)
+	if c.QATBits > 0 {
+		l.WeightQuant = &quant.WeightQuantizer{Bits: c.QATBits}
+	}
+	return l
+}
+
+// SetQATRelaxed toggles the float warm-up mode on a QAT-built model: when
+// relaxed, fake quantizers and QuantReLU clipping are bypassed so the
+// network first trains in float, then fine-tunes under quantization — the
+// standard (and far more stable) QAT recipe.
+func SetQATRelaxed(net nn.Module, relaxed bool) {
+	net.Visit(func(m nn.Module) {
+		switch v := m.(type) {
+		case *nn.Conv2D:
+			v.QuantRelaxed = relaxed
+		case *quant.QuantReLU:
+			v.Relaxed = relaxed
+		}
+	})
+}
+
+// Build constructs a model by name: "lenet5", "resnet20", "resnet56",
+// "vgg16", or "densenet".
+func Build(name string, cfg Config) (*nn.Sequential, error) {
+	switch name {
+	case "lenet5":
+		return LeNet5(cfg), nil
+	case "resnet20":
+		return ResNet(20, cfg), nil
+	case "resnet32":
+		return ResNet(32, cfg), nil
+	case "resnet44":
+		return ResNet(44, cfg), nil
+	case "resnet56":
+		return ResNet(56, cfg), nil
+	case "vgg16":
+		return VGG16(cfg), nil
+	case "densenet":
+		return DenseNet(cfg), nil
+	}
+	return nil, fmt.Errorf("models: unknown model %q", name)
+}
+
+// Names lists the models of the paper's evaluation in its reporting order.
+func Names() []string { return []string{"resnet56", "resnet20", "vgg16", "densenet"} }
+
+// ResNet builds the CIFAR-style ResNet of the given depth (20 or 56 in the
+// paper; any depth ≡ 2 mod 6 works). Post-activation v1 ordering:
+// conv-BN-ReLU with identity or projection shortcuts.
+func ResNet(depth int, cfg Config) *nn.Sequential {
+	if (depth-2)%6 != 0 {
+		panic(fmt.Sprintf("models: ResNet depth %d is not 6n+2", depth))
+	}
+	n := (depth - 2) / 6
+	rng := tensor.NewRNG(cfg.Seed)
+	widths := []int{cfg.width(16), cfg.width(32), cfg.width(64)}
+
+	net := nn.NewSequential(fmt.Sprintf("resnet%d", depth))
+	net.Append(
+		cfg.conv("conv1", 3, widths[0], 3, 1, 1, false, rng),
+		nn.NewBatchNorm2D("bn1", widths[0]),
+		cfg.act("act1"),
+	)
+	inC := widths[0]
+	for stage := 0; stage < 3; stage++ {
+		outC := widths[stage]
+		for b := 0; b < n; b++ {
+			stride := 1
+			if stage > 0 && b == 0 {
+				stride = 2
+			}
+			prefix := fmt.Sprintf("s%db%d", stage+1, b)
+			body := nn.NewSequential(prefix+".body",
+				cfg.conv(prefix+".conv1", inC, outC, 3, stride, 1, false, rng),
+				nn.NewBatchNorm2D(prefix+".bn1", outC),
+				cfg.act(prefix+".act1"),
+				cfg.conv(prefix+".conv2", outC, outC, 3, 1, 1, false, rng),
+				nn.NewBatchNorm2D(prefix+".bn2", outC),
+			)
+			var shortcut nn.Module
+			if stride != 1 || inC != outC {
+				shortcut = nn.NewSequential(prefix+".sc",
+					cfg.conv(prefix+".scconv", inC, outC, 1, stride, 0, false, rng),
+					nn.NewBatchNorm2D(prefix+".scbn", outC),
+				)
+			}
+			net.Append(
+				nn.NewResidual(prefix, body, shortcut, false),
+				cfg.act(prefix+".act2"),
+			)
+			inC = outC
+		}
+	}
+	net.Append(
+		nn.NewGlobalAvgPool2D("gap"),
+		nn.NewLinear("fc", inC, cfg.Classes, rng),
+	)
+	return net
+}
+
+// vggPlan is the CIFAR VGG-16 channel plan; 0 marks a 2×2 max-pool.
+var vggPlan = []int{64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0}
+
+// VGG16 builds the CIFAR variant of VGG-16: 13 conv layers in five pooled
+// groups followed by a single fully connected classifier.
+func VGG16(cfg Config) *nn.Sequential {
+	rng := tensor.NewRNG(cfg.Seed)
+	net := nn.NewSequential("vgg16")
+	inC := 3
+	ci, pi := 0, 0
+	for _, w := range vggPlan {
+		if w == 0 {
+			pi++
+			net.Append(nn.NewMaxPool2D(fmt.Sprintf("pool%d", pi), 2, 2))
+			continue
+		}
+		ci++
+		outC := cfg.width(w)
+		net.Append(
+			cfg.conv(fmt.Sprintf("conv%d", ci), inC, outC, 3, 1, 1, false, rng),
+			nn.NewBatchNorm2D(fmt.Sprintf("bn%d", ci), outC),
+			cfg.act(fmt.Sprintf("act%d", ci)),
+		)
+		inC = outC
+	}
+	net.Append(
+		nn.NewFlatten("flatten"),
+		nn.NewLinear("fc", inC, cfg.Classes, rng), // 32/2^5 = 1×1 spatial
+	)
+	return net
+}
+
+// DenseNet builds a CIFAR DenseNet-40-style network: three dense blocks of
+// 12 growth layers (pre-activation BN-ReLU-conv3×3) separated by 1×1
+// compression transitions with average pooling.
+func DenseNet(cfg Config) *nn.Sequential {
+	const (
+		blocks        = 3
+		layersPer     = 12
+		growthBase    = 12
+		initialBase   = 16
+		compressRatio = 0.5
+	)
+	rng := tensor.NewRNG(cfg.Seed)
+	growth := cfg.width(growthBase)
+	inC := cfg.width(initialBase)
+
+	net := nn.NewSequential("densenet")
+	net.Append(cfg.conv("conv0", 3, inC, 3, 1, 1, false, rng))
+	for b := 0; b < blocks; b++ {
+		for l := 0; l < layersPer; l++ {
+			prefix := fmt.Sprintf("d%dl%d", b+1, l)
+			body := nn.NewSequential(prefix+".body",
+				nn.NewBatchNorm2D(prefix+".bn", inC),
+				cfg.act(prefix+".act"),
+				cfg.conv(prefix+".conv", inC, growth, 3, 1, 1, false, rng),
+			)
+			net.Append(nn.NewConcatGrowth(prefix, body))
+			inC += growth
+		}
+		if b < blocks-1 {
+			prefix := fmt.Sprintf("t%d", b+1)
+			outC := int(float64(inC) * compressRatio)
+			if outC < 4 {
+				outC = 4
+			}
+			net.Append(
+				nn.NewBatchNorm2D(prefix+".bn", inC),
+				cfg.act(prefix+".act"),
+				cfg.conv(prefix+".conv", inC, outC, 1, 1, 0, false, rng),
+				nn.NewAvgPool2D(prefix+".pool", 2, 2),
+			)
+			inC = outC
+		}
+	}
+	net.Append(
+		nn.NewBatchNorm2D("bnF", inC),
+		cfg.act("actF"),
+		nn.NewGlobalAvgPool2D("gap"),
+		nn.NewLinear("fc", inC, cfg.Classes, rng),
+	)
+	return net
+}
+
+// LeNet5 builds the classic LeNet-5 (for 28×28 single-channel inputs),
+// used by the paper's Figure 1 illustration.
+func LeNet5(cfg Config) *nn.Sequential {
+	rng := tensor.NewRNG(cfg.Seed)
+	return nn.NewSequential("lenet5",
+		cfg.conv("conv1", 1, 6, 5, 1, 2, true, rng),
+		cfg.act("act1"),
+		nn.NewMaxPool2D("pool1", 2, 2),
+		cfg.conv("conv2", 6, 16, 5, 1, 0, true, rng),
+		cfg.act("act2"),
+		nn.NewMaxPool2D("pool2", 2, 2),
+		nn.NewFlatten("flatten"),
+		nn.NewLinear("fc1", 16*5*5, 120, rng),
+		cfg.act("act3"),
+		nn.NewLinear("fc2", 120, 84, rng),
+		cfg.act("act4"),
+		nn.NewLinear("fc3", 84, cfg.Classes, rng),
+	)
+}

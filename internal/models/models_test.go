@@ -1,0 +1,146 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+func cifarInput(n int) *tensor.Tensor {
+	x := tensor.New(n, 3, 32, 32)
+	tensor.NewRNG(1).FillUniform(x, 0, 1)
+	return x
+}
+
+func TestResNet20Shapes(t *testing.T) {
+	net := ResNet(20, Config{Classes: 10, Scale: 0.25, Seed: 1})
+	out := net.Forward(cifarInput(2), false)
+	if out.Shape[0] != 2 || out.Shape[1] != 10 {
+		t.Fatalf("resnet20 output %v", out.Shape)
+	}
+	if got := len(nn.Convs(net)); got != 19+2 { // 19 body convs + 2 projection shortcuts
+		t.Fatalf("resnet20 conv count = %d", got)
+	}
+}
+
+func TestResNet56ConvCount(t *testing.T) {
+	net := ResNet(56, Config{Classes: 10, Scale: 0.125, Seed: 1})
+	// 1 + 2*27 body convs + 2 projections
+	if got := len(nn.Convs(net)); got != 1+54+2 {
+		t.Fatalf("resnet56 conv count = %d", got)
+	}
+	out := net.Forward(cifarInput(1), false)
+	if out.Shape[1] != 10 {
+		t.Fatalf("resnet56 output %v", out.Shape)
+	}
+}
+
+func TestResNetBadDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad depth")
+		}
+	}()
+	ResNet(21, Config{Classes: 10})
+}
+
+func TestVGG16Shapes(t *testing.T) {
+	net := VGG16(Config{Classes: 100, Scale: 0.0625, Seed: 2})
+	out := net.Forward(cifarInput(2), false)
+	if out.Shape[0] != 2 || out.Shape[1] != 100 {
+		t.Fatalf("vgg16 output %v", out.Shape)
+	}
+	if got := len(nn.Convs(net)); got != 13 {
+		t.Fatalf("vgg16 conv count = %d", got)
+	}
+}
+
+func TestDenseNetShapes(t *testing.T) {
+	net := DenseNet(Config{Classes: 10, Scale: 0.34, Seed: 3})
+	out := net.Forward(cifarInput(1), false)
+	if out.Shape[1] != 10 {
+		t.Fatalf("densenet output %v", out.Shape)
+	}
+	// 1 initial + 36 growth + 2 transition convs
+	if got := len(nn.Convs(net)); got != 39 {
+		t.Fatalf("densenet conv count = %d", got)
+	}
+}
+
+func TestLeNet5Shapes(t *testing.T) {
+	net := LeNet5(Config{Classes: 10, Seed: 4})
+	x := tensor.New(2, 1, 28, 28)
+	tensor.NewRNG(5).FillUniform(x, 0, 1)
+	out := net.Forward(x, false)
+	if out.Shape[0] != 2 || out.Shape[1] != 10 {
+		t.Fatalf("lenet5 output %v", out.Shape)
+	}
+}
+
+func TestBuildRegistry(t *testing.T) {
+	for _, name := range append(Names(), "lenet5") {
+		cfg := Config{Classes: 10, Scale: 0.125, Seed: 1}
+		if _, err := Build(name, cfg); err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+	}
+	if _, err := Build("alexnet", Config{}); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestQATWiring(t *testing.T) {
+	net := ResNet(20, Config{Classes: 10, Scale: 0.25, QATBits: 4, Seed: 1})
+	for _, c := range nn.Convs(net) {
+		if c.WeightQuant == nil {
+			t.Fatalf("conv %s missing weight quantizer", c.Name)
+		}
+	}
+	var qrelus, relus int
+	net.Visit(func(m nn.Module) {
+		switch m.(type) {
+		case *quant.QuantReLU:
+			qrelus++
+		case *nn.ReLU:
+			relus++
+		}
+	})
+	if relus != 0 || qrelus == 0 {
+		t.Fatalf("QAT model has %d ReLU and %d QuantReLU", relus, qrelus)
+	}
+}
+
+func TestQATForwardBackwardRuns(t *testing.T) {
+	net := ResNet(20, Config{Classes: 10, Scale: 0.25, QATBits: 4, Seed: 1})
+	x := cifarInput(2)
+	out := net.Forward(x, true)
+	loss, grad := nn.SoftmaxCE(out, []int{1, 2})
+	if loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	dx := net.Backward(grad)
+	if !dx.SameShape(x) {
+		t.Fatalf("input grad shape %v", dx.Shape)
+	}
+}
+
+func TestScaleFloorsWidths(t *testing.T) {
+	cfg := Config{Classes: 10, Scale: 0.01, Seed: 1}
+	net := ResNet(20, cfg)
+	for _, c := range nn.Convs(net) {
+		if c.OutC < 4 {
+			t.Fatalf("width %d below floor", c.OutC)
+		}
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a := ResNet(20, Config{Classes: 10, Scale: 0.25, Seed: 7})
+	b := ResNet(20, Config{Classes: 10, Scale: 0.25, Seed: 7})
+	ca, cb := nn.Convs(a)[3], nn.Convs(b)[3]
+	if tensor.MaxAbsDiff(ca.Weight.W, cb.Weight.W) != 0 {
+		t.Fatal("same seed must give identical weights")
+	}
+}

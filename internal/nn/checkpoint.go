@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// checkpoint is the serialized form of a module's state: parameter and
+// batch-norm-statistic tensors keyed by name.
+type checkpoint struct {
+	Version int
+	Tensors map[string][]float32
+}
+
+// stateTensors collects every persistent tensor of the module tree:
+// trainable parameters plus batch-norm running statistics.
+func stateTensors(m Module) map[string][]float32 {
+	out := make(map[string][]float32)
+	for _, p := range m.Params() {
+		out[p.Name] = p.W.Data
+	}
+	m.Visit(func(mod Module) {
+		if bn, ok := mod.(*BatchNorm2D); ok {
+			out[bn.Name+".running_mean"] = bn.RunningMean.Data
+			out[bn.Name+".running_var"] = bn.RunningVar.Data
+		}
+	})
+	return out
+}
+
+// Save writes the module's parameters and batch-norm statistics to w in
+// gob format.
+func Save(w io.Writer, m Module) error {
+	ck := checkpoint{Version: 1, Tensors: stateTensors(m)}
+	return gob.NewEncoder(w).Encode(&ck)
+}
+
+// Load restores state previously written by Save into a module with the
+// same architecture (parameter names and shapes must match exactly).
+func Load(r io.Reader, m Module) error {
+	var ck checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return fmt.Errorf("nn: decoding checkpoint: %w", err)
+	}
+	if ck.Version != 1 {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", ck.Version)
+	}
+	state := stateTensors(m)
+	if len(state) != len(ck.Tensors) {
+		return fmt.Errorf("nn: checkpoint has %d tensors, model has %d", len(ck.Tensors), len(state))
+	}
+	for name, dst := range state {
+		src, ok := ck.Tensors[name]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint missing tensor %q", name)
+		}
+		if len(src) != len(dst) {
+			return fmt.Errorf("nn: tensor %q has %d values in checkpoint, model wants %d",
+				name, len(src), len(dst))
+		}
+		copy(dst, src)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package nn
+
+// FoldBatchNorms scans the module tree for Conv2D layers immediately
+// followed by BatchNorm2D layers inside Sequential containers and folds
+// the batch-norm transform into the convolution. Quantized executors can
+// then treat each conv as a single affine stage, matching how deployed
+// accelerators consume trained models.
+//
+// It returns the number of folds performed.
+func FoldBatchNorms(m Module) int {
+	folds := 0
+	m.Visit(func(mod Module) {
+		seq, ok := mod.(*Sequential)
+		if !ok {
+			return
+		}
+		for i := 0; i+1 < len(seq.Modules); i++ {
+			conv, okC := seq.Modules[i].(*Conv2D)
+			bn, okB := seq.Modules[i+1].(*BatchNorm2D)
+			if okC && okB {
+				bn.FoldInto(conv)
+				folds++
+			}
+		}
+	})
+	return folds
+}

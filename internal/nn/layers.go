@@ -1,0 +1,357 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU applies the rectifier elementwise.
+type ReLU struct {
+	Name string
+	mask []bool
+}
+
+// NewReLU builds a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{Name: name} }
+
+// Forward implements Module.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	if train {
+		r.mask = make([]bool, x.Len())
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			if train {
+				r.mask[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.mask == nil {
+		panic("nn: ReLU.Backward without cached forward")
+	}
+	out := tensor.New(grad.Shape...)
+	for i, m := range r.mask {
+		if m {
+			out.Data[i] = grad.Data[i]
+		}
+	}
+	r.mask = nil
+	return out
+}
+
+// Params implements Module.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Visit implements Module.
+func (r *ReLU) Visit(f func(Module)) { f(r) }
+
+// MaxPool2D performs max pooling with square window k and stride s.
+type MaxPool2D struct {
+	Name string
+	K, S int
+
+	argmax  []int
+	inShape []int
+}
+
+// NewMaxPool2D builds a max-pool layer.
+func NewMaxPool2D(name string, k, s int) *MaxPool2D { return &MaxPool2D{Name: name, K: k, S: s} }
+
+// Forward implements Module.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h-p.K)/p.S + 1
+	ow := (w-p.K)/p.S + 1
+	out := tensor.New(n, c, oh, ow)
+	if train {
+		p.argmax = make([]int, out.Len())
+		p.inShape = x.Shape
+	}
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (s*c + ch) * h * w
+			outBase := (s*c + ch) * oh * ow
+			for y := 0; y < oh; y++ {
+				for xo := 0; xo < ow; xo++ {
+					best := float32(math.Inf(-1))
+					bi := -1
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							idx := inBase + (y*p.S+ky)*w + xo*p.S + kx
+							if v := x.Data[idx]; v > best {
+								best, bi = v, idx
+							}
+						}
+					}
+					oi := outBase + y*ow + xo
+					out.Data[oi] = best
+					if train {
+						p.argmax[oi] = bi
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.argmax == nil {
+		panic("nn: MaxPool2D.Backward without cached forward")
+	}
+	dX := tensor.New(p.inShape...)
+	for i, src := range p.argmax {
+		dX.Data[src] += grad.Data[i]
+	}
+	p.argmax = nil
+	return dX
+}
+
+// Params implements Module.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// Visit implements Module.
+func (p *MaxPool2D) Visit(f func(Module)) { f(p) }
+
+// AvgPool2D performs average pooling with square window k and stride s.
+type AvgPool2D struct {
+	Name string
+	K, S int
+
+	inShape []int
+}
+
+// NewAvgPool2D builds an average-pool layer.
+func NewAvgPool2D(name string, k, s int) *AvgPool2D { return &AvgPool2D{Name: name, K: k, S: s} }
+
+// Forward implements Module.
+func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h-p.K)/p.S + 1
+	ow := (w-p.K)/p.S + 1
+	out := tensor.New(n, c, oh, ow)
+	inv := 1 / float32(p.K*p.K)
+	if train {
+		p.inShape = x.Shape
+	}
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (s*c + ch) * h * w
+			outBase := (s*c + ch) * oh * ow
+			for y := 0; y < oh; y++ {
+				for xo := 0; xo < ow; xo++ {
+					var sum float32
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							sum += x.Data[inBase+(y*p.S+ky)*w+xo*p.S+kx]
+						}
+					}
+					out.Data[outBase+y*ow+xo] = sum * inv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.inShape == nil {
+		panic("nn: AvgPool2D.Backward without cached forward")
+	}
+	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	oh, ow := grad.Shape[2], grad.Shape[3]
+	dX := tensor.New(p.inShape...)
+	inv := 1 / float32(p.K*p.K)
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (s*c + ch) * h * w
+			outBase := (s*c + ch) * oh * ow
+			for y := 0; y < oh; y++ {
+				for xo := 0; xo < ow; xo++ {
+					g := grad.Data[outBase+y*ow+xo] * inv
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							dX.Data[inBase+(y*p.S+ky)*w+xo*p.S+kx] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dX
+}
+
+// Params implements Module.
+func (p *AvgPool2D) Params() []*Param { return nil }
+
+// Visit implements Module.
+func (p *AvgPool2D) Visit(f func(Module)) { f(p) }
+
+// GlobalAvgPool2D averages each channel to a single value and flattens to
+// [N, C].
+type GlobalAvgPool2D struct {
+	Name    string
+	inShape []int
+}
+
+// NewGlobalAvgPool2D builds a global average pooling layer.
+func NewGlobalAvgPool2D(name string) *GlobalAvgPool2D { return &GlobalAvgPool2D{Name: name} }
+
+// Forward implements Module.
+func (p *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c := x.Shape[0], x.Shape[1]
+	hw := x.Shape[2] * x.Shape[3]
+	out := tensor.New(n, c)
+	inv := 1 / float32(hw)
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			var sum float32
+			base := (s*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				sum += x.Data[base+i]
+			}
+			out.Data[s*c+ch] = sum * inv
+		}
+	}
+	if train {
+		p.inShape = x.Shape
+	}
+	return out
+}
+
+// Backward implements Module.
+func (p *GlobalAvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.inShape == nil {
+		panic("nn: GlobalAvgPool2D.Backward without cached forward")
+	}
+	n, c := p.inShape[0], p.inShape[1]
+	hw := p.inShape[2] * p.inShape[3]
+	dX := tensor.New(p.inShape...)
+	inv := 1 / float32(hw)
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			g := grad.Data[s*c+ch] * inv
+			base := (s*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				dX.Data[base+i] = g
+			}
+		}
+	}
+	return dX
+}
+
+// Params implements Module.
+func (p *GlobalAvgPool2D) Params() []*Param { return nil }
+
+// Visit implements Module.
+func (p *GlobalAvgPool2D) Visit(f func(Module)) { f(p) }
+
+// Flatten reshapes [N, ...] to [N, rest].
+type Flatten struct {
+	Name    string
+	inShape []int
+}
+
+// NewFlatten builds a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{Name: name} }
+
+// Forward implements Module.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		f.inShape = x.Shape
+	}
+	return x.Reshape(x.Shape[0], -1)
+}
+
+// Backward implements Module.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if f.inShape == nil {
+		panic("nn: Flatten.Backward without cached forward")
+	}
+	return grad.Reshape(f.inShape...)
+}
+
+// Params implements Module.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Visit implements Module.
+func (f *Flatten) Visit(fn func(Module)) { fn(f) }
+
+// Linear is a fully connected layer: y = x·Wᵀ + b with x of shape [N, in].
+type Linear struct {
+	Name    string
+	In, Out int
+	Weight  *Param // [Out, In]
+	Bias    *Param // [Out]
+
+	inX *tensor.Tensor
+}
+
+// NewLinear builds a fully connected layer.
+func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
+	w := tensor.New(out, in)
+	rng.KaimingLinear(w)
+	return &Linear{
+		Name: name, In: in, Out: out,
+		Weight: NewParam(name+".weight", w, true),
+		Bias:   NewParam(name+".bias", tensor.New(out), false),
+	}
+}
+
+// Forward implements Module.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Shape[0]
+	if x.Shape[1] != l.In {
+		panic("nn: Linear input size mismatch")
+	}
+	out := tensor.New(n, l.Out)
+	// out = x (n×in) · Wᵀ (in×out)
+	wT := l.Weight.W.Transpose2()
+	tensor.Gemm(x.Data, wT.Data, out.Data, n, l.In, l.Out)
+	for s := 0; s < n; s++ {
+		for o := 0; o < l.Out; o++ {
+			out.Data[s*l.Out+o] += l.Bias.W.Data[o]
+		}
+	}
+	if train {
+		l.inX = x
+	}
+	return out
+}
+
+// Backward implements Module.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.inX == nil {
+		panic("nn: Linear.Backward without cached forward")
+	}
+	n := grad.Shape[0]
+	// dW += gradᵀ (out×n) · x (n×in)
+	gT := grad.Transpose2()
+	tensor.GemmAcc(gT.Data, l.inX.Data, l.Weight.Grad.Data, l.Out, n, l.In)
+	for s := 0; s < n; s++ {
+		for o := 0; o < l.Out; o++ {
+			l.Bias.Grad.Data[o] += grad.Data[s*l.Out+o]
+		}
+	}
+	// dX = grad (n×out) · W (out×in)
+	dX := tensor.New(n, l.In)
+	tensor.Gemm(grad.Data, l.Weight.W.Data, dX.Data, n, l.Out, l.In)
+	l.inX = nil
+	return dX
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// Visit implements Module.
+func (l *Linear) Visit(f func(Module)) { f(l) }

@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCE computes softmax cross-entropy loss over logits [N, classes]
+// with integer labels. It returns the mean loss and the gradient w.r.t.
+// the logits (already divided by the batch size).
+func SoftmaxCE(logits *tensor.Tensor, labels []int) (float32, *tensor.Tensor) {
+	n, c := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic("nn: SoftmaxCE label count mismatch")
+	}
+	grad := tensor.New(n, c)
+	var total float64
+	for s := 0; s < n; s++ {
+		row := logits.Data[s*c : (s+1)*c]
+		mx := row[0]
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - mx))
+		}
+		logSum := math.Log(sum)
+		lbl := labels[s]
+		total += logSum - float64(row[lbl]-mx)
+		for j := 0; j < c; j++ {
+			p := math.Exp(float64(row[j]-mx)) / sum
+			g := float32(p)
+			if j == lbl {
+				g -= 1
+			}
+			grad.Data[s*c+j] = g / float32(n)
+		}
+	}
+	return float32(total / float64(n)), grad
+}
+
+// Softmax returns the row-wise softmax of logits [N, classes].
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n, c := logits.Shape[0], logits.Shape[1]
+	out := tensor.New(n, c)
+	for s := 0; s < n; s++ {
+		row := logits.Data[s*c : (s+1)*c]
+		mx := row[0]
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - mx))
+		}
+		for j := 0; j < c; j++ {
+			out.Data[s*c+j] = float32(math.Exp(float64(row[j]-mx)) / sum)
+		}
+	}
+	return out
+}
+
+// Accuracy returns the top-1 accuracy of logits [N, classes] against labels.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	pred := logits.ArgmaxRows()
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	if len(labels) == 0 {
+		return 0
+	}
+	return float64(correct) / float64(len(labels))
+}

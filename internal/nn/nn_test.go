@@ -1,0 +1,464 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// scalarLoss projects a tensor onto fixed pseudo-random coefficients so we
+// can gradient-check any module against a scalar objective.
+func scalarLoss(t *tensor.Tensor, coeff []float32) float64 {
+	var s float64
+	for i, v := range t.Data {
+		s += float64(v) * float64(coeff[i%len(coeff)])
+	}
+	return s
+}
+
+func lossGrad(t *tensor.Tensor, coeff []float32) *tensor.Tensor {
+	g := tensor.New(t.Shape...)
+	for i := range g.Data {
+		g.Data[i] = coeff[i%len(coeff)]
+	}
+	return g
+}
+
+// gradCheck verifies the analytic input gradient of a module against
+// central finite differences.
+func gradCheck(t *testing.T, m Module, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	rng := tensor.NewRNG(99)
+	coeff := make([]float32, 13)
+	for i := range coeff {
+		coeff[i] = float32(rng.Normal())
+	}
+	out := m.Forward(x, true)
+	dX := m.Backward(lossGrad(out, coeff))
+
+	const eps = 1e-3
+	for _, idx := range []int{0, x.Len() / 3, x.Len() - 1} {
+		orig := x.Data[idx]
+		x.Data[idx] = orig + eps
+		lp := scalarLoss(m.Forward(x, true), coeff)
+		m.Backward(lossGrad(m.Forward(x, true), coeff)) // clear cached state
+		x.Data[idx] = orig - eps
+		lm := scalarLoss(m.Forward(x, true), coeff)
+		m.Backward(lossGrad(m.Forward(x, true), coeff))
+		x.Data[idx] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(dX.Data[idx])
+		if math.Abs(numeric-analytic) > tol*(math.Abs(numeric)+math.Abs(analytic)+1e-2) {
+			t.Fatalf("grad mismatch at %d: numeric %v analytic %v", idx, numeric, analytic)
+		}
+	}
+}
+
+// paramGradCheck verifies a parameter gradient by finite differences.
+func paramGradCheck(t *testing.T, m Module, x *tensor.Tensor, p *Param, tol float64) {
+	t.Helper()
+	rng := tensor.NewRNG(17)
+	coeff := make([]float32, 11)
+	for i := range coeff {
+		coeff[i] = float32(rng.Normal())
+	}
+	p.ZeroGrad()
+	out := m.Forward(x, true)
+	m.Backward(lossGrad(out, coeff))
+	analyticGrad := p.Grad.Clone() // later probe passes keep accumulating
+
+	const eps = 1e-3
+	for _, idx := range []int{0, p.W.Len() / 2, p.W.Len() - 1} {
+		orig := p.W.Data[idx]
+		p.W.Data[idx] = orig + eps
+		lp := scalarLoss(m.Forward(x, true), coeff)
+		m.Backward(lossGrad(m.Forward(x, true), coeff))
+		p.W.Data[idx] = orig - eps
+		lm := scalarLoss(m.Forward(x, true), coeff)
+		m.Backward(lossGrad(m.Forward(x, true), coeff))
+		p.W.Data[idx] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(analyticGrad.Data[idx])
+		if math.Abs(numeric-analytic) > tol*(math.Abs(numeric)+math.Abs(analytic)+1e-2) {
+			t.Fatalf("param grad mismatch at %d: numeric %v analytic %v", idx, numeric, analytic)
+		}
+	}
+}
+
+func TestConv2DForwardKnown(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	c := NewConv2D("c", 1, 1, 3, 1, 1, true, rng)
+	// Identity kernel: 1 at center.
+	c.Weight.W.Zero()
+	c.Weight.W.Data[4] = 1
+	c.Bias.W.Data[0] = 0.5
+	x := tensor.New(1, 1, 2, 2)
+	x.Data = []float32{1, 2, 3, 4}
+	out := c.Forward(x, false)
+	want := []float32{1.5, 2.5, 3.5, 4.5}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("conv out = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestConv2DShapes(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	c := NewConv2D("c", 3, 8, 3, 2, 1, false, rng)
+	x := tensor.New(2, 3, 32, 32)
+	out := c.Forward(x, false)
+	if out.Shape[0] != 2 || out.Shape[1] != 8 || out.Shape[2] != 16 || out.Shape[3] != 16 {
+		t.Fatalf("conv output shape %v", out.Shape)
+	}
+}
+
+func TestConv2DGradients(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	c := NewConv2D("c", 2, 3, 3, 1, 1, true, rng)
+	x := tensor.New(2, 2, 5, 5)
+	rng.FillNormal(x, 0, 1)
+	gradCheck(t, c, x, 0.02)
+	paramGradCheck(t, c, x, c.Weight, 0.02)
+	paramGradCheck(t, c, x, c.Bias, 0.02)
+}
+
+func TestConv2DStridedGradients(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	c := NewConv2D("c", 2, 2, 3, 2, 1, false, rng)
+	x := tensor.New(1, 2, 6, 6)
+	rng.FillNormal(x, 0, 1)
+	gradCheck(t, c, x, 0.02)
+}
+
+func TestBatchNormTrainStats(t *testing.T) {
+	bn := NewBatchNorm2D("bn", 2)
+	rng := tensor.NewRNG(5)
+	x := tensor.New(4, 2, 6, 6)
+	rng.FillNormal(x, 3, 2)
+	out := bn.Forward(x, true)
+	// Per-channel output should be ~N(0,1) (gamma=1, beta=0).
+	for ch := 0; ch < 2; ch++ {
+		var sum, sq float64
+		cnt := 0
+		for s := 0; s < 4; s++ {
+			for i := 0; i < 36; i++ {
+				v := float64(out.At4(s, ch, i/6, i%6))
+				sum += v
+				sq += v * v
+				cnt++
+			}
+		}
+		mean := sum / float64(cnt)
+		vr := sq/float64(cnt) - mean*mean
+		if math.Abs(mean) > 1e-4 || math.Abs(vr-1) > 1e-3 {
+			t.Fatalf("BN ch%d mean %v var %v", ch, mean, vr)
+		}
+	}
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	bn := NewBatchNorm2D("bn", 2)
+	rng := tensor.NewRNG(6)
+	bn.Gamma.W.Data[0] = 1.3
+	bn.Beta.W.Data[1] = -0.4
+	x := tensor.New(3, 2, 4, 4)
+	rng.FillNormal(x, 0, 1)
+	gradCheck(t, bn, x, 0.05)
+	paramGradCheck(t, bn, x, bn.Gamma, 0.05)
+	paramGradCheck(t, bn, x, bn.Beta, 0.05)
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	bn := NewBatchNorm2D("bn", 1)
+	bn.RunningMean.Data[0] = 2
+	bn.RunningVar.Data[0] = 4
+	x := tensor.New(1, 1, 1, 2)
+	x.Data = []float32{2, 6}
+	out := bn.Forward(x, false)
+	// (2-2)/2=0, (6-2)/2=2 (eps tiny)
+	if math.Abs(float64(out.Data[0])) > 1e-3 || math.Abs(float64(out.Data[1])-2) > 1e-3 {
+		t.Fatalf("BN inference out %v", out.Data)
+	}
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := NewReLU("r")
+	x := tensor.NewFrom([]float32{-1, 0, 2}, 1, 3)
+	out := r.Forward(x, true)
+	if out.Data[0] != 0 || out.Data[2] != 2 {
+		t.Fatalf("ReLU out %v", out.Data)
+	}
+	g := tensor.NewFrom([]float32{5, 5, 5}, 1, 3)
+	dx := r.Backward(g)
+	if dx.Data[0] != 0 || dx.Data[1] != 0 || dx.Data[2] != 5 {
+		t.Fatalf("ReLU grad %v", dx.Data)
+	}
+}
+
+func TestMaxPoolForwardBackward(t *testing.T) {
+	p := NewMaxPool2D("p", 2, 2)
+	x := tensor.New(1, 1, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(i)
+	}
+	out := p.Forward(x, true)
+	want := []float32{5, 7, 13, 15}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("maxpool out %v", out.Data)
+		}
+	}
+	g := tensor.NewFrom([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	dx := p.Backward(g)
+	if dx.Data[5] != 1 || dx.Data[7] != 2 || dx.Data[13] != 3 || dx.Data[15] != 4 {
+		t.Fatalf("maxpool grad %v", dx.Data)
+	}
+	var nz int
+	for _, v := range dx.Data {
+		if v != 0 {
+			nz++
+		}
+	}
+	if nz != 4 {
+		t.Fatalf("maxpool grad should route only to argmax cells, got %d nonzero", nz)
+	}
+}
+
+func TestAvgPoolGradients(t *testing.T) {
+	p := NewAvgPool2D("p", 2, 2)
+	rng := tensor.NewRNG(8)
+	x := tensor.New(1, 2, 4, 4)
+	rng.FillNormal(x, 0, 1)
+	gradCheck(t, p, x, 0.01)
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	p := NewGlobalAvgPool2D("g")
+	x := tensor.New(2, 2, 2, 2)
+	for i := range x.Data {
+		x.Data[i] = float32(i)
+	}
+	out := p.Forward(x, true)
+	if out.Shape[0] != 2 || out.Shape[1] != 2 {
+		t.Fatalf("gap shape %v", out.Shape)
+	}
+	if out.Data[0] != 1.5 || out.Data[1] != 5.5 {
+		t.Fatalf("gap out %v", out.Data)
+	}
+	gradCheck(t, p, x, 0.01)
+}
+
+func TestLinearGradients(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	l := NewLinear("fc", 6, 4, rng)
+	x := tensor.New(3, 6)
+	rng.FillNormal(x, 0, 1)
+	gradCheck(t, l, x, 0.02)
+	paramGradCheck(t, l, x, l.Weight, 0.02)
+	paramGradCheck(t, l, x, l.Bias, 0.02)
+}
+
+func TestSoftmaxCE(t *testing.T) {
+	logits := tensor.NewFrom([]float32{10, 0, 0, 0, 10, 0}, 2, 3)
+	loss, grad := SoftmaxCE(logits, []int{0, 1})
+	if loss > 0.01 {
+		t.Fatalf("confident correct logits should have near-zero loss, got %v", loss)
+	}
+	// Gradient rows must sum to 0.
+	for s := 0; s < 2; s++ {
+		var sum float64
+		for j := 0; j < 3; j++ {
+			sum += float64(grad.Data[s*3+j])
+		}
+		if math.Abs(sum) > 1e-5 {
+			t.Fatalf("grad row %d sums to %v", s, sum)
+		}
+	}
+	lossBad, _ := SoftmaxCE(logits, []int{1, 0})
+	if lossBad < 5 {
+		t.Fatalf("wrong labels should have high loss, got %v", lossBad)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	logits := tensor.New(4, 7)
+	rng.FillNormal(logits, 0, 3)
+	p := Softmax(logits)
+	for s := 0; s < 4; s++ {
+		var sum float64
+		for j := 0; j < 7; j++ {
+			v := p.Data[s*7+j]
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax out of range: %v", v)
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("softmax row sums to %v", sum)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.NewFrom([]float32{1, 0, 0, 1}, 2, 2)
+	if a := Accuracy(logits, []int{0, 1}); a != 1 {
+		t.Fatalf("accuracy %v, want 1", a)
+	}
+	if a := Accuracy(logits, []int{1, 1}); a != 0.5 {
+		t.Fatalf("accuracy %v, want 0.5", a)
+	}
+}
+
+func TestResidualIdentity(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	body := NewConv2D("b", 2, 2, 3, 1, 1, false, rng)
+	body.Weight.W.Zero() // body contributes nothing
+	r := NewResidual("res", body, nil, false)
+	x := tensor.New(1, 2, 4, 4)
+	rng.FillNormal(x, 0, 1)
+	out := r.Forward(x, false)
+	for i := range x.Data {
+		if out.Data[i] != x.Data[i] {
+			t.Fatal("zero-body residual must be identity")
+		}
+	}
+}
+
+func TestResidualGradients(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	body := NewSequential("body",
+		NewConv2D("b1", 2, 2, 3, 1, 1, true, rng),
+		NewReLU("r1"),
+		NewConv2D("b2", 2, 2, 3, 1, 1, true, rng),
+	)
+	sc := NewConv2D("sc", 2, 2, 1, 1, 0, false, rng)
+	r := NewResidual("res", body, sc, true)
+	x := tensor.New(1, 2, 4, 4)
+	rng.FillNormal(x, 0, 1)
+	gradCheck(t, r, x, 0.03)
+}
+
+func TestConcatChannelsRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	a := tensor.New(2, 3, 4, 4)
+	b := tensor.New(2, 5, 4, 4)
+	rng.FillNormal(a, 0, 1)
+	rng.FillNormal(b, 0, 1)
+	cat := ConcatChannels(a, b)
+	if cat.Shape[1] != 8 {
+		t.Fatalf("concat channels %v", cat.Shape)
+	}
+	a2, b2 := SplitChannels(cat, 3)
+	if tensor.MaxAbsDiff(a, a2) != 0 || tensor.MaxAbsDiff(b, b2) != 0 {
+		t.Fatal("split(concat) must round-trip")
+	}
+}
+
+func TestConcatGrowthGradients(t *testing.T) {
+	rng := tensor.NewRNG(14)
+	body := NewConv2D("g", 2, 3, 3, 1, 1, true, rng)
+	d := NewConcatGrowth("dense", body)
+	x := tensor.New(1, 2, 4, 4)
+	rng.FillNormal(x, 0, 1)
+	out := d.Forward(x, true)
+	if out.Shape[1] != 5 {
+		t.Fatalf("growth output channels %v", out.Shape)
+	}
+	gradCheck(t, d, x, 0.03)
+}
+
+func TestSequentialComposition(t *testing.T) {
+	rng := tensor.NewRNG(15)
+	seq := NewSequential("net",
+		NewConv2D("c1", 1, 4, 3, 1, 1, false, rng),
+		NewBatchNorm2D("bn1", 4),
+		NewReLU("r1"),
+		NewGlobalAvgPool2D("gap"),
+		NewLinear("fc", 4, 3, rng),
+	)
+	x := tensor.New(2, 1, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	out := seq.Forward(x, false)
+	if out.Shape[0] != 2 || out.Shape[1] != 3 {
+		t.Fatalf("sequential output %v", out.Shape)
+	}
+	if got := len(seq.Params()); got != 5 { // conv w, bn gamma/beta, fc w/b
+		t.Fatalf("param count %d", got)
+	}
+}
+
+func TestConvsVisitOrder(t *testing.T) {
+	rng := tensor.NewRNG(16)
+	inner := NewSequential("inner", NewConv2D("c2", 4, 4, 3, 1, 1, false, rng))
+	seq := NewSequential("net",
+		NewConv2D("c1", 1, 4, 3, 1, 1, false, rng),
+		NewResidual("res", inner, nil, false),
+	)
+	convs := Convs(seq)
+	if len(convs) != 2 || convs[0].Name != "c1" || convs[1].Name != "c2" {
+		t.Fatalf("Convs order wrong: %v", convs)
+	}
+}
+
+func TestFoldBatchNorms(t *testing.T) {
+	rng := tensor.NewRNG(17)
+	conv := NewConv2D("c", 2, 3, 3, 1, 1, false, rng)
+	bn := NewBatchNorm2D("bn", 3)
+	// Give BN nontrivial inference parameters.
+	bn.RunningMean.Data = []float32{0.3, -0.2, 0.1}
+	bn.RunningVar.Data = []float32{1.5, 0.7, 2.2}
+	bn.Gamma.W.Data = []float32{1.1, 0.9, 1.3}
+	bn.Beta.W.Data = []float32{0.05, -0.03, 0.2}
+	seq := NewSequential("net", conv, bn)
+
+	x := tensor.New(2, 2, 6, 6)
+	rng.FillNormal(x, 0, 1)
+	before := seq.Forward(x, false)
+
+	if folds := FoldBatchNorms(seq); folds != 1 {
+		t.Fatalf("folds = %d, want 1", folds)
+	}
+	after := seq.Forward(x, false)
+	if d := tensor.MaxAbsDiff(before, after); d > 1e-4 {
+		t.Fatalf("folding changed inference output by %v", d)
+	}
+	if conv.Bias == nil {
+		t.Fatal("folding must materialize a conv bias")
+	}
+}
+
+type captureExec struct{ called int }
+
+func (e *captureExec) Conv(x *tensor.Tensor, l *Conv2D) *tensor.Tensor {
+	e.called++
+	g := l.Geom(x.Shape[2], x.Shape[3])
+	return tensor.New(x.Shape[0], g.OutC, g.OutH, g.OutW)
+}
+
+func TestConvExecutorHook(t *testing.T) {
+	rng := tensor.NewRNG(18)
+	seq := NewSequential("net",
+		NewConv2D("c1", 1, 2, 3, 1, 1, false, rng),
+		NewConv2D("c2", 2, 2, 3, 1, 1, false, rng),
+	)
+	exec := &captureExec{}
+	SetConvExec(seq, exec)
+	x := tensor.New(1, 1, 4, 4)
+	seq.Forward(x, false)
+	if exec.called != 2 {
+		t.Fatalf("executor called %d times, want 2", exec.called)
+	}
+	// Training must bypass the executor.
+	seq.Forward(x, true)
+	if exec.called != 2 {
+		t.Fatal("executor must not run during training")
+	}
+	SetConvExec(seq, nil)
+	seq.Forward(x, false)
+	if exec.called != 2 {
+		t.Fatal("nil executor must restore the float path")
+	}
+}

@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// Property-based invariants of the layer algebra.
+
+// Convolution is linear: conv(a+b) == conv(a) + conv(b).
+func TestConvLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		c := NewConv2D("c", 2, 3, 3, 1, 1, false, rng)
+		a := tensor.New(1, 2, 6, 6)
+		b := tensor.New(1, 2, 6, 6)
+		rng.FillNormal(a, 0, 1)
+		rng.FillNormal(b, 0, 1)
+
+		sum := a.Clone()
+		sum.Add(b)
+		lhs := c.Forward(sum, false)
+		rhs := c.Forward(a, false)
+		rhs.Add(c.Forward(b, false))
+		return tensor.MaxAbsDiff(lhs, rhs) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Convolution commutes with scaling: conv(k·x) == k·conv(x).
+func TestConvHomogeneityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		c := NewConv2D("c", 2, 2, 3, 1, 1, false, rng)
+		x := tensor.New(1, 2, 5, 5)
+		rng.FillNormal(x, 0, 1)
+		k := float32(1 + rng.Float32()*3)
+
+		scaled := x.Clone()
+		scaled.Scale(k)
+		lhs := c.Forward(scaled, false)
+		rhs := c.Forward(x, false)
+		rhs.Scale(k)
+		return tensor.MaxAbsDiff(lhs, rhs) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ReLU is idempotent: relu(relu(x)) == relu(x).
+func TestReLUIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		r := NewReLU("r")
+		x := tensor.New(1, 40)
+		rng.FillNormal(x, 0, 2)
+		once := r.Forward(x, false)
+		twice := r.Forward(once, false)
+		return tensor.MaxAbsDiff(once, twice) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MaxPool dominates AvgPool pointwise on the same window.
+func TestMaxDominatesAvgProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		mx := NewMaxPool2D("m", 2, 2)
+		av := NewAvgPool2D("a", 2, 2)
+		x := tensor.New(1, 2, 6, 6)
+		rng.FillNormal(x, 0, 1)
+		m := mx.Forward(x, false)
+		a := av.Forward(x, false)
+		for i := range m.Data {
+			if m.Data[i] < a.Data[i]-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Softmax is invariant to constant logit shifts.
+func TestSoftmaxShiftInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		logits := tensor.New(2, 5)
+		rng.FillNormal(logits, 0, 3)
+		p1 := Softmax(logits)
+		shifted := logits.Clone()
+		for i := range shifted.Data {
+			shifted.Data[i] += 7.5
+		}
+		p2 := Softmax(shifted)
+		return tensor.MaxAbsDiff(p1, p2) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Save/Load round-trips arbitrary trained state.
+func TestCheckpointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := smallNet(seed)
+		dst := smallNet(seed + 1000)
+		var buf bytes.Buffer
+		if err := Save(&buf, src); err != nil {
+			return false
+		}
+		if err := Load(&buf, dst); err != nil {
+			return false
+		}
+		x := tensor.New(1, 1, 8, 8)
+		tensor.NewRNG(seed+7).FillUniform(x, 0, 1)
+		return tensor.MaxAbsDiff(src.Forward(x, false), dst.Forward(x, false)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

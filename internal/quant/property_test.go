@@ -1,0 +1,134 @@
+package quant
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// Property-based invariants of the quantization primitives.
+
+// Fake quantization is idempotent: Q(Q(x)) == Q(x).
+func TestActQuantizerIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		q := &ActQuantizer{Bits: 4}
+		x := tensor.New(50)
+		rng.FillNormal(x, 0.5, 0.5)
+		once := q.Forward(x)
+		twice := q.Forward(once)
+		return tensor.MaxAbsDiff(once, twice) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Quantizing an already-on-grid tensor recovers the same codes.
+func TestActCodesStableOnGridProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		x := tensor.New(50)
+		rng.FillUniform(x, 0, 1)
+		q1 := ActCodes(x, 4)
+		onGrid := q1.Dequantize()
+		q2 := ActCodes(onGrid, 4)
+		for i := range q1.Data {
+			if q1.Data[i] != q2.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Weight quantization is odd-symmetric: Q(−w) == −Q(w).
+func TestWeightCodesOddSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		w := tensor.New(60)
+		rng.FillNormal(w, 0, 0.7)
+		q := WeightCodes(w, 4)
+		neg := w.Clone()
+		neg.Scale(-1)
+		qn := WeightCodes(neg, 4)
+		for i := range q.Data {
+			if q.Data[i] != -qn.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The four-part composition (Eq. 3) holds for every random layer and for
+// both split flavors the executor uses.
+func TestEq3CompositionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		c := 1 + rng.Intn(3)
+		h := 4 + rng.Intn(4)
+		o := 1 + rng.Intn(3)
+		x := tensor.New(1, c, h, h)
+		rng.FillUniform(x, 0, 1)
+		w := tensor.New(o, c, 3, 3)
+		rng.FillNormal(w, 0, 0.4)
+
+		qx := ActCodes(x, 4)
+		qw := WeightCodes(w, 4)
+		full, _ := ConvAccum(qx, qw, 1, 1)
+
+		xh, xl := SplitCodesRounded(qx, 2, false)
+		wh, wl := SplitCodesRounded(qw, 2, true)
+		hh, _ := ConvAccum(xh, wh, 1, 1)
+		hl, _ := ConvAccum(xh, wl, 1, 1)
+		lh, _ := ConvAccum(xl, wh, 1, 1)
+		ll, _ := ConvAccum(xl, wl, 1, 1)
+		for i := range full {
+			if hh[i]<<4+(hl[i]+lh[i])<<2+ll[i] != full[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Per-channel quantization error never exceeds per-tensor error by more
+// than float jitter (per-channel grids are at least as fine per filter).
+func TestPerChannelAtLeastAsAccurateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		w := tensor.New(4, 2, 3, 3)
+		rng.FillNormal(w, 0, 0.5)
+		// Exaggerate one filter to stress the per-tensor grid.
+		for i := 0; i < 18; i++ {
+			w.Data[i] *= 8
+		}
+		qT := WeightCodes(w, 4)
+		deqT := qT.Dequantize()
+		qC, scales := WeightCodesPerChannel(w, 4)
+		deqC := tensor.New(w.Shape...)
+		per := w.Len() / 4
+		for o := 0; o < 4; o++ {
+			for i := 0; i < per; i++ {
+				deqC.Data[o*per+i] = float32(qC.Data[o*per+i]) * scales[o]
+			}
+		}
+		errT := tensor.MeanAbsDiff(w, deqT)
+		errC := tensor.MeanAbsDiff(w, deqC)
+		return errC <= errT*1.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,370 @@
+// Package quant implements the quantization primitives shared by every
+// scheme in this reproduction: DoReFa-style fake quantizers for
+// quantization-aware training, integer code extraction with per-tensor
+// scales, the high/low bit split at the heart of ODQ (Eq. 3 of the paper),
+// and static INT-k integer inference executors (the DoReFa-Net INT16/INT8
+// baselines of the evaluation).
+package quant
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ActLevels returns the number of positive quantization levels for an
+// unsigned k-bit activation code (2^k − 1).
+func ActLevels(bits int) int32 { return int32(1<<uint(bits)) - 1 }
+
+// WeightLevels returns the maximum magnitude of a signed symmetric k-bit
+// weight code (2^(k−1) − 1).
+func WeightLevels(bits int) int32 { return int32(1<<uint(bits-1)) - 1 }
+
+// ActQuantizer fake-quantizes activations DoReFa style: clamp to [0,1],
+// then snap to the uniform unsigned k-bit grid. Backward is the straight-
+// through estimator masked to the clamp range.
+type ActQuantizer struct {
+	Bits int
+}
+
+// Forward implements nn.FakeQuant.
+func (q *ActQuantizer) Forward(x *tensor.Tensor) *tensor.Tensor {
+	levels := float32(ActLevels(q.Bits))
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		out.Data[i] = float32(math.Round(float64(v*levels))) / levels
+	}
+	return out
+}
+
+// Backward implements nn.FakeQuant (STE with clip-range mask).
+func (q *ActQuantizer) Backward(grad, x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape...)
+	for i, v := range x.Data {
+		if v >= 0 && v <= 1 {
+			out.Data[i] = grad.Data[i]
+		}
+	}
+	return out
+}
+
+// WeightClipSigma bounds the symmetric weight-quantization range at this
+// many standard deviations (when below the max-abs value). Like DoReFa's
+// tanh normalization, clipping the Gaussian tails spreads the integer
+// codes across the full range — without it almost no weight reaches the
+// high-order code bits and ODQ's 2-bit sensitivity predictor goes blind.
+const WeightClipSigma = 2.0
+
+// weightScale returns the shared quantization step for a weight tensor:
+// symmetric, σ-clipped at low bit widths (≤4, where spreading the codes
+// matters and quantization-aware training absorbs the clipping), plain
+// max-abs at higher widths (where requantizing an already-trained tensor
+// must stay lossless).
+func weightScale(w *tensor.Tensor, bits int) float32 {
+	levels := float32(WeightLevels(bits))
+	mx := w.AbsMax()
+	if mx == 0 {
+		return 0
+	}
+	if bits > 4 {
+		return mx / levels
+	}
+	var sum, sq float64
+	for _, v := range w.Data {
+		sum += float64(v)
+		sq += float64(v) * float64(v)
+	}
+	n := float64(w.Len())
+	mean := sum / n
+	sd := math.Sqrt(sq/n - mean*mean)
+	bound := float32(WeightClipSigma * sd)
+	if bound == 0 || bound > mx {
+		bound = mx
+	}
+	return bound / levels
+}
+
+// WeightQuantizer fake-quantizes weights with a symmetric σ-clipped k-bit
+// grid. Backward is a pure straight-through estimator.
+type WeightQuantizer struct {
+	Bits int
+}
+
+// Forward implements nn.FakeQuant.
+func (q *WeightQuantizer) Forward(w *tensor.Tensor) *tensor.Tensor {
+	levels := float32(WeightLevels(q.Bits))
+	out := tensor.New(w.Shape...)
+	scale := weightScale(w, q.Bits)
+	if scale == 0 {
+		return out
+	}
+	for i, v := range w.Data {
+		c := float32(math.Round(float64(v / scale)))
+		if c > levels {
+			c = levels
+		} else if c < -levels {
+			c = -levels
+		}
+		out.Data[i] = c * scale
+	}
+	return out
+}
+
+// Backward implements nn.FakeQuant (pass-through STE).
+func (q *WeightQuantizer) Backward(grad, _ *tensor.Tensor) *tensor.Tensor {
+	return grad.Clone()
+}
+
+// Compile-time interface checks.
+var (
+	_ nn.FakeQuant = (*ActQuantizer)(nil)
+	_ nn.FakeQuant = (*WeightQuantizer)(nil)
+)
+
+// QuantReLU is the clipped, quantized activation layer that replaces ReLU
+// in quantization-aware training (where DoReFa clips activations to [0,1]).
+// At inference its output lies exactly on the unsigned k-bit grid, so
+// downstream integer executors recover codes losslessly.
+type QuantReLU struct {
+	Name string
+	Bits int
+	// Range is the clipping range in input units (PACT-style α): the
+	// layer computes quantize(clamp(x/Range, 0, 1)), so its *output*
+	// always lies on the [0,1] k-bit grid regardless of Range and the
+	// integer executors need no per-layer range plumbing. A Range wider
+	// than 1 keeps gradients alive through deep stacks (a hard [0,1]
+	// clip saturates ~2/3 of a unit-normal pre-activation and deep
+	// ResNets stop training). Zero means 1.
+	Range float32
+	// Relaxed keeps the clipping but skips the discretization — the
+	// warm-up phase of quantization-aware training. Training first with
+	// the clip and only then with the grid makes the QAT transition
+	// mild (deep networks fail to train when both land at once).
+	Relaxed bool
+
+	inX *tensor.Tensor
+}
+
+// NewQuantReLU builds the quantized activation layer.
+func NewQuantReLU(name string, bits int) *QuantReLU {
+	return &QuantReLU{Name: name, Bits: bits}
+}
+
+func (q *QuantReLU) rng() float32 {
+	if q.Range <= 0 {
+		return 1
+	}
+	return q.Range
+}
+
+// Forward implements nn.Module.
+func (q *QuantReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		q.inX = x
+	}
+	r := q.rng()
+	out := tensor.New(x.Shape...)
+	levels := float32(ActLevels(q.Bits))
+	for i, v := range x.Data {
+		v /= r
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		if !q.Relaxed {
+			v = float32(math.Round(float64(v*levels))) / levels
+		}
+		out.Data[i] = v
+	}
+	return out
+}
+
+// Backward implements nn.Module: clipped-range straight-through gradient
+// (both modes).
+func (q *QuantReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if q.inX == nil {
+		panic("quant: QuantReLU.Backward without cached forward")
+	}
+	defer func() { q.inX = nil }()
+	r := q.rng()
+	dx := tensor.New(grad.Shape...)
+	for i, v := range q.inX.Data {
+		if v >= 0 && v <= r {
+			dx.Data[i] = grad.Data[i] / r
+		}
+	}
+	return dx
+}
+
+// Params implements nn.Module.
+func (q *QuantReLU) Params() []*nn.Param { return nil }
+
+// Visit implements nn.Module.
+func (q *QuantReLU) Visit(f func(nn.Module)) { f(q) }
+
+// ActCodes quantizes a float activation tensor to unsigned k-bit integer
+// codes (clamping to [0,1] first, per the DoReFa convention).
+func ActCodes(x *tensor.Tensor, bits int) *tensor.IntTensor {
+	levels := ActLevels(bits)
+	scale := 1 / float32(levels)
+	out := tensor.NewInt(bits, scale, x.Shape...)
+	fl := float64(levels)
+	for i, v := range x.Data {
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		out.Data[i] = int32(math.Round(float64(v) * fl))
+	}
+	return out
+}
+
+// WeightCodes quantizes a float weight tensor to signed symmetric k-bit
+// integer codes with the shared σ-clipped per-tensor scale (identical to
+// the grid WeightQuantizer trains against).
+func WeightCodes(w *tensor.Tensor, bits int) *tensor.IntTensor {
+	levels := WeightLevels(bits)
+	scale := weightScale(w, bits)
+	if scale == 0 {
+		return tensor.NewInt(bits, 1, w.Shape...)
+	}
+	out := tensor.NewInt(bits, scale, w.Shape...)
+	for i, v := range w.Data {
+		c := int32(math.Round(float64(v / scale)))
+		if c > levels {
+			c = levels
+		} else if c < -levels {
+			c = -levels
+		}
+		out.Data[i] = c
+	}
+	return out
+}
+
+// SplitCodes splits each code into its high-order and low-order parts
+// using the exact two's-complement identity c = (c>>n)<<n + (c & (2^n−1)).
+// The high tensor's scale absorbs the 2^n shift so hi.Dequantize() +
+// lo.Dequantize() reconstructs the original real values exactly. Use this
+// split for unsigned activation codes.
+func SplitCodes(t *tensor.IntTensor, lowBits int) (hi, lo *tensor.IntTensor) {
+	mask := int32(1<<uint(lowBits)) - 1
+	hi = tensor.NewInt(t.Bits-lowBits, t.Scale*float32(int32(1)<<uint(lowBits)), t.Shape...)
+	lo = tensor.NewInt(lowBits, t.Scale, t.Shape...)
+	for i, c := range t.Data {
+		hi.Data[i] = c >> uint(lowBits)
+		lo.Data[i] = c & mask
+	}
+	return hi, lo
+}
+
+// SplitCodesSigned splits signed codes sign-magnitude style:
+// hi = sign(c)·(|c|>>n), lo = sign(c)·(|c| & (2^n−1)), so that
+// c = hi<<n + lo exactly while the low part stays zero-centered
+// (lo ∈ [−(2^n−1), 2^n−1]). This is the split ODQ needs for weights: with
+// a two's-complement split the low parts would be systematically
+// non-negative and the predictor (high×high) term would carry a large
+// bias on the insensitive outputs it approximates; the sign-magnitude
+// split makes the dropped partial products zero-mean, which is what makes
+// "the output is dominated by the high-order bits" (paper §3) hold.
+func SplitCodesSigned(t *tensor.IntTensor, lowBits int) (hi, lo *tensor.IntTensor) {
+	mask := int32(1<<uint(lowBits)) - 1
+	hi = tensor.NewInt(t.Bits-lowBits, t.Scale*float32(int32(1)<<uint(lowBits)), t.Shape...)
+	lo = tensor.NewInt(lowBits, t.Scale, t.Shape...)
+	for i, c := range t.Data {
+		neg := c < 0
+		a := c
+		if neg {
+			a = -a
+		}
+		h := a >> uint(lowBits)
+		l := a & mask
+		if neg {
+			h = -h
+			l = -l
+		}
+		hi.Data[i] = h
+		lo.Data[i] = l
+	}
+	return hi, lo
+}
+
+// SplitCodesRounded splits codes with *round-to-nearest* high parts:
+// hi = clamp(round(c / 2^n)), lo = c − hi·2^n. Compared with truncation
+// this shrinks the predictor's dead zone to |c| ≤ 2^(n−1)−1 (nearly every
+// operand contributes its sign and coarse magnitude to the high bits,
+// like DoReFa's zero-free grid) and keeps the residual zero-centered
+// (|lo| ≤ 2^n − 1). This is the split the ODQ predictor uses. When
+// signed, hi is clamped to the 2-bit two's-complement range [−2, 1];
+// unsigned hi clamps to [0, 2^(bits−n)−1].
+func SplitCodesRounded(t *tensor.IntTensor, lowBits int, signed bool) (hi, lo *tensor.IntTensor) {
+	n := uint(lowBits)
+	hiBits := t.Bits - lowBits
+	var hiMin, hiMax int32
+	if signed {
+		hiMin = -(int32(1) << uint(hiBits-1))
+		hiMax = int32(1)<<uint(hiBits-1) - 1
+	} else {
+		hiMin = 0
+		hiMax = int32(1)<<uint(hiBits) - 1
+	}
+	half := int32(1) << (n - 1)
+	step := int32(1) << n
+	hi = tensor.NewInt(hiBits, t.Scale*float32(step), t.Shape...)
+	lo = tensor.NewInt(lowBits+1, t.Scale, t.Shape...)
+	for i, c := range t.Data {
+		var h int32
+		if c >= 0 {
+			h = (c + half) / step
+		} else {
+			h = -((-c + half) / step)
+		}
+		if h < hiMin {
+			h = hiMin
+		} else if h > hiMax {
+			h = hiMax
+		}
+		hi.Data[i] = h
+		lo.Data[i] = c - h*step
+	}
+	return hi, lo
+}
+
+// ConvAccum runs an integer convolution of quantized activations
+// x [N,C,H,W] with quantized weights w [O,C,K,K], returning the raw int64
+// accumulators laid out [N,O,OH,OW] together with the geometry. The real
+// value of accumulator i is acc[i] * x.Scale * w.Scale.
+func ConvAccum(x, w *tensor.IntTensor, stride, pad int) ([]int64, tensor.ConvGeom) {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outC, k := w.Shape[0], w.Shape[2]
+	if w.Shape[1] != c {
+		panic("quant: ConvAccum channel mismatch")
+	}
+	g := tensor.Geometry(c, h, wd, outC, k, stride, pad)
+	rows, cols := g.ColRows(), g.ColCols()
+	acc := make([]int64, n*outC*cols)
+	buf := make([]int32, rows*cols)
+	per := c * h * wd
+	for s := 0; s < n; s++ {
+		tensor.Im2colInt(x.Data[s*per:(s+1)*per], g, buf)
+		tensor.GemmInt(w.Data, buf, acc[s*outC*cols:(s+1)*outC*cols], outC, rows, cols)
+	}
+	return acc, g
+}
+
+// DequantAccum converts raw accumulators into a float tensor using the
+// product of the two operand scales.
+func DequantAccum(acc []int64, scale float32, n int, g tensor.ConvGeom) *tensor.Tensor {
+	out := tensor.New(n, g.OutC, g.OutH, g.OutW)
+	for i, a := range acc {
+		out.Data[i] = float32(a) * scale
+	}
+	return out
+}

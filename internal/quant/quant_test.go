@@ -1,0 +1,439 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestLevels(t *testing.T) {
+	if ActLevels(4) != 15 || ActLevels(2) != 3 || ActLevels(8) != 255 {
+		t.Fatal("ActLevels wrong")
+	}
+	if WeightLevels(4) != 7 || WeightLevels(2) != 1 || WeightLevels(8) != 127 {
+		t.Fatal("WeightLevels wrong")
+	}
+}
+
+func TestActCodesRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	x := tensor.New(100)
+	rng.FillUniform(x, 0, 1)
+	for _, bits := range []int{2, 4, 8, 16} {
+		q := ActCodes(x, bits)
+		d := q.Dequantize()
+		maxErr := tensor.MaxAbsDiff(x, d)
+		half := q.Scale / 2
+		if maxErr > half*1.0001 {
+			t.Fatalf("bits=%d: round-trip error %v exceeds half-step %v", bits, maxErr, half)
+		}
+		for _, c := range q.Data {
+			if c < 0 || c > ActLevels(bits) {
+				t.Fatalf("bits=%d: code %d out of range", bits, c)
+			}
+		}
+	}
+}
+
+func TestActCodesClamps(t *testing.T) {
+	x := tensor.NewFrom([]float32{-5, 0.5, 7}, 3)
+	q := ActCodes(x, 4)
+	if q.Data[0] != 0 || q.Data[2] != 15 {
+		t.Fatalf("clamping wrong: %v", q.Data)
+	}
+}
+
+func TestWeightCodesSymmetric(t *testing.T) {
+	x := tensor.NewFrom([]float32{-1, -0.5, 0, 0.5, 1}, 5)
+	q := WeightCodes(x, 4)
+	if q.Data[0] != -7 || q.Data[4] != 7 || q.Data[2] != 0 {
+		t.Fatalf("weight codes %v", q.Data)
+	}
+	// Quantizing the negation must negate the codes (symmetry).
+	neg := x.Clone()
+	neg.Scale(-1)
+	qn := WeightCodes(neg, 4)
+	for i := range q.Data {
+		if q.Data[i] != -qn.Data[i] {
+			t.Fatal("weight quantization must be odd-symmetric")
+		}
+	}
+}
+
+func TestWeightCodesZeroTensor(t *testing.T) {
+	q := WeightCodes(tensor.New(4), 4)
+	for _, c := range q.Data {
+		if c != 0 {
+			t.Fatal("zero tensor must quantize to zero codes")
+		}
+	}
+}
+
+func TestSplitCodesExactRecomposition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		x := tensor.New(64)
+		rng.FillNormal(x, 0, 0.5)
+		q := WeightCodes(x, 4)
+		hi, lo := SplitCodes(q, 2)
+		for i, c := range q.Data {
+			if hi.Data[i]<<2+lo.Data[i] != c {
+				return false
+			}
+			if lo.Data[i] < 0 || lo.Data[i] > 3 {
+				return false
+			}
+			if hi.Data[i] < -2 || hi.Data[i] > 1 {
+				return false
+			}
+		}
+		// Dequantized halves must sum to the dequantized whole.
+		whole := q.Dequantize()
+		sum := hi.Dequantize()
+		sum.Add(lo.Dequantize())
+		return tensor.MaxAbsDiff(whole, sum) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitCodesUnsignedActs(t *testing.T) {
+	x := tensor.New(32)
+	tensor.NewRNG(4).FillUniform(x, 0, 1)
+	q := ActCodes(x, 4)
+	hi, lo := SplitCodes(q, 2)
+	for i, c := range q.Data {
+		if hi.Data[i]<<2+lo.Data[i] != c {
+			t.Fatal("unsigned split must recompose")
+		}
+		if hi.Data[i] < 0 || hi.Data[i] > 3 {
+			t.Fatalf("unsigned high part out of range: %d", hi.Data[i])
+		}
+	}
+}
+
+func TestSplitCodesSignedProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		x := tensor.New(64)
+		rng.FillNormal(x, 0, 0.5)
+		q := WeightCodes(x, 4)
+		hi, lo := SplitCodesSigned(q, 2)
+		for i, c := range q.Data {
+			if hi.Data[i]<<2+lo.Data[i] != c {
+				return false
+			}
+			if lo.Data[i] < -3 || lo.Data[i] > 3 {
+				return false
+			}
+			if hi.Data[i] < -1 || hi.Data[i] > 1 {
+				return false
+			}
+			// Signs must agree (sign-magnitude split).
+			if c > 0 && (hi.Data[i] < 0 || lo.Data[i] < 0) {
+				return false
+			}
+			if c < 0 && (hi.Data[i] > 0 || lo.Data[i] > 0) {
+				return false
+			}
+		}
+		whole := q.Dequantize()
+		sum := hi.Dequantize()
+		sum.Add(lo.Dequantize())
+		return tensor.MaxAbsDiff(whole, sum) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignedSplitLowPartZeroMean(t *testing.T) {
+	// The whole point of the sign-magnitude split: over symmetric
+	// weights the low parts average to ~0, so the predictor term is an
+	// unbiased estimate of the full sum. The two's-complement split
+	// has strictly non-negative low parts instead.
+	rng := tensor.NewRNG(42)
+	w := tensor.New(4096)
+	rng.FillNormal(w, 0, 0.4)
+	q := WeightCodes(w, 4)
+	_, loS := SplitCodesSigned(q, 2)
+	_, loU := SplitCodes(q, 2)
+	var sumS, sumU float64
+	for i := range loS.Data {
+		sumS += float64(loS.Data[i])
+		sumU += float64(loU.Data[i])
+	}
+	meanS := sumS / float64(loS.Len())
+	meanU := sumU / float64(loU.Len())
+	if math.Abs(meanS) > 0.2 {
+		t.Fatalf("signed split low-part mean %v not near zero", meanS)
+	}
+	if meanU < 0.5 {
+		t.Fatalf("two's-complement low-part mean %v should be clearly positive", meanU)
+	}
+}
+
+func TestSplitCodesRoundedExactAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		w := tensor.New(64)
+		rng.FillNormal(w, 0, 0.5)
+		q := WeightCodes(w, 4)
+		hi, lo := SplitCodesRounded(q, 2, true)
+		for i, c := range q.Data {
+			if hi.Data[i]<<2+lo.Data[i] != c {
+				return false
+			}
+			if hi.Data[i] < -2 || hi.Data[i] > 1 {
+				return false
+			}
+			if lo.Data[i] < -3 || lo.Data[i] > 3 {
+				return false
+			}
+		}
+		a := tensor.New(64)
+		rng.FillUniform(a, 0, 1)
+		qa := ActCodes(a, 4)
+		ah, al := SplitCodesRounded(qa, 2, false)
+		for i, c := range qa.Data {
+			if ah.Data[i]<<2+al.Data[i] != c {
+				return false
+			}
+			if ah.Data[i] < 0 || ah.Data[i] > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundedSplitShrinksDeadZone(t *testing.T) {
+	// Rounding to nearest means only |c| ≤ 1 lands in the predictor's
+	// dead zone; with truncation everything below |c| = 4 vanished.
+	q := tensor.NewInt(4, 1, 15)
+	for i := range q.Data {
+		q.Data[i] = int32(i) - 7 // -7..7
+	}
+	hi, _ := SplitCodesRounded(q, 2, true)
+	for i, c := range q.Data {
+		wantZero := c >= -1 && c <= 1
+		isZero := hi.Data[i] == 0
+		if wantZero != isZero {
+			t.Fatalf("code %d: hi=%d (zero=%v, want %v)", c, hi.Data[i], isZero, wantZero)
+		}
+	}
+}
+
+// TestFourPartComposition verifies the paper's Eq. 3: the full integer
+// convolution equals the sum of the four partial convolutions
+// HH<<4 + (HL+LH)<<2 + LL, exactly, on integer accumulators.
+func TestFourPartComposition(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	x := tensor.New(1, 3, 8, 8)
+	rng.FillUniform(x, 0, 1)
+	w := tensor.New(4, 3, 3, 3)
+	rng.FillNormal(w, 0, 0.3)
+
+	qx := ActCodes(x, 4)
+	qw := WeightCodes(w, 4)
+	full, g := ConvAccum(qx, qw, 1, 1)
+
+	xh, xl := SplitCodes(qx, 2)
+	wh, wl := SplitCodesSigned(qw, 2) // mixed splits, as the ODQ executor uses
+	hh, _ := ConvAccum(xh, wh, 1, 1)
+	hl, _ := ConvAccum(xh, wl, 1, 1)
+	lh, _ := ConvAccum(xl, wh, 1, 1)
+	ll, _ := ConvAccum(xl, wl, 1, 1)
+	_ = g
+	for i := range full {
+		composed := hh[i]<<4 + (hl[i]+lh[i])<<2 + ll[i]
+		if composed != full[i] {
+			t.Fatalf("Eq.3 violated at %d: %d vs %d", i, composed, full[i])
+		}
+	}
+}
+
+func TestConvAccumMatchesFloatConv(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	x := tensor.New(2, 2, 6, 6)
+	rng.FillUniform(x, 0, 1)
+	// Uniform weights keep max|w| below the σ-clip bound, so the grid
+	// covers every weight exactly.
+	w := tensor.New(3, 2, 3, 3)
+	rng.FillUniform(w, -0.5, 0.5)
+
+	// High-precision quantized conv should track the float conv closely.
+	qx := ActCodes(x, 16)
+	qw := WeightCodes(w, 16)
+	acc, g := ConvAccum(qx, qw, 1, 1)
+	got := DequantAccum(acc, qx.Scale*qw.Scale, 2, g)
+
+	conv := nn.NewConv2D("c", 2, 3, 3, 1, 1, false, rng)
+	conv.Weight.W = w
+	want := conv.Forward(x, false)
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
+		t.Fatalf("INT16 conv deviates from float conv by %v", d)
+	}
+}
+
+func TestActQuantizerForwardGrid(t *testing.T) {
+	q := &ActQuantizer{Bits: 2} // grid {0, 1/3, 2/3, 1}
+	x := tensor.NewFrom([]float32{-1, 0.1, 0.5, 0.9, 2}, 5)
+	out := q.Forward(x)
+	want := []float32{0, 0, float32(math.Round(0.5*3)) / 3, 1, 1}
+	for i := range want {
+		if math.Abs(float64(out.Data[i]-want[i])) > 1e-6 {
+			t.Fatalf("grid value %d: %v want %v", i, out.Data[i], want[i])
+		}
+	}
+}
+
+func TestActQuantizerBackwardMask(t *testing.T) {
+	q := &ActQuantizer{Bits: 4}
+	x := tensor.NewFrom([]float32{-0.5, 0.5, 1.5}, 3)
+	g := tensor.NewFrom([]float32{1, 1, 1}, 3)
+	dx := q.Backward(g, x)
+	if dx.Data[0] != 0 || dx.Data[1] != 1 || dx.Data[2] != 0 {
+		t.Fatalf("STE mask wrong: %v", dx.Data)
+	}
+}
+
+func TestWeightQuantizerMatchesCodes(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	w := tensor.New(40)
+	rng.FillNormal(w, 0, 1)
+	q := &WeightQuantizer{Bits: 4}
+	fq := q.Forward(w)
+	codes := WeightCodes(w, 4)
+	deq := codes.Dequantize()
+	if d := tensor.MaxAbsDiff(fq, deq); d > 1e-6 {
+		t.Fatalf("fake-quant and integer codes disagree by %v", d)
+	}
+}
+
+func TestQuantReLUActsAsClippedReLU(t *testing.T) {
+	q := NewQuantReLU("q", 4)
+	x := tensor.NewFrom([]float32{-1, 0.5, 3}, 1, 3)
+	out := q.Forward(x, true)
+	if out.Data[0] != 0 || out.Data[2] != 1 {
+		t.Fatalf("QuantReLU out %v", out.Data)
+	}
+	g := tensor.NewFrom([]float32{2, 2, 2}, 1, 3)
+	dx := q.Backward(g)
+	if dx.Data[0] != 0 || dx.Data[1] != 2 || dx.Data[2] != 0 {
+		t.Fatalf("QuantReLU grad %v", dx.Data)
+	}
+	if q.Params() != nil {
+		t.Fatal("QuantReLU has no params")
+	}
+}
+
+func TestStaticExecAccuracyOrdering(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	conv := nn.NewConv2D("c", 3, 4, 3, 1, 1, true, rng)
+	// Uniform weights avoid σ-clipping so the only error is grid width.
+	rng.FillUniform(conv.Weight.W, -0.5, 0.5)
+	x := tensor.New(1, 3, 8, 8)
+	rng.FillUniform(x, 0, 1)
+	ref := conv.Forward(x, false)
+
+	var errs []float32
+	for _, bits := range []int{2, 4, 8, 16} {
+		conv.Exec = NewStaticExec(bits)
+		got := conv.Forward(x, false)
+		errs = append(errs, tensor.MeanAbsDiff(ref, got))
+	}
+	conv.Exec = nil
+	for i := 1; i < len(errs); i++ {
+		if errs[i] > errs[i-1] {
+			t.Fatalf("error must shrink with more bits: %v", errs)
+		}
+	}
+	if errs[3] > 1e-3 {
+		t.Fatalf("INT16 error too large: %v", errs[3])
+	}
+}
+
+func TestStaticExecBiasPreserved(t *testing.T) {
+	rng := tensor.NewRNG(14)
+	conv := nn.NewConv2D("c", 1, 1, 1, 1, 0, true, rng)
+	conv.Weight.W.Data[0] = 0 // conv contributes nothing
+	conv.Bias.W.Data[0] = 1.25
+	conv.Exec = NewStaticExec(8)
+	x := tensor.New(1, 1, 2, 2)
+	out := conv.Forward(x, false)
+	for _, v := range out.Data {
+		if v != 1.25 {
+			t.Fatalf("bias lost through executor: %v", out.Data)
+		}
+	}
+}
+
+func TestStaticExecWeightCache(t *testing.T) {
+	rng := tensor.NewRNG(15)
+	conv := nn.NewConv2D("c", 1, 1, 3, 1, 1, false, rng)
+	e := NewStaticExec(8)
+	conv.Exec = e
+	x := tensor.New(1, 1, 4, 4)
+	rng.FillUniform(x, 0, 1)
+	out1 := conv.Forward(x, false)
+	// Mutate weights without invalidating: cached codes must still be used.
+	old := conv.Weight.W.Data[0]
+	conv.Weight.W.Data[0] = old + 100
+	out2 := conv.Forward(x, false)
+	if tensor.MaxAbsDiff(out1, out2) != 0 {
+		t.Fatal("cache should have served stale codes")
+	}
+	e.InvalidateCache()
+	out3 := conv.Forward(x, false)
+	if tensor.MaxAbsDiff(out1, out3) == 0 {
+		t.Fatal("InvalidateCache must requantize")
+	}
+}
+
+func TestProfilerAccumulates(t *testing.T) {
+	rng := tensor.NewRNG(16)
+	conv := nn.NewConv2D("c1", 1, 2, 3, 1, 1, false, rng)
+	e := NewStaticExec(8)
+	e.Enabled = true
+	conv.Exec = e
+	x := tensor.New(2, 1, 4, 4)
+	conv.Forward(x, false)
+	conv.Forward(x, false)
+	ps := e.Profiles()
+	if len(ps) != 1 {
+		t.Fatalf("profiles = %d, want 1 (merged)", len(ps))
+	}
+	p := ps[0]
+	if p.Batch != 4 {
+		t.Fatalf("batch accumulation = %d, want 4", p.Batch)
+	}
+	if p.TotalOutputs != 4*2*4*4 {
+		t.Fatalf("TotalOutputs = %d", p.TotalOutputs)
+	}
+	if p.TotalMACs != 4*int64(2*4*4)*9 {
+		t.Fatalf("TotalMACs = %d", p.TotalMACs)
+	}
+	e.Reset()
+	if len(e.Profiles()) != 0 {
+		t.Fatal("Reset must clear profiles")
+	}
+}
+
+func TestProfilerDisabledByDefault(t *testing.T) {
+	rng := tensor.NewRNG(17)
+	conv := nn.NewConv2D("c1", 1, 1, 3, 1, 1, false, rng)
+	e := NewStaticExec(8)
+	conv.Exec = e
+	conv.Forward(tensor.New(1, 1, 4, 4), false)
+	if len(e.Profiles()) != 0 {
+		t.Fatal("profiler must be off unless enabled")
+	}
+}

@@ -1,0 +1,148 @@
+package quant
+
+import (
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// LayerProfile records what one conv layer did under a quantization scheme
+// during inference. The accelerator simulator consumes these records —
+// mirroring the paper's methodology of dumping per-layer mask maps from the
+// framework into a cycle simulator (§5.2).
+type LayerProfile struct {
+	// Name is the conv layer's name; Index its order in the network
+	// (C1, C2, ... in the paper's figures).
+	Name  string
+	Index int
+	Geom  tensor.ConvGeom
+	Batch int
+
+	// TotalOutputs counts output features across the batch.
+	TotalOutputs int64
+	// SensitiveOutputs counts outputs the scheme computed at high
+	// precision (ODQ: predicted-sensitive; DRQ/static: not used the same
+	// way — see scheme docs).
+	SensitiveOutputs int64
+
+	// HighInputMACs counts MACs whose input operand was high-precision;
+	// TotalMACs counts all MACs. Used by the DRQ cost model.
+	HighInputMACs int64
+	TotalMACs     int64
+
+	// Mask, when retained, is the per-output sensitivity bitmask laid
+	// out [batch][outC*outH*outW] flattened; true = sensitive.
+	Mask []bool
+}
+
+// Profiler accumulates per-layer profiles during an inference pass.
+// Executors embed it; callers Reset it between runs.
+type Profiler struct {
+	Enabled   bool
+	KeepMasks bool
+	mu        sync.Mutex
+	profiles  []*LayerProfile
+	index     map[string]int
+}
+
+// Reset clears accumulated profiles.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.profiles = nil
+	p.index = nil
+}
+
+// Profiles returns the accumulated per-layer records in network order.
+func (p *Profiler) Profiles() []*LayerProfile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*LayerProfile(nil), p.profiles...)
+}
+
+// Record merges a layer observation into the profile set, accumulating
+// counts across batches for repeat visits to the same layer.
+func (p *Profiler) Record(lp *LayerProfile) {
+	if !p.Enabled {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.index == nil {
+		p.index = make(map[string]int)
+	}
+	if i, ok := p.index[lp.Name]; ok {
+		ex := p.profiles[i]
+		ex.Batch += lp.Batch
+		ex.TotalOutputs += lp.TotalOutputs
+		ex.SensitiveOutputs += lp.SensitiveOutputs
+		ex.HighInputMACs += lp.HighInputMACs
+		ex.TotalMACs += lp.TotalMACs
+		if p.KeepMasks {
+			ex.Mask = append(ex.Mask, lp.Mask...)
+		}
+		return
+	}
+	lp.Index = len(p.profiles)
+	if !p.KeepMasks {
+		lp.Mask = nil
+	}
+	p.index[lp.Name] = len(p.profiles)
+	p.profiles = append(p.profiles, lp)
+}
+
+// StaticExec is the DoReFa-Net-style static quantization executor: every
+// conv input and weight is quantized to the same fixed bit width (INT16,
+// INT8, INT4 ... per the paper's baselines) and the convolution runs in
+// integer arithmetic.
+type StaticExec struct {
+	Bits int
+	Profiler
+
+	mu     sync.Mutex
+	wcache map[*nn.Conv2D]*tensor.IntTensor
+}
+
+// NewStaticExec builds a static INT-k executor.
+func NewStaticExec(bits int) *StaticExec {
+	return &StaticExec{Bits: bits, wcache: make(map[*nn.Conv2D]*tensor.IntTensor)}
+}
+
+// weightCodes returns cached integer codes for a layer's weights.
+func (e *StaticExec) weightCodes(layer *nn.Conv2D) *tensor.IntTensor {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if q, ok := e.wcache[layer]; ok {
+		return q
+	}
+	q := WeightCodes(layer.EffectiveWeight(), e.Bits)
+	e.wcache[layer] = q
+	return q
+}
+
+// InvalidateCache drops cached weight codes (call after mutating weights).
+func (e *StaticExec) InvalidateCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.wcache = make(map[*nn.Conv2D]*tensor.IntTensor)
+}
+
+// Conv implements nn.ConvExecutor.
+func (e *StaticExec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
+	qx := ActCodes(x, e.Bits)
+	qw := e.weightCodes(layer)
+	acc, g := ConvAccum(qx, qw, layer.Stride, layer.Pad)
+	n := x.Shape[0]
+	out := DequantAccum(acc, qx.Scale*qw.Scale, n, g)
+	e.Record(&LayerProfile{
+		Name:         layer.Name,
+		Geom:         g,
+		Batch:        n,
+		TotalOutputs: int64(n) * int64(g.TotalOutputs()),
+		TotalMACs:    int64(n) * g.TotalMACs(),
+	})
+	return out
+}
+
+var _ nn.ConvExecutor = (*StaticExec)(nil)

@@ -1,0 +1,82 @@
+// Package sim models the reconfigurable ODQ accelerator and its
+// comparison accelerators (Table 2). It has two layers of fidelity:
+//
+//   - a cycle-stepped simulation of one PE slice (predictor arrays,
+//     executor arrays, reconfigurable arrays, the 21-OFM output buffer and
+//     the static/dynamic workload schedulers) used for the PE-idleness
+//     studies (Figures 11 and 20) and to validate Table 1, and
+//
+//   - an analytic full-network performance model driven by the per-layer
+//     profiles (geometry, sensitivity masks, precision mixes) recorded by
+//     the quantization executors — the same dump-masks-into-a-simulator
+//     methodology the paper describes in §5.2 — used for the execution-time
+//     and energy comparisons (Figures 19 and 21).
+package sim
+
+import "fmt"
+
+// SliceArrays is the number of PE arrays in one PE slice (paper §4.2).
+const SliceArrays = 27
+
+// MinPredictorArrays and MinExecutorArrays are the fixed (non-
+// reconfigurable) arrays at the two ends of the slice; the middle
+// ReconfigurableArrays can be assigned to either side.
+const (
+	MinPredictorArrays   = 9
+	MinExecutorArrays    = 6
+	ReconfigurableArrays = SliceArrays - MinPredictorArrays - MinExecutorArrays // 12
+)
+
+// ExecutorCyclesPerOutput is the number of cycles the multi-precision
+// executor PE needs for the three remaining partial products of one
+// sensitive output's input-weight pair (paper §4.2, Figure 13(b)).
+const ExecutorCyclesPerOutput = 3
+
+// AllocConfig is one predictor/executor split of the 27 arrays.
+type AllocConfig struct {
+	Predictor int
+	Executor  int
+}
+
+// String renders the config as "pP/eE".
+func (c AllocConfig) String() string {
+	return fmt.Sprintf("%dP/%dE", c.Predictor, c.Executor)
+}
+
+// MaxSensitiveFraction returns the largest sensitive-output fraction this
+// split sustains without pipeline bubbles. The predictor produces
+// `Predictor` outputs per cycle, of which a fraction s are sensitive; the
+// executor retires Executor/3 sensitive outputs per cycle. Steady state
+// requires s·P ≤ E/3.
+func (c AllocConfig) MaxSensitiveFraction() float64 {
+	if c.Predictor == 0 {
+		return 0
+	}
+	return float64(c.Executor) / (float64(ExecutorCyclesPerOutput) * float64(c.Predictor))
+}
+
+// Table1Configs lists the five alternative allocations of the paper's
+// Table 1 (predictor arrays from 9 to 21 in steps of 3).
+func Table1Configs() []AllocConfig {
+	var out []AllocConfig
+	for p := MinPredictorArrays; p <= MinPredictorArrays+ReconfigurableArrays; p += 3 {
+		out = append(out, AllocConfig{Predictor: p, Executor: SliceArrays - p})
+	}
+	return out
+}
+
+// ChooseConfig picks the allocation with the most predictor arrays (i.e.
+// the highest prediction throughput) that still avoids pipeline bubbles at
+// the given sensitive-output fraction. Fractions beyond the most
+// executor-heavy configuration fall back to that configuration (the
+// pipeline then runs executor-bound, as the paper's scheme also would).
+func ChooseConfig(sensFrac float64) AllocConfig {
+	cfgs := Table1Configs()
+	best := cfgs[0] // 9P/18E tolerates the most sensitivity
+	for _, c := range cfgs {
+		if sensFrac <= c.MaxSensitiveFraction() && c.Predictor > best.Predictor {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,268 @@
+package sim
+
+// This file implements the cycle-stepped PE-slice simulation. The model
+// follows the paper's granularity: a predictor PE array produces one
+// output feature per cycle (INT2 MACs, fully parallel across the array's
+// PEs with stationary weights), and an executor PE array retires one
+// sensitive output every ExecutorCyclesPerOutput cycles (the three
+// remaining partial products on the multi-precision PEs). Completed OFMs
+// wait in an output buffer of limited capacity; a full buffer back-
+// pressures the predictor, and executor starvation shows up as executor
+// idle cycles — the pipeline bubbles of §4.2.
+
+// LayerWork describes one convolution layer's workload for the slice.
+type LayerWork struct {
+	// OutputsPerOFM is OH·OW, the feature count per output channel.
+	OutputsPerOFM int
+	// SensPerOFM holds, per output channel, how many of its outputs were
+	// predicted sensitive; len(SensPerOFM) is the channel count.
+	SensPerOFM []int
+}
+
+// TotalOutputs returns the layer's total output-feature count.
+func (w LayerWork) TotalOutputs() int {
+	return w.OutputsPerOFM * len(w.SensPerOFM)
+}
+
+// TotalSensitive returns the layer's sensitive-output count.
+func (w LayerWork) TotalSensitive() int {
+	s := 0
+	for _, v := range w.SensPerOFM {
+		s += v
+	}
+	return s
+}
+
+// SensitiveFraction returns sensitive/total.
+func (w LayerWork) SensitiveFraction() float64 {
+	t := w.TotalOutputs()
+	if t == 0 {
+		return 0
+	}
+	return float64(w.TotalSensitive()) / float64(t)
+}
+
+// SliceConfig configures the simulated slice.
+type SliceConfig struct {
+	Alloc AllocConfig
+	// DynamicWorkload enables the fine-grained scheduler of §4.3: idle
+	// executor arrays pull work from any pending OFM (crossbar-fed
+	// output-channel selection). When false, OFMs are statically bound
+	// round-robin to executor arrays (Figure 14).
+	DynamicWorkload bool
+	// BufferOFMs is the output-buffer capacity in OFMs awaiting
+	// execution (the paper keeps 21 OFMs pending).
+	BufferOFMs int
+}
+
+// DefaultSliceConfig mirrors the paper's running example.
+func DefaultSliceConfig(alloc AllocConfig, dynamic bool) SliceConfig {
+	return SliceConfig{Alloc: alloc, DynamicWorkload: dynamic, BufferOFMs: 21}
+}
+
+// SliceResult reports the simulation outcome for one layer.
+type SliceResult struct {
+	Cycles int64
+	// Busy/idle array-cycles, split by component.
+	PredBusy, PredIdle int64
+	ExecBusy, ExecIdle int64
+}
+
+// PredIdleFrac returns the predictor arrays' idle fraction.
+func (r SliceResult) PredIdleFrac() float64 {
+	t := r.PredBusy + r.PredIdle
+	if t == 0 {
+		return 0
+	}
+	return float64(r.PredIdle) / float64(t)
+}
+
+// ExecIdleFrac returns the executor arrays' idle fraction.
+func (r SliceResult) ExecIdleFrac() float64 {
+	t := r.ExecBusy + r.ExecIdle
+	if t == 0 {
+		return 0
+	}
+	return float64(r.ExecIdle) / float64(t)
+}
+
+// IdleFrac returns the overall idle fraction across all arrays.
+func (r SliceResult) IdleFrac() float64 {
+	t := r.PredBusy + r.PredIdle + r.ExecBusy + r.ExecIdle
+	if t == 0 {
+		return 0
+	}
+	return float64(r.PredIdle+r.ExecIdle) / float64(t)
+}
+
+// ofmState tracks one output feature map through the pipeline.
+type ofmState struct {
+	toStart   int // sensitive outputs not yet claimed by an executor array
+	inFlight  int // sensitive outputs currently being computed
+	execArray int // static assignment (round-robin), -1 when dynamic
+}
+
+// SimulateLayer runs the slice over one layer and returns busy/idle
+// accounting. It is deterministic.
+func SimulateLayer(w LayerWork, cfg SliceConfig) SliceResult {
+	nOFM := len(w.SensPerOFM)
+	res := SliceResult{}
+	if nOFM == 0 || w.OutputsPerOFM == 0 {
+		return res
+	}
+	if cfg.BufferOFMs <= 0 {
+		cfg.BufferOFMs = 21
+	}
+	p := cfg.Alloc.Predictor
+	e := cfg.Alloc.Executor
+	if p <= 0 {
+		panic("sim: SimulateLayer needs at least one predictor array")
+	}
+	if e <= 0 && w.TotalSensitive() > 0 {
+		panic("sim: sensitive outputs with no executor arrays can never drain")
+	}
+
+	// Predictor state: which OFM each array is working on and how many
+	// outputs remain for it.
+	type predState struct {
+		ofm  int // -1 = none
+		left int
+	}
+	preds := make([]predState, p)
+	for i := range preds {
+		preds[i].ofm = -1
+	}
+	nextOFM := 0 // next unstarted OFM
+
+	// Executor state.
+	type execState struct {
+		countdown int // cycles left on current output
+		ofm       int // OFM the current output belongs to, -1 = none
+	}
+	execs := make([]execState, e)
+	for i := range execs {
+		execs[i].ofm = -1
+	}
+
+	ofms := make([]*ofmState, nOFM)
+	for i := range ofms {
+		ea := -1
+		if !cfg.DynamicWorkload && e > 0 {
+			ea = i % e
+		}
+		ofms[i] = &ofmState{toStart: w.SensPerOFM[i], execArray: ea}
+	}
+
+	// pending holds OFM indices completed by the predictor whose
+	// sensitive outputs are not yet all retired. Its length is the
+	// output-buffer occupancy; a full buffer back-pressures the
+	// predictor (which keeps ≈BufferOFMs OFMs waiting, per the paper).
+	pending := []int{}
+	donePred := 0 // OFMs fully predicted
+	doneExec := 0 // OFMs fully executed (sensitive work drained)
+
+	// takeWork claims the next sensitive output for executor array ei.
+	takeWork := func(ei int) int {
+		for _, oi := range pending {
+			o := ofms[oi]
+			if o.toStart <= 0 {
+				continue
+			}
+			if !cfg.DynamicWorkload && o.execArray != ei {
+				continue
+			}
+			return oi
+		}
+		return -1
+	}
+
+	// retire removes a drained OFM from the buffer.
+	retire := func(oi int) {
+		doneExec++
+		for j, v := range pending {
+			if v == oi {
+				pending = append(pending[:j], pending[j+1:]...)
+				return
+			}
+		}
+	}
+
+	const maxCycles = int64(1) << 40
+	for cycle := int64(0); ; cycle++ {
+		if cycle > maxCycles {
+			panic("sim: SimulateLayer did not converge")
+		}
+
+		// Executor arrays: finish / continue / fetch.
+		for i := range execs {
+			ex := &execs[i]
+			if ex.countdown > 0 {
+				ex.countdown--
+				res.ExecBusy++
+				if ex.countdown == 0 {
+					o := ofms[ex.ofm]
+					o.inFlight--
+					if o.toStart == 0 && o.inFlight == 0 {
+						retire(ex.ofm)
+					}
+					ex.ofm = -1
+				}
+				continue
+			}
+			oi := takeWork(i)
+			if oi < 0 {
+				res.ExecIdle++
+				continue
+			}
+			o := ofms[oi]
+			o.toStart--
+			o.inFlight++
+			ex.ofm = oi
+			ex.countdown = ExecutorCyclesPerOutput - 1 // this cycle counts
+			res.ExecBusy++
+		}
+
+		// Predictor arrays: continue current OFM or start a new one if
+		// the buffer has room for its result.
+		for i := range preds {
+			pr := &preds[i]
+			if pr.ofm < 0 {
+				if nextOFM < nOFM && len(pending) < cfg.BufferOFMs {
+					pr.ofm = nextOFM
+					pr.left = w.OutputsPerOFM
+					nextOFM++
+				} else {
+					res.PredIdle++
+					continue
+				}
+			}
+			pr.left--
+			res.PredBusy++
+			if pr.left == 0 {
+				oi := pr.ofm
+				pr.ofm = -1
+				donePred++
+				if ofms[oi].toStart == 0 {
+					// Nothing for the executor to do on this OFM.
+					doneExec++
+				} else {
+					pending = append(pending, oi)
+				}
+			}
+		}
+
+		if donePred == nOFM && doneExec == nOFM {
+			res.Cycles = cycle + 1
+			break
+		}
+	}
+	return res
+}
+
+// SimulateLayerAuto picks the Table-1 allocation from the layer's own
+// sensitive fraction (the reconfigurable scheme of §4.3) and runs the
+// dynamic-workload simulation.
+func SimulateLayerAuto(w LayerWork) (SliceResult, AllocConfig) {
+	alloc := ChooseConfig(w.SensitiveFraction())
+	return SimulateLayer(w, DefaultSliceConfig(alloc, true)), alloc
+}

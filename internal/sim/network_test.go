@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+func netWorks() []LayerWork {
+	// Three layers with very different sensitivity levels so the
+	// reconfigurable slice changes allocation between them.
+	return []LayerWork{
+		uniformWork(32, 64, 0.08),
+		uniformWork(32, 64, 0.45),
+		uniformWork(32, 64, 0.12),
+	}
+}
+
+func TestSimulateNetworkReconfigures(t *testing.T) {
+	r := SimulateNetwork(netWorks())
+	if len(r.Layers) != 3 || len(r.Allocs) != 3 {
+		t.Fatalf("layer bookkeeping wrong: %d/%d", len(r.Layers), len(r.Allocs))
+	}
+	if r.Allocs[0] == r.Allocs[1] {
+		t.Fatalf("8%% and 45%% sensitivity must choose different allocations: %v", r.Allocs)
+	}
+	if r.Reconfigs < 2 {
+		t.Fatalf("expected two allocation switches, got %d", r.Reconfigs)
+	}
+	var layerSum int64
+	for _, l := range r.Layers {
+		layerSum += l.Cycles
+	}
+	if r.Cycles != layerSum+int64(r.Reconfigs)*ReconfigPenaltyCycles {
+		t.Fatalf("total %d != layers %d + penalties", r.Cycles, layerSum)
+	}
+}
+
+func TestSimulateNetworkBeatsStatic(t *testing.T) {
+	works := netWorks()
+	auto := SimulateNetwork(works)
+	static := SimulateNetworkStatic(works, AllocConfig{Predictor: 15, Executor: 12}, false)
+	if auto.Cycles >= static.Cycles {
+		t.Fatalf("reconfigurable %d cycles should beat static %d", auto.Cycles, static.Cycles)
+	}
+	if auto.IdleFrac() >= static.IdleFrac() {
+		t.Fatalf("reconfigurable idle %.3f should beat static %.3f",
+			auto.IdleFrac(), static.IdleFrac())
+	}
+}
+
+func TestSimulateNetworkEmpty(t *testing.T) {
+	r := SimulateNetwork(nil)
+	if r.Cycles != 0 || r.Reconfigs != 0 || r.IdleFrac() != 0 {
+		t.Fatalf("empty network result: %+v", r)
+	}
+}
+
+func TestNetworkWorks(t *testing.T) {
+	g := tensor.Geometry(3, 8, 8, 2, 3, 1, 1)
+	mask := make([]bool, 2*64)
+	mask[0] = true
+	profiles := []*quant.LayerProfile{
+		{Name: "a", Geom: g, Batch: 1, TotalOutputs: 128, SensitiveOutputs: 1, Mask: mask},
+		{Name: "b", Geom: g, Batch: 1, TotalOutputs: 128, SensitiveOutputs: 64},
+	}
+	works := NetworkWorks(profiles)
+	if len(works) != 2 {
+		t.Fatalf("works %d", len(works))
+	}
+	if works[0].TotalSensitive() != 1 || works[1].TotalSensitive() != 64 {
+		t.Fatalf("sensitive counts: %d %d", works[0].TotalSensitive(), works[1].TotalSensitive())
+	}
+}

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/quant"
+)
+
+// Kind identifies which accelerator cost model applies.
+type Kind int
+
+// Accelerator kinds (the four columns of Table 2).
+const (
+	KindINT16 Kind = iota // DoReFa-Net static INT16 on native INT16 PEs
+	KindINT8              // DoReFa-Net static INT8 on INT4 PEs (4 cycles/MAC)
+	KindDRQ               // DRQ INT8/INT4 mixed on INT4 PEs
+	KindODQ               // ODQ INT4/INT2 on INT2 PEs (predictor+executor)
+)
+
+// Accel is one accelerator configuration. The paper's Table 2 fixes all
+// four to the same silicon area (0.17 mm² of PEs) and the same 0.17 MB of
+// on-chip memory, which yields the PE counts below.
+type Accel struct {
+	Name string
+	Kind Kind
+	// PEs is the processing-element count at this accelerator's native
+	// PE width (Table 2: 120 / 1692 / 1692 / 4860).
+	PEs int
+	// BytesPerCycle is the off-chip bandwidth of the memory interface.
+	BytesPerCycle float64
+	// OnChipBytes is the global buffer capacity (0.17 MB for all four).
+	OnChipBytes int64
+	// Utilization derates compute throughput for scheduling losses
+	// (1 = perfect). For ODQ this is fed from the cycle simulation.
+	Utilization float64
+	// Mem, when set, replaces the flat read-once traffic model with the
+	// capacity-aware memory-hierarchy model (tiling + input refetch).
+	Mem *mem.System
+}
+
+// Table2Accels returns the paper's four accelerator configurations. All
+// share the memory system; they differ in PE count and native width.
+func Table2Accels() map[string]*Accel {
+	const (
+		bandwidth = 32.0               // bytes/cycle — LPDDR-class interface at accelerator clock
+		onChip    = 17 * 1048576 / 100 // 0.17 MB, Table 2
+	)
+	msys := func() *mem.System {
+		return &mem.System{
+			GlobalBufferBytes: onChip,
+			DRAMBytesPerCycle: bandwidth,
+			DRAMLatencyCycles: 64,
+			LineBufferRows:    3,
+		}
+	}
+	return map[string]*Accel{
+		"INT16": {Name: "INT16", Kind: KindINT16, PEs: 120, BytesPerCycle: bandwidth, OnChipBytes: onChip, Utilization: 1, Mem: msys()},
+		"INT8":  {Name: "INT8", Kind: KindINT8, PEs: 1692, BytesPerCycle: bandwidth, OnChipBytes: onChip, Utilization: 1, Mem: msys()},
+		"DRQ":   {Name: "DRQ", Kind: KindDRQ, PEs: 1692, BytesPerCycle: bandwidth, OnChipBytes: onChip, Utilization: 1, Mem: msys()},
+		"ODQ":   {Name: "ODQ", Kind: KindODQ, PEs: 4860, BytesPerCycle: bandwidth, OnChipBytes: onChip, Utilization: 1, Mem: msys()},
+	}
+}
+
+// LayerCost is the modeled cost of one layer on one accelerator.
+type LayerCost struct {
+	Name          string
+	ComputeCycles int64
+	MemoryCycles  int64
+	// TotalCycles = max(compute, memory): compute and DMA overlap under
+	// double buffering.
+	TotalCycles int64
+	// PECycles is the raw PE-occupancy (MAC-cycles) before dividing by
+	// the PE count; the energy model consumes it.
+	PECycles int64
+	// DRAMBytes / BufferBytes are the modeled traffic volumes.
+	DRAMBytes   int64
+	BufferBytes int64
+}
+
+// NetworkCost aggregates layer costs.
+type NetworkCost struct {
+	Accel  string
+	Layers []LayerCost
+}
+
+// TotalCycles sums the per-layer totals.
+func (n *NetworkCost) TotalCycles() int64 {
+	var t int64
+	for _, l := range n.Layers {
+		t += l.TotalCycles
+	}
+	return t
+}
+
+// TotalPECycles sums raw PE occupancy.
+func (n *NetworkCost) TotalPECycles() int64 {
+	var t int64
+	for _, l := range n.Layers {
+		t += l.PECycles
+	}
+	return t
+}
+
+// TotalDRAMBytes sums modeled DRAM traffic.
+func (n *NetworkCost) TotalDRAMBytes() int64 {
+	var t int64
+	for _, l := range n.Layers {
+		t += l.DRAMBytes
+	}
+	return t
+}
+
+// TotalBufferBytes sums modeled on-chip buffer traffic.
+func (n *NetworkCost) TotalBufferBytes() int64 {
+	var t int64
+	for _, l := range n.Layers {
+		t += l.BufferBytes
+	}
+	return t
+}
+
+// operandBits returns (weightBits, actBits, outBits) moved per element for
+// each accelerator kind. Outputs are re-quantized to the activation width
+// before write-back (the next layer consumes quantized activations), so
+// output traffic scales with precision too. DRQ moves its high-precision
+// widths (both weight precisions are resident on chip).
+func operandBits(k Kind) (wBits, aBits, oBits int) {
+	switch k {
+	case KindINT16:
+		return 16, 16, 16
+	case KindINT8:
+		return 8, 8, 8
+	case KindDRQ:
+		return 8, 8, 8 // sensitive regions dominate traffic sizing
+	case KindODQ:
+		return 4, 4, 4
+	default:
+		panic(fmt.Sprintf("sim: unknown kind %d", k))
+	}
+}
+
+// peCycles returns the raw MAC-cycle demand of a layer under each kind's
+// arithmetic model:
+//
+//	INT16: native PEs, 1 cycle per MAC.
+//	INT8:  INT4 PEs compose an 8-bit MAC in 4 cycles (BitFusion).
+//	DRQ:   high-precision-input MACs cost 4 cycles, the rest 1.
+//	ODQ:   every MAC passes the INT2 predictor (1 cycle); MACs of
+//	       sensitive outputs additionally pay the 3-cycle executor pass.
+func peCycles(k Kind, p *quant.LayerProfile) int64 {
+	switch k {
+	case KindINT16:
+		return p.TotalMACs
+	case KindINT8:
+		return 4 * p.TotalMACs
+	case KindDRQ:
+		low := p.TotalMACs - p.HighInputMACs
+		return 4*p.HighInputMACs + low
+	case KindODQ:
+		sensMACs := int64(0)
+		if p.TotalOutputs > 0 {
+			frac := float64(p.SensitiveOutputs) / float64(p.TotalOutputs)
+			sensMACs = int64(frac * float64(p.TotalMACs))
+		}
+		return p.TotalMACs + int64(ExecutorCyclesPerOutput)*sensMACs
+	default:
+		panic("sim: unknown kind")
+	}
+}
+
+// LayerCostOf models one layer on this accelerator from its profile.
+func (a *Accel) LayerCostOf(p *quant.LayerProfile) LayerCost {
+	wBits, aBits, oBits := operandBits(a.Kind)
+	g := p.Geom
+	weights := int64(g.OutC) * int64(g.InC) * int64(g.K) * int64(g.K)
+	inputs := int64(p.Batch) * int64(g.InC) * int64(g.InH) * int64(g.InW)
+	outputs := p.TotalOutputs
+
+	var dram, buffer, memCycles int64
+	if a.Mem != nil {
+		tr, err := a.Mem.ConvTraffic(g, p.Batch, wBits, aBits, oBits)
+		if err != nil {
+			panic(fmt.Sprintf("sim: memory model: %v", err))
+		}
+		dram, buffer, memCycles = tr.DRAMBytes, tr.BufferBytes, tr.DRAMCycles
+	} else {
+		wBytes := weights * int64(wBits) / 8
+		aBytes := inputs * int64(aBits) / 8
+		oBytes := outputs * int64(oBits) / 8
+		dram = wBytes + aBytes + oBytes
+		// On-chip traffic: weights stream into PE registers once;
+		// inputs are read once per kernel row thanks to the line
+		// buffers; outputs bounce through the output buffer twice.
+		buffer = wBytes + aBytes*int64(g.K) + 2*oBytes
+		memCycles = int64(float64(dram) / a.BytesPerCycle)
+	}
+
+	pe := peCycles(a.Kind, p)
+	util := a.Utilization
+	if util <= 0 || util > 1 {
+		util = 1
+	}
+	compute := int64(float64(pe) / (float64(a.PEs) * util))
+	if compute < 1 {
+		compute = 1
+	}
+	total := compute
+	if memCycles > total {
+		total = memCycles
+	}
+	return LayerCost{
+		Name:          p.Name,
+		ComputeCycles: compute,
+		MemoryCycles:  memCycles,
+		TotalCycles:   total,
+		PECycles:      pe,
+		DRAMBytes:     dram,
+		BufferBytes:   buffer,
+	}
+}
+
+// NetworkCostOf models a whole network from its per-layer profiles.
+func (a *Accel) NetworkCostOf(profiles []*quant.LayerProfile) *NetworkCost {
+	nc := &NetworkCost{Accel: a.Name}
+	for _, p := range profiles {
+		nc.Layers = append(nc.Layers, a.LayerCostOf(p))
+	}
+	return nc
+}

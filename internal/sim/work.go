@@ -1,0 +1,49 @@
+package sim
+
+import "repro/internal/quant"
+
+// LayerWorkFromProfile converts a recorded layer profile (which must have
+// been collected with KeepMasks so per-output sensitivity is available)
+// into the cycle simulator's workload description. Each (sample, output
+// channel) pair becomes one OFM, matching how the accelerator streams
+// output feature maps through the slice.
+func LayerWorkFromProfile(p *quant.LayerProfile) LayerWork {
+	g := p.Geom
+	cols := g.OutH * g.OutW
+	nOFM := p.Batch * g.OutC
+	w := LayerWork{OutputsPerOFM: cols, SensPerOFM: make([]int, nOFM)}
+	if len(p.Mask) == nOFM*cols {
+		for ofm := 0; ofm < nOFM; ofm++ {
+			cnt := 0
+			for i := ofm * cols; i < (ofm+1)*cols; i++ {
+				if p.Mask[i] {
+					cnt++
+				}
+			}
+			w.SensPerOFM[ofm] = cnt
+		}
+		return w
+	}
+	// Without masks fall back to spreading the aggregate sensitive count
+	// uniformly across OFMs.
+	if p.TotalOutputs > 0 && nOFM > 0 {
+		per := int(float64(p.SensitiveOutputs) / float64(nOFM))
+		rem := int(p.SensitiveOutputs) - per*nOFM
+		for i := range w.SensPerOFM {
+			w.SensPerOFM[i] = per
+			if i < rem {
+				w.SensPerOFM[i]++
+			}
+		}
+	}
+	return w
+}
+
+// ODQUtilization runs the reconfigurable-slice simulation for one layer
+// and returns the achieved PE utilization (1 − idle fraction) along with
+// the simulation result and the allocation chosen from Table 1.
+func ODQUtilization(p *quant.LayerProfile) (float64, SliceResult, AllocConfig) {
+	w := LayerWorkFromProfile(p)
+	res, alloc := SimulateLayerAuto(w)
+	return 1 - res.IdleFrac(), res, alloc
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "layer", "value")
+	tb.AddRow("C1", 0.5)
+	tb.AddRow("C2", float32(1.25))
+	tb.AddRow("C10", 100)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "layer", "C10", "0.5", "1.25", "100"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		2:        "2",
+		0.5:      "0.5",
+		0.12345:  "0.1235",
+		12345.6:  "1.23e+04",
+		0.000012: "1.2e-05",
+		0:        "0",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Fatalf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	if Percentile(vals, 0) != 1 || Percentile(vals, 1) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if Percentile(vals, 0.5) != 3 {
+		t.Fatalf("median = %v", Percentile(vals, 0.5))
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+	// Input must not be reordered.
+	if vals[0] != 5 {
+		t.Fatal("Percentile must not mutate input")
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-9 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("geomean of nonpositive must be 0")
+	}
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Fatal("empty aggregates must be 0")
+	}
+}
+
+func TestPctAndBar(t *testing.T) {
+	if Pct(0.256) != "25.6%" {
+		t.Fatalf("Pct = %q", Pct(0.256))
+	}
+	b := Bar(0.5, 10)
+	if len(b) != 10 || strings.Count(b, "#") != 5 {
+		t.Fatalf("Bar = %q", b)
+	}
+	if strings.Count(Bar(2, 10), "#") != 10 || strings.Count(Bar(-1, 10), "#") != 0 {
+		t.Fatal("Bar must clamp")
+	}
+}

@@ -1,0 +1,189 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gemmParallelThreshold is the minimum m*n*k product above which GEMM fans
+// out across goroutines; below it the single-threaded loop is faster.
+const gemmParallelThreshold = 64 * 64 * 64
+
+// Gemm computes C = A*B for row-major matrices: A is m×k, B is k×n and C is
+// m×n. C is overwritten. Large products are split across GOMAXPROCS
+// goroutines by row blocks.
+func Gemm(a, b, c []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: Gemm buffer too small")
+	}
+	if m*k*n < gemmParallelThreshold {
+		gemmBlock(a, b, c, 0, m, k, n)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	rowsPer := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * rowsPer
+		hi := lo + rowsPer
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmBlock(a, b, c, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmBlock computes rows [lo,hi) of C = A*B with an ikj loop order that
+// streams B rows sequentially for cache friendliness.
+func gemmBlock(a, b, c []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : (i+1)*n]
+		for x := range ci {
+			ci[x] = 0
+		}
+		ai := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmAcc computes C += A*B (no zeroing), single block; used by backprop
+// accumulation paths.
+func GemmAcc(a, b, c []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmAcc buffer too small")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if m*k*n < gemmParallelThreshold || workers <= 1 {
+		gemmAccBlock(a, b, c, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	rowsPer := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * rowsPer
+		hi := lo + rowsPer
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmAccBlock(a, b, c, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func gemmAccBlock(a, b, c []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : (i+1)*n]
+		ai := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmInt computes C = A*B over int32 codes with int64 accumulation.
+// A is m×k, B is k×n, C is m×n. This is the integer kernel behind all
+// quantized convolution paths; int64 accumulation is safe even for INT16
+// codes over CNN-scale reduction dimensions.
+func GemmInt(a, b []int32, c []int64, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmInt buffer too small")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if m*k*n < gemmParallelThreshold || workers <= 1 {
+		gemmIntBlock(a, b, c, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	rowsPer := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * rowsPer
+		hi := lo + rowsPer
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmIntBlock(a, b, c, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func gemmIntBlock(a, b []int32, c []int64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : (i+1)*n]
+		for x := range ci {
+			ci[x] = 0
+		}
+		ai := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := int64(ai[p])
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * int64(bv)
+			}
+		}
+	}
+}
+
+// MatVec computes y = A*x for row-major A (m×k) and dense x (k).
+func MatVec(a, x, y []float32, m, k int) {
+	if len(a) < m*k || len(x) < k || len(y) < m {
+		panic("tensor: MatVec buffer too small")
+	}
+	for i := 0; i < m; i++ {
+		var s float32
+		ai := a[i*k : (i+1)*k]
+		for p, v := range ai {
+			s += v * x[p]
+		}
+		y[i] = s
+	}
+}

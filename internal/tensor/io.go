@@ -1,0 +1,57 @@
+package tensor
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// tensorDTO is the gob wire form shared by Save/Load.
+type tensorDTO struct {
+	Shape []int
+	Data  []float32
+}
+
+// intTensorDTO is the gob wire form of an IntTensor.
+type intTensorDTO struct {
+	Shape []int
+	Data  []int32
+	Scale float32
+	Bits  int
+}
+
+// Save writes the tensor to w in gob format.
+func (t *Tensor) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(&tensorDTO{Shape: t.Shape, Data: t.Data})
+}
+
+// LoadTensor reads a tensor previously written with Save.
+func LoadTensor(r io.Reader) (*Tensor, error) {
+	var d tensorDTO
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("tensor: decode: %w", err)
+	}
+	if NumElems(d.Shape) != len(d.Data) {
+		return nil, fmt.Errorf("tensor: corrupt stream: shape %v with %d values", d.Shape, len(d.Data))
+	}
+	return NewFrom(d.Data, d.Shape...), nil
+}
+
+// Save writes the integer tensor to w in gob format.
+func (t *IntTensor) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(&intTensorDTO{
+		Shape: t.Shape, Data: t.Data, Scale: t.Scale, Bits: t.Bits,
+	})
+}
+
+// LoadIntTensor reads an integer tensor previously written with Save.
+func LoadIntTensor(r io.Reader) (*IntTensor, error) {
+	var d intTensorDTO
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("tensor: decode: %w", err)
+	}
+	if NumElems(d.Shape) != len(d.Data) {
+		return nil, fmt.Errorf("tensor: corrupt stream: shape %v with %d codes", d.Shape, len(d.Data))
+	}
+	return &IntTensor{Shape: d.Shape, Data: d.Data, Scale: d.Scale, Bits: d.Bits}, nil
+}

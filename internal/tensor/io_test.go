@@ -1,0 +1,54 @@
+package tensor
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTensorSaveLoadRoundTrip(t *testing.T) {
+	x := New(2, 3, 4)
+	NewRNG(1).FillNormal(x, 0, 1)
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := LoadTensor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.SameShape(y) || MaxAbsDiff(x, y) != 0 {
+		t.Fatal("round trip must be exact")
+	}
+}
+
+func TestIntTensorSaveLoadRoundTrip(t *testing.T) {
+	x := NewInt(4, 0.125, 3, 3)
+	for i := range x.Data {
+		x.Data[i] = int32(i) - 4
+	}
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := LoadIntTensor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Scale != 0.125 || y.Bits != 4 {
+		t.Fatalf("metadata lost: %+v", y)
+	}
+	for i := range x.Data {
+		if x.Data[i] != y.Data[i] {
+			t.Fatal("codes lost")
+		}
+	}
+}
+
+func TestLoadTensorGarbage(t *testing.T) {
+	if _, err := LoadTensor(bytes.NewBufferString("nope")); err == nil {
+		t.Fatal("garbage must error")
+	}
+	if _, err := LoadIntTensor(bytes.NewBufferString("nope")); err == nil {
+		t.Fatal("garbage must error")
+	}
+}

@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a seeded random source shared by initializers and dataset
+// generators so every experiment is reproducible bit-for-bit.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float32 returns a uniform value in [0,1).
+func (g *RNG) Float32() float32 { return g.r.Float32() }
+
+// Float64 returns a uniform value in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform integer in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Normal returns a standard normal sample.
+func (g *RNG) Normal() float64 { return g.r.NormFloat64() }
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// FillUniform fills t with uniform values in [lo,hi).
+func (g *RNG) FillUniform(t *Tensor, lo, hi float32) {
+	span := hi - lo
+	for i := range t.Data {
+		t.Data[i] = lo + span*g.r.Float32()
+	}
+}
+
+// FillNormal fills t with N(mean, std) samples.
+func (g *RNG) FillNormal(t *Tensor, mean, std float32) {
+	for i := range t.Data {
+		t.Data[i] = mean + std*float32(g.r.NormFloat64())
+	}
+}
+
+// KaimingConv initializes a conv weight tensor [outC,inC,K,K] with the
+// Kaiming-He fan-in scaling appropriate for ReLU networks.
+func (g *RNG) KaimingConv(t *Tensor) {
+	if t.Rank() != 4 {
+		panic("tensor: KaimingConv requires [outC,inC,K,K]")
+	}
+	fanIn := t.Shape[1] * t.Shape[2] * t.Shape[3]
+	std := float32(math.Sqrt(2.0 / float64(fanIn)))
+	g.FillNormal(t, 0, std)
+}
+
+// KaimingLinear initializes a linear weight tensor [out,in].
+func (g *RNG) KaimingLinear(t *Tensor) {
+	if t.Rank() != 2 {
+		panic("tensor: KaimingLinear requires [out,in]")
+	}
+	std := float32(math.Sqrt(2.0 / float64(t.Shape[1])))
+	g.FillNormal(t, 0, std)
+}

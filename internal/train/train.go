@@ -1,0 +1,151 @@
+// Package train provides the SGD optimizer and training/evaluation loops
+// used to produce the trained (and quantization-aware-trained) networks
+// that all of the paper's experiments run on.
+package train
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with classical momentum and decoupled
+// L2 weight decay.
+type SGD struct {
+	LR          float32
+	Momentum    float32
+	WeightDecay float32
+
+	vel map[*nn.Param]*tensor.Tensor
+}
+
+// NewSGD builds an optimizer.
+func NewSGD(lr, momentum, weightDecay float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		vel: make(map[*nn.Param]*tensor.Tensor)}
+}
+
+// Step applies one update to every parameter from its accumulated gradient
+// and zeroes the gradients.
+func (o *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		v, ok := o.vel[p]
+		if !ok {
+			v = tensor.New(p.W.Shape...)
+			o.vel[p] = v
+		}
+		wd := float32(0)
+		if p.Decay {
+			wd = o.WeightDecay
+		}
+		for i := range p.W.Data {
+			g := p.Grad.Data[i] + wd*p.W.Data[i]
+			v.Data[i] = o.Momentum*v.Data[i] - o.LR*g
+			p.W.Data[i] += v.Data[i]
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Options configures a training run.
+type Options struct {
+	Epochs    int
+	BatchSize int
+	LR        float32
+	Momentum  float32
+	Decay     float32
+	Seed      int64
+	// LRDropEvery halves the learning rate every this many epochs
+	// (0 disables the schedule).
+	LRDropEvery int
+	// Augment, when set, applies training-time augmentation to every
+	// batch (random crop / flip).
+	Augment *dataset.Augmenter
+	// Log receives progress lines; nil silences logging.
+	Log io.Writer
+}
+
+// History records per-epoch training metrics.
+type History struct {
+	Loss     []float32
+	TrainAcc []float64
+}
+
+// Fit trains net on ds and returns the loss/accuracy history.
+func Fit(net nn.Module, ds *dataset.Dataset, opts Options) *History {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 32
+	}
+	if opts.LR == 0 {
+		opts.LR = 0.05
+	}
+	if opts.Momentum == 0 {
+		opts.Momentum = 0.9
+	}
+	opt := NewSGD(opts.LR, opts.Momentum, opts.Decay)
+	params := net.Params()
+	hist := &History{}
+
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		if opts.LRDropEvery > 0 && epoch > 0 && epoch%opts.LRDropEvery == 0 {
+			opt.LR /= 2
+		}
+		var epochLoss float64
+		var correct, seen int
+		batches := ds.Batches(opts.BatchSize, true, opts.Seed+int64(epoch))
+		for _, idx := range batches {
+			x, y := ds.Batch(idx)
+			if opts.Augment != nil {
+				x = opts.Augment.Apply(x)
+			}
+			logits := net.Forward(x, true)
+			loss, grad := nn.SoftmaxCE(logits, y)
+			net.Backward(grad)
+			opt.Step(params)
+
+			epochLoss += float64(loss) * float64(len(idx))
+			pred := logits.ArgmaxRows()
+			for i, p := range pred {
+				if p == y[i] {
+					correct++
+				}
+			}
+			seen += len(idx)
+		}
+		meanLoss := float32(epochLoss / float64(seen))
+		acc := float64(correct) / float64(seen)
+		hist.Loss = append(hist.Loss, meanLoss)
+		hist.TrainAcc = append(hist.TrainAcc, acc)
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "epoch %d/%d loss=%.4f acc=%.3f lr=%.4f\n",
+				epoch+1, opts.Epochs, meanLoss, acc, opt.LR)
+		}
+	}
+	return hist
+}
+
+// Evaluate returns top-1 accuracy of net on ds using inference mode.
+func Evaluate(net nn.Module, ds *dataset.Dataset, batchSize int) float64 {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	var correct, seen int
+	for _, idx := range ds.Batches(batchSize, false, 0) {
+		x, y := ds.Batch(idx)
+		logits := net.Forward(x, false)
+		pred := logits.ArgmaxRows()
+		for i, p := range pred {
+			if p == y[i] {
+				correct++
+			}
+		}
+		seen += len(idx)
+	}
+	if seen == 0 {
+		return 0
+	}
+	return float64(correct) / float64(seen)
+}
