@@ -1,0 +1,30 @@
+.PHONY: all build test vet race verify bench snapshot
+
+all: build
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race -timeout 90m ./...
+
+# The verification gate for this repo: vet, build, race-enabled tests.
+# The experiments package runs training loops; under the race detector on a
+# small machine it can exceed the default 10m per-package timeout.
+verify:
+	go vet ./...
+	go build ./...
+	go test -race -timeout 90m ./...
+
+bench:
+	go test -bench=. -benchmem -run '^$$' .
+
+# Regenerate the committed benchmark snapshot (BENCH_odq_conv.json).
+snapshot:
+	ODQ_BENCH_SNAPSHOT=1 go test -run TestODQConvBenchSnapshot -v .

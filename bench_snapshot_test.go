@@ -1,0 +1,105 @@
+package repro_bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// ODQConvBenchRecord is one cell of the sparse-executor benchmark grid.
+type ODQConvBenchRecord struct {
+	Sensitivity string  `json:"sensitivity"`
+	Threshold   float32 `json:"threshold"`
+	SensFrac    float64 `json:"sensitive_fraction"`
+	Variant     string  `json:"variant"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// ODQConvBenchSnapshot is the BENCH_odq_conv.json schema.
+type ODQConvBenchSnapshot struct {
+	Layer   string               `json:"layer"`
+	Records []ODQConvBenchRecord `json:"records"`
+	// SparseSpeedup maps each sensitivity level to dense-ns / sparse-
+	// parallel-ns; ParallelSpeedup to sparse-serial-ns / sparse-parallel-ns.
+	SparseSpeedup   map[string]float64 `json:"sparse_speedup_vs_dense"`
+	ParallelSpeedup map[string]float64 `json:"parallel_speedup_vs_serial"`
+}
+
+// TestODQConvBenchSnapshot regenerates BENCH_odq_conv.json. It only runs
+// when ODQ_BENCH_SNAPSHOT=1 (benchmarking inside the normal test suite
+// would make CI timing-dependent):
+//
+//	ODQ_BENCH_SNAPSHOT=1 go test -run TestODQConvBenchSnapshot .
+func TestODQConvBenchSnapshot(t *testing.T) {
+	if os.Getenv("ODQ_BENCH_SNAPSHOT") != "1" {
+		t.Skip("set ODQ_BENCH_SNAPSHOT=1 to regenerate BENCH_odq_conv.json")
+	}
+	conv, x := benchConvLayer()
+	snap := &ODQConvBenchSnapshot{
+		Layer:           "conv 16x32x32 -> 32 filters 3x3 s1 p1, batch 1",
+		SparseSpeedup:   map[string]float64{},
+		ParallelSpeedup: map[string]float64{},
+	}
+	for _, p := range odqBenchGrid {
+		th := thresholdForSensitivity(conv, x, p.target)
+		// Measure the realized fraction once for the record.
+		probe := core.NewExec(th, core.WithProfiling())
+		conv.Exec = probe
+		conv.Forward(x, false)
+		conv.Exec = nil
+		frac := probe.SensitiveFraction()
+
+		ns := map[string]int64{}
+		for _, v := range []struct {
+			name string
+			opts []core.Option
+		}{
+			{"sparse-parallel", nil},
+			{"sparse-serial", []core.Option{core.WithWorkers(1)}},
+			{"dense", []core.Option{core.WithDenseReference()}},
+		} {
+			e := core.NewExec(th, v.opts...)
+			conv.Exec = e
+			// Min of three runs: shared/virtualized runners jitter far
+			// more than the effect under measurement.
+			var best testing.BenchmarkResult
+			for rep := 0; rep < 3; rep++ {
+				res := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						conv.Forward(x, false)
+					}
+				})
+				if rep == 0 || res.NsPerOp() < best.NsPerOp() {
+					best = res
+				}
+			}
+			conv.Exec = nil
+			ns[v.name] = best.NsPerOp()
+			snap.Records = append(snap.Records, ODQConvBenchRecord{
+				Sensitivity: p.name,
+				Threshold:   th,
+				SensFrac:    frac,
+				Variant:     v.name,
+				NsPerOp:     best.NsPerOp(),
+				AllocsPerOp: best.AllocsPerOp(),
+				BytesPerOp:  best.AllocedBytesPerOp(),
+			})
+		}
+		snap.SparseSpeedup[p.name] = float64(ns["dense"]) / float64(ns["sparse-parallel"])
+		snap.ParallelSpeedup[p.name] = float64(ns["sparse-serial"]) / float64(ns["sparse-parallel"])
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_odq_conv.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sparse-vs-dense speedups: %v", snap.SparseSpeedup)
+	t.Logf("parallel-vs-serial speedups: %v", snap.ParallelSpeedup)
+}

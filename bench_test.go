@@ -328,13 +328,80 @@ func BenchmarkAblationPredictor2Bit(b *testing.B) {
 
 func BenchmarkAblationPredictor4Bit(b *testing.B) {
 	conv, x := benchConvLayer()
-	e := core.NewExec(0.5)
-	e.Bits = 8
-	e.PredBits = 4 // INT8 extension: 4-bit predictor over 8-bit codes
+	// INT8 extension: 4-bit predictor over 8-bit codes.
+	e := core.NewExec(0.5, core.WithBits(8), core.WithPredBits(4))
 	conv.Exec = e
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		conv.Forward(x, false)
+	}
+}
+
+// ---------- ODQ sparse-executor benches ----------
+//
+// The result-generation rework computes the HL/LH/LL partials only for
+// sensitive outputs, in parallel across output channels. These benches
+// pin the sensitive fraction at ~30%/60%/100% and compare the sparse
+// parallel path against the dense-select reference and against serial
+// execution. TestODQConvBenchSnapshot (ODQ_BENCH_SNAPSHOT=1) writes the
+// same grid to BENCH_odq_conv.json.
+
+// thresholdForSensitivity bisects the ODQ threshold until the executor's
+// sensitive fraction lands near target on the given layer/input.
+func thresholdForSensitivity(conv *nn.Conv2D, x *tensor.Tensor, target float64) float32 {
+	if target >= 1 {
+		return -1 // negative threshold: every output is sensitive
+	}
+	sensAt := func(th float32) float64 {
+		e := core.NewExec(th, core.WithProfiling())
+		conv.Exec = e
+		conv.Forward(x, false)
+		conv.Exec = nil
+		return e.SensitiveFraction()
+	}
+	lo, hi := float32(0), float32(8)
+	for i := 0; i < 24; i++ {
+		mid := (lo + hi) / 2
+		if sensAt(mid) > target {
+			lo = mid // too sensitive → raise threshold
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+var odqBenchGrid = []struct {
+	name   string
+	target float64
+}{
+	{"sens30", 0.30},
+	{"sens60", 0.60},
+	{"sens100", 1.00},
+}
+
+func BenchmarkODQConv(b *testing.B) {
+	conv, x := benchConvLayer()
+	for _, p := range odqBenchGrid {
+		th := thresholdForSensitivity(conv, x, p.target)
+		variants := []struct {
+			name string
+			opts []core.Option
+		}{
+			{"sparse-parallel", nil},
+			{"sparse-serial", []core.Option{core.WithWorkers(1)}},
+			{"dense", []core.Option{core.WithDenseReference()}},
+		}
+		for _, v := range variants {
+			b.Run(p.name+"/"+v.name, func(b *testing.B) {
+				conv.Exec = core.NewExec(th, v.opts...)
+				defer func() { conv.Exec = nil }()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					conv.Forward(x, false)
+				}
+			})
+		}
 	}
 }
 

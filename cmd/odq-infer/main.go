@@ -72,8 +72,7 @@ func main() {
 	case "float":
 	case "int16", "int8", "int4":
 		bits := map[string]int{"int16": 16, "int8": 8, "int4": 4}[*scheme]
-		e := quant.NewStaticExec(bits)
-		e.Enabled = true
+		e := quant.NewStaticExec(bits, quant.WithStaticProfiling())
 		nn.SetConvExec(net, e)
 		profiler = e
 	case "drq84", "drq42":
@@ -81,15 +80,16 @@ func main() {
 		if *scheme == "drq42" {
 			hi, lo = 4, 2
 		}
-		e := drq.NewExec(hi, lo)
-		e.Enabled = true
+		e := drq.NewExec(hi, lo, drq.WithProfiling())
 		nn.SetConvExecTail(net, e)
 		profiler = e
 		defer reportDRQ(e)
 	case "odq":
-		e := core.NewExec(float32(*threshold))
-		e.Enabled = true
-		e.KeepMasks = *dump != ""
+		opts := []core.Option{core.WithProfiling()}
+		if *dump != "" {
+			opts = append(opts, core.WithMaskRecording())
+		}
+		e := core.NewExec(float32(*threshold), opts...)
 		nn.SetConvExecTail(net, e)
 		profiler = e
 		defer reportODQ(e)

@@ -48,8 +48,7 @@ func main() {
 	floatAcc := train.Evaluate(net, testDS, 32)
 	table.AddRow("float (QAT grid)", stats.Pct(floatAcc), "-")
 
-	int8 := quant.NewStaticExec(8)
-	int8.Enabled = true
+	int8 := quant.NewStaticExec(8, quant.WithStaticProfiling())
 	acc := eval(func() { nn.SetConvExec(net, int8) }, func() { nn.SetConvExec(net, nil) })
 	table.AddRow("static INT8", stats.Pct(acc), "100.0%")
 
@@ -57,21 +56,18 @@ func main() {
 	acc = eval(func() { nn.SetConvExec(net, int16) }, func() { nn.SetConvExec(net, nil) })
 	table.AddRow("static INT16", stats.Pct(acc), "100.0%")
 
-	drq84 := drq.NewExec(8, 4)
-	drq84.Enabled = true
+	drq84 := drq.NewExec(8, 4, drq.WithProfiling())
 	acc = eval(func() { nn.SetConvExecTail(net, drq84) }, func() { nn.SetConvExecTail(net, nil) })
 	table.AddRow("DRQ 8/4", stats.Pct(acc), highShare(drq84))
 
-	drq42 := drq.NewExec(4, 2)
-	drq42.Enabled = true
+	drq42 := drq.NewExec(4, 2, drq.WithProfiling())
 	acc = eval(func() { nn.SetConvExecTail(net, drq42) }, func() { nn.SetConvExecTail(net, nil) })
 	table.AddRow("DRQ 4/2", stats.Pct(acc), highShare(drq42))
 
 	// ODQ needs its threshold-aware fine-tuning pass (paper §3) before
 	// evaluation: the network adapts to predictor-only insensitive
 	// outputs via straight-through training with frozen batch norms.
-	odq := core.NewExec(0.25)
-	odq.NoWeightCache = true
+	odq := core.NewExec(0.25, core.WithoutWeightCache(), core.WithMaskRecording())
 	nn.SetConvTrainExec(net, odq)
 	nn.SetBNFrozen(net, true)
 	train.Fit(net, trainDS, train.Options{
@@ -80,8 +76,7 @@ func main() {
 	nn.SetBNFrozen(net, false)
 	nn.SetConvTrainExec(net, nil)
 
-	odq.Enabled = true
-	odq.KeepMasks = true
+	odq.Reset() // discard fine-tuning-pass profiles; measure inference only
 	acc = eval(func() { nn.SetConvExecTail(net, odq) }, func() { nn.SetConvExecTail(net, nil) })
 	table.AddRow("ODQ 4/2 (th=0.25, fine-tuned)", stats.Pct(acc), stats.Pct(odq.SensitiveFraction()))
 	table.Render(os.Stdout)

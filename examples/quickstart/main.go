@@ -52,8 +52,7 @@ func main() {
 	// 5. Threshold-aware fine-tuning (paper §3): a short straight-through
 	// training pass with the ODQ forward teaches the network to tolerate
 	// predictor-only insensitive outputs. Batch-norm statistics freeze.
-	odq := core.NewExec(0.25)
-	odq.NoWeightCache = true
+	odq := core.NewExec(0.25, core.WithoutWeightCache(), core.WithProfiling())
 	fmt.Println("fine-tuning with the ODQ forward (threshold 0.25)...")
 	nn.SetConvTrainExec(net, odq)
 	nn.SetBNFrozen(net, true)
@@ -66,7 +65,7 @@ func main() {
 	// 6. ODQ inference: the predictor convolves only the high-order
 	// 2 bits and thresholds the partial sums into a sensitivity mask;
 	// the executor finishes only the sensitive outputs.
-	odq.Enabled = true
+	odq.Reset() // discard fine-tuning-pass profiles; measure inference only
 	nn.SetConvExecTail(net, odq)
 	odqAcc := train.Evaluate(net, testDS, 32)
 	nn.SetConvExecTail(net, nil)

@@ -43,8 +43,7 @@ func main() {
 
 	// Seed the search from the predictor-output distribution.
 	calib, _ := testDS.Batch([]int{0, 1, 2, 3, 4, 5, 6, 7})
-	e := core.NewExec(0)
-	e.NoWeightCache = true
+	e := core.NewExec(0, core.WithoutWeightCache())
 	init := e.InitialThreshold(net, calib, 0.90)
 	fmt.Printf("initial threshold (P90 of normalized predictor outputs): %.3f\n", init)
 
@@ -71,8 +70,7 @@ func main() {
 	t := stats.NewTable("Threshold sweep (Figure 22 machinery)",
 		"threshold", "accuracy", "INT4 share", "INT2 share")
 	for _, th := range []float32{0, 0.25, 0.5, 0.75, 1.0, 1.5} {
-		se := core.NewExec(th)
-		se.Enabled = true
+		se := core.NewExec(th, core.WithProfiling())
 		acc := evalWith(se)
 		t.AddRow(th, stats.Pct(acc), stats.Pct(se.SensitiveFraction()),
 			stats.Pct(1-se.SensitiveFraction()))

@@ -9,12 +9,15 @@
 //
 // The executor here is numerically exact with respect to that definition:
 // sensitive outputs equal the full INT-k convolution bit-for-bit, while
-// insensitive outputs carry only the high×high partial. Performance and
-// energy are modeled by the accelerator simulator from the masks this
-// package records — the same methodology the paper uses (§5.2).
+// insensitive outputs carry only the high×high partial. The default
+// execution path is genuinely sparse — the HL/LH/LL partials are computed
+// only for masked outputs, in parallel across output channels on the
+// shared worker pool — and bit-identical to the dense-compute-then-select
+// reference (retained behind WithDenseReference for parity testing).
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/nn"
@@ -22,36 +25,44 @@ import (
 	"repro/internal/tensor"
 )
 
-// Exec is the ODQ convolution executor.
+// Exec is the ODQ convolution executor. All configuration is fixed at
+// construction time through Option values; the only mutable state is the
+// weight-code cache, the embedded Profiler, and the instrumentation
+// accumulators, each guarded by its own lock — so one Exec is safe for
+// concurrent Conv calls.
 type Exec struct {
-	// Bits is the total quantization width (4 in the paper).
-	Bits int
-	// PredBits is the width of the high-order part used by the
-	// sensitivity predictor (2 in the paper).
-	PredBits int
-	// Threshold is the output-sensitivity threshold in units of each
-	// layer's mean |predictor output| (the paper derives thresholds
-	// from per-layer output distributions and then uses one value for
-	// the whole network, §3/§6.4). An output is sensitive when its
-	// |predictor partial| ≥ Threshold × mean; 0 marks everything
-	// sensitive.
-	Threshold float32
-	// LayerThresholds optionally overrides Threshold for specific layers
-	// (keyed by conv-layer name). The paper deliberately uses one value
-	// network-wide "which greatly simplifies the design" (§6.4); this
-	// override exists for the per-layer ablation.
-	LayerThresholds map[string]float32
-	// NoWeightCache disables the per-layer weight-code cache; set it
-	// during threshold-aware retraining, when weights change every step.
-	NoWeightCache bool
-	// CollectPrecision additionally measures per-layer |float − ODQ|
+	// bits is the total quantization width (4 in the paper); predBits is
+	// the width of the high-order part used by the sensitivity predictor
+	// (2 in the paper).
+	bits     int
+	predBits int
+	// threshold is the output-sensitivity threshold in units of each
+	// layer's mean |predictor output| (the paper derives thresholds from
+	// per-layer output distributions and then uses one value for the
+	// whole network, §3/§6.4). An output is sensitive when its
+	// |predictor partial| ≥ threshold × mean; 0 marks everything
+	// sensitive. layerThresholds optionally overrides it per layer for
+	// the per-layer ablation.
+	threshold       float32
+	layerThresholds map[string]float32
+	// noWeightCache disables the per-layer weight-code cache; set during
+	// threshold-aware retraining, when weights change every step.
+	noWeightCache bool
+	// collectPrecision additionally measures per-layer |float − ODQ|
 	// precision loss (the §6.1 per-layer list), at the cost of a
 	// reference convolution per layer.
-	CollectPrecision bool
+	collectPrecision bool
+	// dense selects the dense-compute-then-select reference path instead
+	// of the sparse executor (parity tests, benchmarks).
+	dense bool
+	// workers caps result-generation parallelism; 0 means the full
+	// shared pool, 1 forces serial execution.
+	workers int
 
 	quant.Profiler
 
 	mu        sync.Mutex
+	cacheGen  uint64
 	wcacheHi  map[*nn.Conv2D]*tensor.IntTensor
 	wcacheLo  map[*nn.Conv2D]*tensor.IntTensor
 	precision map[string]*PrecisionStat
@@ -60,6 +71,69 @@ type Exec struct {
 	distMu      sync.Mutex
 	collectDist bool
 	dist        []float32
+}
+
+// Option configures an Exec at construction time.
+type Option func(*Exec)
+
+// WithBits sets the total quantization width (default 4).
+func WithBits(bits int) Option {
+	return func(e *Exec) { e.bits = bits }
+}
+
+// WithPredBits sets the sensitivity-predictor width (default 2).
+func WithPredBits(bits int) Option {
+	return func(e *Exec) { e.predBits = bits }
+}
+
+// WithLayerThresholds overrides the network-wide threshold for specific
+// conv layers (keyed by layer name). The map is copied.
+func WithLayerThresholds(m map[string]float32) Option {
+	return func(e *Exec) {
+		cp := make(map[string]float32, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		e.layerThresholds = cp
+	}
+}
+
+// WithPrecisionCollection measures per-layer |float − ODQ| loss on every
+// Conv (costs one reference convolution per layer call).
+func WithPrecisionCollection() Option {
+	return func(e *Exec) { e.collectPrecision = true }
+}
+
+// WithoutWeightCache disables weight-code caching; use while weights are
+// being retrained and change between steps.
+func WithoutWeightCache() Option {
+	return func(e *Exec) { e.noWeightCache = true }
+}
+
+// WithWorkers caps the result-generation parallelism at n goroutines
+// (1 = serial; 0 / unset = the full shared pool).
+func WithWorkers(n int) Option {
+	return func(e *Exec) { e.workers = n }
+}
+
+// WithProfiling enables per-layer profile recording from construction.
+// Call Reset before the measured pass if earlier (calibration, training)
+// Conv calls should not count.
+func WithProfiling() Option {
+	return func(e *Exec) { e.EnableProfiling() }
+}
+
+// WithMaskRecording enables profiling and retains per-output sensitivity
+// masks for the accelerator simulator.
+func WithMaskRecording() Option {
+	return func(e *Exec) { e.EnableMaskRecording() }
+}
+
+// WithDenseReference switches result generation to the dense
+// compute-then-select reference implementation. The sparse default is
+// bit-identical; this path exists for parity tests and benchmarks.
+func WithDenseReference() Option {
+	return func(e *Exec) { e.dense = true }
 }
 
 // PrecisionStat accumulates per-layer precision loss of ODQ relative to
@@ -81,42 +155,85 @@ func (p *PrecisionStat) Mean() float64 {
 }
 
 // NewExec builds an ODQ executor with the paper's defaults (INT4 codes,
-// 2-bit predictor).
-func NewExec(threshold float32) *Exec {
-	return &Exec{
-		Bits:      4,
-		PredBits:  2,
-		Threshold: threshold,
+// 2-bit predictor) modified by the given options. It panics on an invalid
+// bits/predBits combination.
+func NewExec(threshold float32, opts ...Option) *Exec {
+	e := &Exec{
+		bits:      4,
+		predBits:  2,
+		threshold: threshold,
 		wcacheHi:  make(map[*nn.Conv2D]*tensor.IntTensor),
 		wcacheLo:  make(map[*nn.Conv2D]*tensor.IntTensor),
 		precision: make(map[string]*PrecisionStat),
 	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.bits < 2 || e.bits > 16 {
+		panic(fmt.Sprintf("core: NewExec bits %d out of range [2,16]", e.bits))
+	}
+	if e.predBits < 1 || e.predBits >= e.bits {
+		panic(fmt.Sprintf("core: NewExec predBits %d out of range [1,bits)", e.predBits))
+	}
+	return e
 }
 
-// lowBits returns the width of the low-order part.
-func (e *Exec) lowBits() int { return e.Bits - e.PredBits }
+// Bits returns the total quantization width.
+func (e *Exec) Bits() int { return e.bits }
 
+// PredBits returns the sensitivity-predictor width.
+func (e *Exec) PredBits() int { return e.predBits }
+
+// Threshold returns the current network-wide sensitivity threshold (the
+// threshold search in this package adjusts it between passes).
+func (e *Exec) Threshold() float32 { return e.threshold }
+
+// lowBits returns the width of the low-order part.
+func (e *Exec) lowBits() int { return e.bits - e.predBits }
+
+// weights returns the cached high/low weight-code split for a layer.
+// Quantization runs outside the lock; the result is stored only if no
+// InvalidateCache intervened (generation check), so a retraining step can
+// never have its invalidation undone by an in-flight Conv that read the
+// old EffectiveWeight.
 func (e *Exec) weights(layer *nn.Conv2D) (hi, lo *tensor.IntTensor) {
-	if e.NoWeightCache {
-		q := quant.WeightCodes(layer.EffectiveWeight(), e.Bits)
+	if e.noWeightCache {
+		q := quant.WeightCodes(layer.EffectiveWeight(), e.bits)
 		return quant.SplitCodesRounded(q, e.lowBits(), true)
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if h, ok := e.wcacheHi[layer]; ok {
-		return h, e.wcacheLo[layer]
+		l := e.wcacheLo[layer]
+		e.mu.Unlock()
+		return h, l
 	}
-	q := quant.WeightCodes(layer.EffectiveWeight(), e.Bits)
+	gen := e.cacheGen
+	e.mu.Unlock()
+
+	q := quant.WeightCodes(layer.EffectiveWeight(), e.bits)
 	h, l := quant.SplitCodesRounded(q, e.lowBits(), true)
-	e.wcacheHi[layer] = h
-	e.wcacheLo[layer] = l
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ch, ok := e.wcacheHi[layer]; ok {
+		return ch, e.wcacheLo[layer]
+	}
+	if e.cacheGen == gen {
+		e.wcacheHi[layer] = h
+		e.wcacheLo[layer] = l
+	}
 	return h, l
 }
 
-// InvalidateCache drops cached weight codes (call after weight updates).
+// InvalidateCache drops cached weight codes. The retraining contract:
+// call it after every weight mutation BEFORE issuing new Conv calls.
+// Conv calls in flight across the invalidation may still return results
+// from the pre-update weights, but generation tracking guarantees they
+// cannot re-populate the cache with stale codes.
 func (e *Exec) InvalidateCache() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.cacheGen++
 	e.wcacheHi = make(map[*nn.Conv2D]*tensor.IntTensor)
 	e.wcacheLo = make(map[*nn.Conv2D]*tensor.IntTensor)
 }
@@ -140,11 +257,22 @@ func (e *Exec) ResetPrecision() {
 	e.precOrder = nil
 }
 
+// fuse combines the predictor partial with the three executor partials
+// for a sensitive output. Both the sparse path and the dense reference
+// call this single function, so the float rounding (including any FMA
+// contraction the compiler chooses) is identical and the two paths stay
+// bit-exact with each other and with the original implementation.
+func fuse(pred, hl, lh, ll int64, predScale, sHL, sLH, sLL float32) float32 {
+	v := float32(pred) * predScale
+	v += float32(hl)*sHL + float32(lh)*sLH + float32(ll)*sLL
+	return v
+}
+
 // Conv implements nn.ConvExecutor: sensitivity prediction over the
 // high-order parts followed by result generation for sensitive outputs.
 func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
 	n := x.Shape[0]
-	qx := quant.ActCodes(x, e.Bits)
+	qx := quant.ActCodes(x, e.bits)
 	xh, xl := quant.SplitCodesRounded(qx, e.lowBits(), false)
 	wh, wl := e.weights(layer)
 
@@ -153,9 +281,11 @@ func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
 	// (the paper derives its threshold from each layer's output
 	// distribution, §3); this keeps one network-wide threshold value
 	// meaningful across layers whose raw output scales differ.
-	predAcc, g := quant.ConvAccum(xh, wh, layer.Stride, layer.Pad)
+	g := quant.AccumGeometry(xh, wh, layer.Stride, layer.Pad)
+	total := n * g.TotalOutputs()
+	predAcc := tensor.GetInt64(total)
+	quant.ConvAccumInto(predAcc, xh, wh, layer.Stride, layer.Pad)
 	predScale := xh.Scale * wh.Scale
-	total := len(predAcc)
 	var meanAbs float64
 	for _, a := range predAcc {
 		v := float64(a) * float64(predScale)
@@ -167,8 +297,8 @@ func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
 	if total > 0 {
 		meanAbs /= float64(total)
 	}
-	th := e.Threshold
-	if v, ok := e.LayerThresholds[layer.Name]; ok {
+	th := e.threshold
+	if v, ok := e.layerThresholds[layer.Name]; ok {
 		th = v
 	}
 	cut := float32(meanAbs) * th
@@ -188,25 +318,17 @@ func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
 		e.sampleDist(predAcc, predScale, float32(meanAbs))
 	}
 
-	// Stage 2 — result generation: remaining partials, kept only where
-	// the mask says sensitive. (We compute them densely and select; the
-	// arithmetic result is identical to the sparse computation, and the
-	// skipped work is accounted for by the cycle simulator.)
-	hlAcc, _ := quant.ConvAccum(xh, wl, layer.Stride, layer.Pad)
-	lhAcc, _ := quant.ConvAccum(xl, wh, layer.Stride, layer.Pad)
-	llAcc, _ := quant.ConvAccum(xl, wl, layer.Stride, layer.Pad)
+	// Stage 2 — result generation for the masked outputs.
 	sHL := xh.Scale * wl.Scale
 	sLH := xl.Scale * wh.Scale
 	sLL := xl.Scale * wl.Scale
-
 	out := tensor.New(n, g.OutC, g.OutH, g.OutW)
-	for i := range predAcc {
-		v := float32(predAcc[i]) * predScale
-		if mask[i] {
-			v += float32(hlAcc[i])*sHL + float32(lhAcc[i])*sLH + float32(llAcc[i])*sLL
-		}
-		out.Data[i] = v
+	if e.dense {
+		e.resultDense(out, predAcc, mask, xh, xl, wh, wl, layer, predScale, sHL, sLH, sLL)
+	} else {
+		e.resultSparse(out, predAcc, mask, xh, xl, wh, wl, g, predScale, sHL, sLH, sLL)
 	}
+	tensor.PutInt64(predAcc)
 
 	e.Record(&quant.LayerProfile{
 		Name:             layer.Name,
@@ -218,13 +340,86 @@ func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
 		Mask:             mask,
 	})
 
-	if e.CollectPrecision {
-		e.collectPrecision(x, out, layer, g)
+	if e.collectPrecision {
+		e.collectPrecisionLoss(x, out, layer, g)
 	}
 	return out
 }
 
-func (e *Exec) collectPrecision(x, odqOut *tensor.Tensor, layer *nn.Conv2D, g tensor.ConvGeom) {
+// resultSparse is the production result generator: the HL/LH/LL partials
+// are computed only for sensitive outputs, as per-output dot products over
+// the transposed im2col matrix (one contiguous row per output position),
+// parallel across output channels on the shared worker pool.
+func (e *Exec) resultSparse(out *tensor.Tensor, predAcc []int64, mask []bool,
+	xh, xl, wh, wl *tensor.IntTensor, g tensor.ConvGeom,
+	predScale, sHL, sLH, sLL float32) {
+	n := xh.Shape[0]
+	rows, cols := g.ColRows(), g.ColCols()
+	xhT := tensor.GetInt32(rows * cols)
+	xlT := tensor.GetInt32(rows * cols)
+	per := g.InC * g.InH * g.InW
+	pool := tensor.DefaultPool()
+	for s := 0; s < n; s++ {
+		tensor.Im2colIntT(xh.Data[s*per:(s+1)*per], g, xhT)
+		tensor.Im2colIntT(xl.Data[s*per:(s+1)*per], g, xlT)
+		sampleBase := s * g.OutC * cols
+		pool.ParallelLimited(e.workers, g.OutC, func(oc int) {
+			whRow := wh.Data[oc*rows : (oc+1)*rows]
+			wlRow := wl.Data[oc*rows : (oc+1)*rows]
+			base := sampleBase + oc*cols
+			for j := 0; j < cols; j++ {
+				i := base + j
+				if !mask[i] {
+					out.Data[i] = float32(predAcc[i]) * predScale
+					continue
+				}
+				xhRow := xhT[j*rows : (j+1)*rows]
+				xlRow := xlT[j*rows : (j+1)*rows]
+				var hl, lh, ll int64
+				for p := 0; p < rows; p++ {
+					xhv := int64(xhRow[p])
+					xlv := int64(xlRow[p])
+					whv := int64(whRow[p])
+					wlv := int64(wlRow[p])
+					hl += xhv * wlv
+					lh += xlv * whv
+					ll += xlv * wlv
+				}
+				out.Data[i] = fuse(predAcc[i], hl, lh, ll, predScale, sHL, sLH, sLL)
+			}
+		})
+	}
+	tensor.PutInt32(xhT)
+	tensor.PutInt32(xlT)
+}
+
+// resultDense is the dense-compute-then-select reference: all three
+// partials are computed for every output and discarded where the mask is
+// false. Kept (behind WithDenseReference) as the parity oracle for the
+// sparse path.
+func (e *Exec) resultDense(out *tensor.Tensor, predAcc []int64, mask []bool,
+	xh, xl, wh, wl *tensor.IntTensor, layer *nn.Conv2D,
+	predScale, sHL, sLH, sLL float32) {
+	total := len(predAcc)
+	hlAcc := tensor.GetInt64(total)
+	lhAcc := tensor.GetInt64(total)
+	llAcc := tensor.GetInt64(total)
+	quant.ConvAccumInto(hlAcc, xh, wl, layer.Stride, layer.Pad)
+	quant.ConvAccumInto(lhAcc, xl, wh, layer.Stride, layer.Pad)
+	quant.ConvAccumInto(llAcc, xl, wl, layer.Stride, layer.Pad)
+	for i := range predAcc {
+		if mask[i] {
+			out.Data[i] = fuse(predAcc[i], hlAcc[i], lhAcc[i], llAcc[i], predScale, sHL, sLH, sLL)
+		} else {
+			out.Data[i] = float32(predAcc[i]) * predScale
+		}
+	}
+	tensor.PutInt64(hlAcc)
+	tensor.PutInt64(lhAcc)
+	tensor.PutInt64(llAcc)
+}
+
+func (e *Exec) collectPrecisionLoss(x, odqOut *tensor.Tensor, layer *nn.Conv2D, g tensor.ConvGeom) {
 	ref := floatConv(x, layer.EffectiveWeight(), g)
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -285,12 +480,13 @@ func floatConv(x, w *tensor.Tensor, g tensor.ConvGeom) *tensor.Tensor {
 	n := x.Shape[0]
 	rows, cols := g.ColRows(), g.ColCols()
 	out := tensor.New(n, g.OutC, g.OutH, g.OutW)
-	buf := make([]float32, rows*cols)
+	buf := tensor.GetFloat32(rows * cols)
 	per := g.InC * g.InH * g.InW
 	for s := 0; s < n; s++ {
 		tensor.Im2col(x.Data[s*per:(s+1)*per], g, buf)
 		tensor.Gemm(w.Data, buf, out.Data[s*g.OutC*cols:(s+1)*g.OutC*cols], g.OutC, rows, cols)
 	}
+	tensor.PutFloat32(buf)
 	return out
 }
 

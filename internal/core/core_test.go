@@ -52,9 +52,7 @@ func TestNoneSensitiveIsPredictorOnly(t *testing.T) {
 
 func TestSensitiveOutputsAreExact(t *testing.T) {
 	conv, x := testConvAndInput(3)
-	e := NewExec(0.25)
-	e.Enabled = true
-	e.KeepMasks = true
+	e := NewExec(0.25, WithMaskRecording())
 	conv.Exec = e
 	got := conv.Forward(x, false)
 	conv.Exec = quant.NewStaticExec(4)
@@ -76,8 +74,7 @@ func TestSensitiveOutputsAreExact(t *testing.T) {
 func TestSensitiveFractionMonotoneInThreshold(t *testing.T) {
 	conv, x := testConvAndInput(4)
 	fracAt := func(th float32) float64 {
-		e := NewExec(th)
-		e.Enabled = true
+		e := NewExec(th, WithProfiling())
 		conv.Exec = e
 		conv.Forward(x, false)
 		conv.Exec = nil
@@ -97,9 +94,7 @@ func TestSensitiveFractionMonotoneInThreshold(t *testing.T) {
 
 func TestMaskRecordedPerOutput(t *testing.T) {
 	conv, x := testConvAndInput(5)
-	e := NewExec(0.3)
-	e.Enabled = true
-	e.KeepMasks = true
+	e := NewExec(0.3, WithMaskRecording())
 	conv.Exec = e
 	conv.Forward(x, false)
 	p := e.Profiles()[0]
@@ -119,8 +114,7 @@ func TestMaskRecordedPerOutput(t *testing.T) {
 
 func TestPrecisionStatsCollected(t *testing.T) {
 	conv, x := testConvAndInput(6)
-	e := NewExec(0.3)
-	e.CollectPrecision = true
+	e := NewExec(0.3, WithPrecisionCollection())
 	conv.Exec = e
 	conv.Forward(x, false)
 	stats := e.PrecisionStats()
@@ -132,8 +126,7 @@ func TestPrecisionStatsCollected(t *testing.T) {
 	}
 	// ODQ at a moderate threshold must lose less precision than
 	// predictor-only execution.
-	e2 := NewExec(1e9)
-	e2.CollectPrecision = true
+	e2 := NewExec(1e9, WithPrecisionCollection())
 	conv.Exec = e2
 	conv.Forward(x, false)
 	if stats[0].Mean() >= e2.PrecisionStats()[0].Mean() {
@@ -179,8 +172,8 @@ func TestInitialThresholdPercentiles(t *testing.T) {
 	if p50 > p95 {
 		t.Fatalf("percentiles out of order: p50=%v p95=%v", p50, p95)
 	}
-	if e.Threshold != 0.5 {
-		t.Fatalf("InitialThreshold must not clobber Threshold, got %v", e.Threshold)
+	if e.Threshold() != 0.5 {
+		t.Fatalf("InitialThreshold must not clobber Threshold, got %v", e.Threshold())
 	}
 }
 
@@ -188,7 +181,7 @@ func TestFindThresholdHalves(t *testing.T) {
 	e := NewExec(0)
 	// Mock accuracy: improves as the threshold shrinks; reference 0.9.
 	evalAcc := func() float64 {
-		return 0.9 - float64(e.Threshold)*0.5
+		return 0.9 - float64(e.Threshold())*0.5
 	}
 	res := e.FindThreshold(0.8, 0.9, 0.06, 10, nil, evalAcc)
 	if !res.Converged {
@@ -229,15 +222,12 @@ func TestFindThresholdRetrainHookRuns(t *testing.T) {
 
 func TestLayerThresholdOverride(t *testing.T) {
 	conv, x := testConvAndInput(12)
-	global := NewExec(0.5)
-	global.Enabled = true
+	global := NewExec(0.5, WithProfiling())
 	conv.Exec = global
 	conv.Forward(x, false)
 	baseSens := global.Profiles()[0].SensitiveOutputs
 
-	over := NewExec(0.5)
-	over.LayerThresholds = map[string]float32{"c": 0} // everything sensitive
-	over.Enabled = true
+	over := NewExec(0.5, WithLayerThresholds(map[string]float32{"c": 0}), WithProfiling())
 	conv.Exec = over
 	conv.Forward(x, false)
 	p := over.Profiles()[0]
@@ -250,9 +240,7 @@ func TestLayerThresholdOverride(t *testing.T) {
 	}
 
 	// Overrides for other layers must not apply.
-	other := NewExec(0.5)
-	other.LayerThresholds = map[string]float32{"not-this-layer": 0}
-	other.Enabled = true
+	other := NewExec(0.5, WithLayerThresholds(map[string]float32{"not-this-layer": 0}), WithProfiling())
 	conv.Exec = other
 	conv.Forward(x, false)
 	if other.Profiles()[0].SensitiveOutputs != baseSens {
@@ -265,9 +253,7 @@ func TestGeneralizedBitWidths(t *testing.T) {
 	// of precision, e.g., INT8". Verify the 8/4 configuration is exact
 	// for sensitive outputs too.
 	conv, x := testConvAndInput(11)
-	e := NewExec(-1)
-	e.Bits = 8
-	e.PredBits = 4
+	e := NewExec(-1, WithBits(8), WithPredBits(4))
 	conv.Exec = e
 	got := conv.Forward(x, false)
 	conv.Exec = quant.NewStaticExec(8)

@@ -13,8 +13,7 @@ import (
 func TestODQZeroInput(t *testing.T) {
 	rng := tensor.NewRNG(1)
 	conv := nn.NewConv2D("c", 2, 3, 3, 1, 1, false, rng)
-	e := NewExec(0.5)
-	e.Enabled = true
+	e := NewExec(0.5, WithProfiling())
 	conv.Exec = e
 	out := conv.Forward(tensor.New(1, 2, 6, 6), false)
 	for _, v := range out.Data {
@@ -82,9 +81,7 @@ func TestODQZeroWeights(t *testing.T) {
 func TestODQBatchMaskLayout(t *testing.T) {
 	rng := tensor.NewRNG(5)
 	conv := nn.NewConv2D("c", 2, 3, 3, 1, 1, false, rng)
-	e := NewExec(0.5)
-	e.Enabled = true
-	e.KeepMasks = true
+	e := NewExec(0.5, WithMaskRecording())
 	conv.Exec = e
 	x := tensor.New(3, 2, 6, 6)
 	rng.FillUniform(x, 0, 1)
@@ -99,8 +96,7 @@ func TestODQBatchMaskLayout(t *testing.T) {
 func TestODQRepeatedCallsAccumulateProfiles(t *testing.T) {
 	rng := tensor.NewRNG(6)
 	conv := nn.NewConv2D("c", 2, 2, 3, 1, 1, false, rng)
-	e := NewExec(0.5)
-	e.Enabled = true
+	e := NewExec(0.5, WithProfiling())
 	conv.Exec = e
 	x := tensor.New(1, 2, 6, 6)
 	rng.FillUniform(x, 0, 1)

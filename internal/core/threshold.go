@@ -19,12 +19,12 @@ func (e *Exec) InitialThreshold(net nn.Module, calib *tensor.Tensor, percentile 
 	e.dist = nil
 	e.distMu.Unlock()
 
-	prev := e.Threshold
-	e.Threshold = 0 // value is irrelevant for distribution collection
+	prev := e.threshold
+	e.threshold = 0 // value is irrelevant for distribution collection
 	nn.SetConvExecTail(net, e)
 	net.Forward(calib, false)
 	nn.SetConvExecTail(net, nil)
-	e.Threshold = prev
+	e.threshold = prev
 
 	e.distMu.Lock()
 	defer e.distMu.Unlock()
@@ -69,14 +69,14 @@ type SearchStep struct {
 // from a large initial value, evaluate ODQ accuracy (optionally after the
 // caller's retraining hook runs), and halve until the accuracy is within
 // tol of refAcc or maxIters is exhausted. evalAcc must evaluate the model
-// with THIS executor installed at the current e.Threshold. retrain may be
+// with THIS executor installed at the current threshold. retrain may be
 // nil.
 func (e *Exec) FindThreshold(initial float32, refAcc, tol float64, maxIters int,
 	retrain func(threshold float32), evalAcc func() float64) SearchResult {
 	res := SearchResult{}
 	cur := initial
 	for i := 0; i < maxIters; i++ {
-		e.Threshold = cur
+		e.threshold = cur
 		if retrain != nil {
 			retrain(cur)
 			e.InvalidateCache()

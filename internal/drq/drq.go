@@ -19,31 +19,61 @@ import (
 	"repro/internal/tensor"
 )
 
-// Exec is the DRQ convolution executor.
+// Exec is the DRQ convolution executor. Configuration is fixed at
+// construction time through Option values.
 type Exec struct {
-	// HighBits/LowBits are the two precisions (the paper evaluates
+	// highBits/lowBits are the two precisions (the paper evaluates
 	// 8/4 and 4/2).
-	HighBits, LowBits int
-	// RegionSize is the spatial region edge in pixels.
-	RegionSize int
-	// ThresholdScale multiplies the layer's mean input magnitude to form
+	highBits, lowBits int
+	// regionSize is the spatial region edge in pixels.
+	regionSize int
+	// thresholdScale multiplies the layer's mean input magnitude to form
 	// the region-sensitivity threshold; 1.0 marks above-average regions
 	// as sensitive.
-	ThresholdScale float32
-	// OutputThreshold classifies *outputs* as sensitive for the
+	thresholdScale float32
+	// outputThreshold classifies *outputs* as sensitive for the
 	// motivation statistics (the same magnitude criterion ODQ uses).
-	OutputThreshold float32
-	// CollectMotivation enables the Figure 2–5 statistics, at the cost
+	outputThreshold float32
+	// collectMotivation enables the Figure 2–5 statistics, at the cost
 	// of extra reference convolutions.
-	CollectMotivation bool
+	collectMotivation bool
 
 	quant.Profiler
 
 	mu         sync.Mutex
+	cacheGen   uint64
 	wcacheHi   map[*nn.Conv2D]*tensor.IntTensor
 	wcacheLo   map[*nn.Conv2D]*tensor.IntTensor
 	motivation map[string]*MotivationStat
 	motOrder   []string
+}
+
+// Option configures a DRQ Exec at construction time.
+type Option func(*Exec)
+
+// WithRegionSize sets the spatial region edge (default 4).
+func WithRegionSize(n int) Option {
+	return func(e *Exec) { e.regionSize = n }
+}
+
+// WithThresholdScale sets the region-sensitivity threshold as a multiple
+// of the layer's mean input magnitude (default 1.0).
+func WithThresholdScale(s float32) Option {
+	return func(e *Exec) { e.thresholdScale = s }
+}
+
+// WithProfiling enables per-layer profile recording.
+func WithProfiling() Option {
+	return func(e *Exec) { e.EnableProfiling() }
+}
+
+// WithMotivation enables the Figure 2–5 motivation statistics; outputs
+// with |value| above outputThreshold count as sensitive.
+func WithMotivation(outputThreshold float32) Option {
+	return func(e *Exec) {
+		e.collectMotivation = true
+		e.outputThreshold = outputThreshold
+	}
 }
 
 // MotivationStat aggregates the per-layer motivation measurements.
@@ -72,18 +102,32 @@ type MotivationStat struct {
 	ExtraPrecision float64
 }
 
-// NewExec builds a DRQ executor with the given high/low bit widths.
-func NewExec(highBits, lowBits int) *Exec {
-	return &Exec{
-		HighBits:       highBits,
-		LowBits:        lowBits,
-		RegionSize:     4,
-		ThresholdScale: 1.0,
+// NewExec builds a DRQ executor with the given high/low bit widths,
+// modified by the given options.
+func NewExec(highBits, lowBits int, opts ...Option) *Exec {
+	if highBits < 2 || highBits > 16 || lowBits < 1 || lowBits >= highBits {
+		panic("drq: NewExec requires 1 <= lowBits < highBits <= 16")
+	}
+	e := &Exec{
+		highBits:       highBits,
+		lowBits:        lowBits,
+		regionSize:     4,
+		thresholdScale: 1.0,
 		wcacheHi:       make(map[*nn.Conv2D]*tensor.IntTensor),
 		wcacheLo:       make(map[*nn.Conv2D]*tensor.IntTensor),
 		motivation:     make(map[string]*MotivationStat),
 	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
+
+// HighBits returns the high precision width.
+func (e *Exec) HighBits() int { return e.highBits }
+
+// LowBits returns the low precision width.
+func (e *Exec) LowBits() int { return e.lowBits }
 
 // MotivationStats returns the accumulated Figure 2–5 measurements in
 // layer order.
@@ -105,24 +149,43 @@ func (e *Exec) ResetMotivation() {
 	e.motOrder = nil
 }
 
+// weights returns the cached high/low weight codes for a layer.
+// Quantization runs outside the lock; the result is stored only if no
+// InvalidateCache intervened (generation check), so an in-flight Conv can
+// never re-populate the cache from stale weights.
 func (e *Exec) weights(layer *nn.Conv2D) (hi, lo *tensor.IntTensor) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if h, ok := e.wcacheHi[layer]; ok {
-		return h, e.wcacheLo[layer]
+		l := e.wcacheLo[layer]
+		e.mu.Unlock()
+		return h, l
 	}
+	gen := e.cacheGen
+	e.mu.Unlock()
+
 	w := layer.EffectiveWeight()
-	h := quant.WeightCodes(w, e.HighBits)
-	l := quant.WeightCodes(w, e.LowBits)
-	e.wcacheHi[layer] = h
-	e.wcacheLo[layer] = l
+	h := quant.WeightCodes(w, e.highBits)
+	l := quant.WeightCodes(w, e.lowBits)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ch, ok := e.wcacheHi[layer]; ok {
+		return ch, e.wcacheLo[layer]
+	}
+	if e.cacheGen == gen {
+		e.wcacheHi[layer] = h
+		e.wcacheLo[layer] = l
+	}
 	return h, l
 }
 
-// InvalidateCache drops cached weight codes.
+// InvalidateCache drops cached weight codes. Call after every weight
+// mutation before issuing new Conv calls; generation tracking keeps
+// in-flight Conv calls from re-populating the cache with stale codes.
 func (e *Exec) InvalidateCache() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.cacheGen++
 	e.wcacheHi = make(map[*nn.Conv2D]*tensor.IntTensor)
 	e.wcacheLo = make(map[*nn.Conv2D]*tensor.IntTensor)
 }
@@ -225,13 +288,13 @@ func countTaps(masks [][]bool, n, c, h, w, k, stride, pad int, keep bool) ([]int
 func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
 	n := x.Shape[0]
 	meanAbs := meanMagnitude(x)
-	threshold := e.ThresholdScale * meanAbs
-	masks := RegionMask(x, e.RegionSize, threshold)
+	threshold := e.thresholdScale * meanAbs
+	masks := RegionMask(x, e.regionSize, threshold)
 
 	xHi := maskedCopy(x, masks, true)
 	xLo := maskedCopy(x, masks, false)
-	qxHi := quant.ActCodes(xHi, e.HighBits)
-	qxLo := quant.ActCodes(xLo, e.LowBits)
+	qxHi := quant.ActCodes(xHi, e.highBits)
+	qxLo := quant.ActCodes(xLo, e.lowBits)
 	wHi, wLo := e.weights(layer)
 
 	accHi, g := quant.ConvAccum(qxHi, wHi, layer.Stride, layer.Pad)
@@ -258,14 +321,14 @@ func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
 		HighInputMACs: highMACs,
 	})
 
-	if e.CollectMotivation {
-		e.collectMotivation(x, xLo, masks, out, layer, g, hiCnt)
+	if e.collectMotivation {
+		e.motivationStats(x, xLo, masks, out, layer, g, hiCnt)
 	}
 	return out
 }
 
-// collectMotivation computes the Figure 2–5 statistics for one layer call.
-func (e *Exec) collectMotivation(x, xLo *tensor.Tensor, masks [][]bool, drqOut *tensor.Tensor,
+// motivationStats computes the Figure 2–5 statistics for one layer call.
+func (e *Exec) motivationStats(x, xLo *tensor.Tensor, masks [][]bool, drqOut *tensor.Tensor,
 	layer *nn.Conv2D, g tensor.ConvGeom, hiCnt []int64) {
 	n := x.Shape[0]
 
@@ -273,7 +336,7 @@ func (e *Exec) collectMotivation(x, xLo *tensor.Tensor, masks [][]bool, drqOut *
 	ref := floatConv(x, layer.EffectiveWeight(), g)
 
 	// All-low-precision convolution for Eq. 1.
-	qxAll := quant.ActCodes(x, e.LowBits)
+	qxAll := quant.ActCodes(x, e.lowBits)
 	_, wLo := e.weights(layer)
 	accAll, _ := quant.ConvAccum(qxAll, wLo, layer.Stride, layer.Pad)
 	allLow := quant.DequantAccum(accAll, qxAll.Scale*wLo.Scale, n, g)
@@ -316,7 +379,7 @@ func (e *Exec) collectMotivation(x, xLo *tensor.Tensor, masks [][]bool, drqOut *
 				if mag < 0 {
 					mag = -mag
 				}
-				if mag > e.OutputThreshold { // sensitive output
+				if mag > e.outputThreshold { // sensitive output
 					stat.SensitiveCount++
 					stat.SensLowFracBuckets[lb]++
 					d := float64(ref.Data[oi] - drqOut.Data[oi])

@@ -57,8 +57,7 @@ func TestAllSensitiveEqualsStaticHigh(t *testing.T) {
 	x := tensor.New(1, 3, 8, 8)
 	rng.FillUniform(x, 0.1, 1) // strictly positive so every region is hot
 
-	e := NewExec(8, 4)
-	e.ThresholdScale = 0 // threshold 0 → all regions sensitive
+	e := NewExec(8, 4, WithThresholdScale(0)) // threshold 0 → all regions sensitive
 	conv.Exec = e
 	got := conv.Forward(x, false)
 
@@ -75,8 +74,7 @@ func TestAllInsensitiveEqualsStaticLow(t *testing.T) {
 	x := tensor.New(1, 3, 8, 8)
 	rng.FillUniform(x, 0, 1)
 
-	e := NewExec(8, 4)
-	e.ThresholdScale = 1e9 // nothing clears the threshold
+	e := NewExec(8, 4, WithThresholdScale(1e9)) // nothing clears the threshold
 	conv.Exec = e
 	got := conv.Forward(x, false)
 
@@ -95,8 +93,7 @@ func TestMixedPrecisionBetweenExtremes(t *testing.T) {
 	ref := conv.Forward(x, false)
 
 	errAt := func(scale float32) float32 {
-		e := NewExec(8, 4)
-		e.ThresholdScale = scale
+		e := NewExec(8, 4, WithThresholdScale(scale))
 		conv.Exec = e
 		defer func() { conv.Exec = nil }()
 		return tensor.MeanAbsDiff(ref, conv.Forward(x, false))
@@ -115,9 +112,7 @@ func TestHighInputMACAccounting(t *testing.T) {
 	x := tensor.New(1, 2, 8, 8)
 	rng.FillUniform(x, 0.1, 1)
 
-	e := NewExec(8, 4)
-	e.ThresholdScale = 0
-	e.Enabled = true
+	e := NewExec(8, 4, WithThresholdScale(0), WithProfiling())
 	conv.Exec = e
 	conv.Forward(x, false)
 	p := e.Profiles()[0]
@@ -125,8 +120,8 @@ func TestHighInputMACAccounting(t *testing.T) {
 		t.Fatalf("all-sensitive with no padding: high=%d total=%d", p.HighInputMACs, p.TotalMACs)
 	}
 
-	e.Reset()
-	e.ThresholdScale = 1e9
+	e = NewExec(8, 4, WithThresholdScale(1e9), WithProfiling())
+	conv.Exec = e
 	conv.Forward(x, false)
 	p = e.Profiles()[0]
 	if p.HighInputMACs != 0 {
@@ -140,9 +135,7 @@ func TestMotivationStatsPopulate(t *testing.T) {
 	x := tensor.New(1, 3, 16, 16)
 	rng.FillUniform(x, 0, 1)
 
-	e := NewExec(8, 4)
-	e.CollectMotivation = true
-	e.OutputThreshold = 0.3
+	e := NewExec(8, 4, WithMotivation(0.3))
 	conv.Exec = e
 	conv.Forward(x, false)
 

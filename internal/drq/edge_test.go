@@ -60,8 +60,7 @@ func TestDRQ1x1ConvMatchesStaticAtExtremes(t *testing.T) {
 	conv := nn.NewConv2D("c", 3, 3, 1, 1, 0, false, rng)
 	x := tensor.New(1, 3, 5, 5)
 	rng.FillUniform(x, 0.2, 1)
-	e := NewExec(8, 4)
-	e.ThresholdScale = 0
+	e := NewExec(8, 4, WithThresholdScale(0))
 	conv.Exec = e
 	got := conv.Forward(x, false)
 	if got.Shape[2] != 5 {
@@ -77,8 +76,7 @@ func TestDRQ1x1ConvMatchesStaticAtExtremes(t *testing.T) {
 func TestDRQBatchedProfiles(t *testing.T) {
 	rng := tensor.NewRNG(3)
 	conv := nn.NewConv2D("c", 2, 2, 3, 1, 1, false, rng)
-	e := NewExec(8, 4)
-	e.Enabled = true
+	e := NewExec(8, 4, WithProfiling())
 	conv.Exec = e
 	x := tensor.New(4, 2, 8, 8)
 	rng.FillUniform(x, 0, 1)
@@ -97,9 +95,7 @@ func TestMotivationWithZeroThresholdOutput(t *testing.T) {
 	// sensitive; stats must still be consistent.
 	rng := tensor.NewRNG(4)
 	conv := nn.NewConv2D("c", 2, 2, 3, 1, 1, false, rng)
-	e := NewExec(8, 4)
-	e.CollectMotivation = true
-	e.OutputThreshold = 0
+	e := NewExec(8, 4, WithMotivation(0))
 	conv.Exec = e
 	x := tensor.New(1, 2, 8, 8)
 	rng.FillUniform(x, 0, 1)

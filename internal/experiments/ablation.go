@@ -32,8 +32,7 @@ func AblationThreshold(l *Lab) *AblationThresholdResult {
 	tm := l.Model("resnet20", "c10")
 	th := l.Threshold(tm)
 
-	global := core.NewExec(th)
-	global.Enabled = true
+	global := core.NewExec(th, core.WithProfiling())
 	r := &AblationThresholdResult{Model: tm.ModelName, GlobalThreshold: th}
 	r.GlobalAccuracy = l.EvalDynamic(tm, global)
 	r.GlobalSensFrac = global.SensitiveFraction()
@@ -49,9 +48,7 @@ func AblationThreshold(l *Lab) *AblationThresholdResult {
 	x, _ := ds.Batch(idx)
 	overrides := map[string]float32{}
 	for pass := 0; pass < 3; pass++ {
-		pe := core.NewExec(th)
-		pe.LayerThresholds = overrides
-		pe.Enabled = true
+		pe := core.NewExec(th, core.WithLayerThresholds(overrides), core.WithProfiling())
 		nn.SetConvExecTail(tm.Net, pe)
 		tm.Net.Forward(x, false)
 		nn.SetConvExecTail(tm.Net, nil)
@@ -76,9 +73,7 @@ func AblationThreshold(l *Lab) *AblationThresholdResult {
 	}
 	r.LayerThresholds = overrides
 
-	per := core.NewExec(th)
-	per.LayerThresholds = overrides
-	per.Enabled = true
+	per := core.NewExec(th, core.WithLayerThresholds(overrides), core.WithProfiling())
 	r.PerLayerAccuracy = l.EvalDynamic(tm, per)
 	r.PerLayerSensFrac = per.SensitiveFraction()
 	return r
@@ -115,15 +110,11 @@ func AblationPrecision(l *Lab) *AblationPrecisionResult {
 	th := l.Threshold(tm)
 	r := &AblationPrecisionResult{Model: tm.ModelName, Threshold: th}
 
-	e42 := core.NewExec(th)
-	e42.Enabled = true
+	e42 := core.NewExec(th, core.WithProfiling())
 	r.Acc42 = l.EvalDynamic(tm, e42)
 	r.Sens42 = e42.SensitiveFraction()
 
-	e84 := core.NewExec(th)
-	e84.Bits = 8
-	e84.PredBits = 4
-	e84.Enabled = true
+	e84 := core.NewExec(th, core.WithBits(8), core.WithPredBits(4), core.WithProfiling())
 	r.Acc84 = l.EvalDynamic(tm, e84)
 	r.Sens84 = e84.SensitiveFraction()
 	return r

@@ -284,8 +284,7 @@ func (l *Lab) searchThreshold(tm *TrainedModel, tol float64, maxIters int) core.
 	idx, ds := l.profileBatch(tm)
 	x, _ := ds.Batch(idx)
 
-	e := core.NewExec(0)
-	e.NoWeightCache = true
+	e := core.NewExec(0, core.WithoutWeightCache())
 	init := e.InitialThreshold(tm.Net, x, 0.75)
 	refAcc := l.EvalWithExec(tm, quant.NewStaticExec(4))
 
@@ -417,9 +416,11 @@ func (l *Lab) SearchThreshold(tm *TrainedModel, _ float64, _ int) core.SearchRes
 // ProfileODQ runs ODQ inference over the profiling batch and returns the
 // per-layer profiles (with masks when keepMasks) plus the executor used.
 func (l *Lab) ProfileODQ(tm *TrainedModel, threshold float32, keepMasks bool) ([]*quant.LayerProfile, *core.Exec) {
-	e := core.NewExec(threshold)
-	e.Enabled = true
-	e.KeepMasks = keepMasks
+	opts := []core.Option{core.WithProfiling()}
+	if keepMasks {
+		opts = append(opts, core.WithMaskRecording())
+	}
+	e := core.NewExec(threshold, opts...)
 	idx, ds := l.profileBatch(tm)
 	x, _ := ds.Batch(idx)
 	nn.SetConvExecTail(tm.Net, e)
@@ -432,10 +433,11 @@ func (l *Lab) ProfileODQ(tm *TrainedModel, threshold float32, keepMasks bool) ([
 // per-layer profiles plus the executor (whose motivation stats are
 // populated when collectMotivation).
 func (l *Lab) ProfileDRQ(tm *TrainedModel, hiBits, loBits int, collectMotivation bool, outputThreshold float32) ([]*quant.LayerProfile, *drq.Exec) {
-	e := drq.NewExec(hiBits, loBits)
-	e.Enabled = true
-	e.CollectMotivation = collectMotivation
-	e.OutputThreshold = outputThreshold
+	opts := []drq.Option{drq.WithProfiling()}
+	if collectMotivation {
+		opts = append(opts, drq.WithMotivation(outputThreshold))
+	}
+	e := drq.NewExec(hiBits, loBits, opts...)
 	idx, ds := l.profileBatch(tm)
 	x, _ := ds.Batch(idx)
 	nn.SetConvExecTail(tm.Net, e)
@@ -447,8 +449,7 @@ func (l *Lab) ProfileDRQ(tm *TrainedModel, hiBits, loBits int, collectMotivation
 // ProfileStatic runs static INT-k inference over the profiling batch and
 // returns the per-layer profiles (geometry and MAC counts).
 func (l *Lab) ProfileStatic(tm *TrainedModel, bits int) []*quant.LayerProfile {
-	e := quant.NewStaticExec(bits)
-	e.Enabled = true
+	e := quant.NewStaticExec(bits, quant.WithStaticProfiling())
 	idx, ds := l.profileBatch(tm)
 	x, _ := ds.Batch(idx)
 	nn.SetConvExec(tm.Net, e)

@@ -70,9 +70,7 @@ func Figure1(l *Lab) *Figure1Result {
 	res.InputMask = asciiMask(inMask[0], x.Shape[2], x.Shape[3])
 
 	conv := nn.Convs(tm.Net)[0]
-	odq := core.NewExec(0.3)
-	odq.Enabled = true
-	odq.KeepMasks = true
+	odq := core.NewExec(0.3, core.WithMaskRecording())
 	nn.SetConvExec(tm.Net, odq)
 	tm.Net.Forward(x, false)
 	nn.SetConvExec(tm.Net, nil)

@@ -55,18 +55,15 @@ func Figure18(l *Lab, modelNames, datasets []string) *Figure18Result {
 				case "INT8":
 					row.Accuracy = l.EvalWithExec(tm, quant.NewStaticExec(8))
 				case "DRQ 8/4":
-					e := drq.NewExec(8, 4)
-					e.Enabled = true
+					e := drq.NewExec(8, 4, drq.WithProfiling())
 					row.Accuracy = l.EvalDynamicBase(tm, e)
 					row.HighFrac = highMACFrac(e.Profiles())
 				case "DRQ 4/2":
-					e := drq.NewExec(4, 2)
-					e.Enabled = true
+					e := drq.NewExec(4, 2, drq.WithProfiling())
 					row.Accuracy = l.EvalDynamicBase(tm, e)
 					row.HighFrac = highMACFrac(e.Profiles())
 				case "ODQ 4/2":
-					e := core.NewExec(th)
-					e.Enabled = true
+					e := core.NewExec(th, core.WithProfiling())
 					row.Accuracy = l.EvalDynamic(tm, e)
 					row.HighFrac = e.SensitiveFraction()
 				}

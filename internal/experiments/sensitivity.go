@@ -76,8 +76,7 @@ func Figure22(l *Lab) *Figure22Result {
 	tm := l.Model("resnet20", "c10")
 	r := &Figure22Result{Model: tm.ModelName}
 	for _, th := range []float32{0, 0.0625, 0.125, 0.25, 0.375, 0.5, 0.75, 1.0} {
-		e := core.NewExec(th)
-		e.Enabled = true
+		e := core.NewExec(th, core.WithProfiling())
 		acc := l.EvalDynamic(tm, e)
 		// Reuse the evaluation pass's profiles for the precision split.
 		r.Thresholds = append(r.Thresholds, th)

@@ -66,7 +66,7 @@ func DequantAccumPerChannel(acc []int64, actScale float32, wScales []float32, n 
 // PerChannelExec is a static INT-k executor with per-output-channel weight
 // scales — the per-channel ablation of the static baselines.
 type PerChannelExec struct {
-	Bits int
+	bits int
 	Profiler
 
 	mu     sync.Mutex
@@ -78,22 +78,40 @@ type perChanWeights struct {
 	scales []float32
 }
 
-// NewPerChannelExec builds a per-channel static executor.
-func NewPerChannelExec(bits int) *PerChannelExec {
-	return &PerChannelExec{Bits: bits, wcache: make(map[*nn.Conv2D]perChanWeights)}
+// PerChannelOption configures a PerChannelExec at construction time.
+type PerChannelOption func(*PerChannelExec)
+
+// WithPerChannelProfiling enables per-layer profile recording.
+func WithPerChannelProfiling() PerChannelOption {
+	return func(e *PerChannelExec) { e.EnableProfiling() }
 }
+
+// NewPerChannelExec builds a per-channel static executor.
+func NewPerChannelExec(bits int, opts ...PerChannelOption) *PerChannelExec {
+	if bits < 1 || bits > 16 {
+		panic("quant: NewPerChannelExec bits out of range [1,16]")
+	}
+	e := &PerChannelExec{bits: bits, wcache: make(map[*nn.Conv2D]perChanWeights)}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Bits returns the configured bit width.
+func (e *PerChannelExec) Bits() int { return e.bits }
 
 // Conv implements nn.ConvExecutor.
 func (e *PerChannelExec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
 	e.mu.Lock()
 	w, ok := e.wcache[layer]
 	if !ok {
-		codes, scales := WeightCodesPerChannel(layer.EffectiveWeight(), e.Bits)
+		codes, scales := WeightCodesPerChannel(layer.EffectiveWeight(), e.bits)
 		w = perChanWeights{codes: codes, scales: scales}
 		e.wcache[layer] = w
 	}
 	e.mu.Unlock()
-	qx := ActCodes(x, e.Bits)
+	qx := ActCodes(x, e.bits)
 	acc, g := ConvAccum(qx, w.codes, layer.Stride, layer.Pad)
 	n := x.Shape[0]
 	out := DequantAccumPerChannel(acc, qx.Scale, w.scales, n, g)

@@ -342,21 +342,42 @@ func SplitCodesRounded(t *tensor.IntTensor, lowBits int, signed bool) (hi, lo *t
 // accumulators laid out [N,O,OH,OW] together with the geometry. The real
 // value of accumulator i is acc[i] * x.Scale * w.Scale.
 func ConvAccum(x, w *tensor.IntTensor, stride, pad int) ([]int64, tensor.ConvGeom) {
-	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	g := AccumGeometry(x, w, stride, pad)
+	acc := make([]int64, x.Shape[0]*g.TotalOutputs())
+	ConvAccumInto(acc, x, w, stride, pad)
+	return acc, g
+}
+
+// AccumGeometry resolves the conv geometry for an (activation, weight)
+// code pair, panicking on a channel mismatch.
+func AccumGeometry(x, w *tensor.IntTensor, stride, pad int) tensor.ConvGeom {
+	c, h, wd := x.Shape[1], x.Shape[2], x.Shape[3]
 	outC, k := w.Shape[0], w.Shape[2]
 	if w.Shape[1] != c {
 		panic("quant: ConvAccum channel mismatch")
 	}
-	g := tensor.Geometry(c, h, wd, outC, k, stride, pad)
+	return tensor.Geometry(c, h, wd, outC, k, stride, pad)
+}
+
+// ConvAccumInto is ConvAccum writing into a caller-provided accumulator
+// (len >= batch * TotalOutputs), so hot paths can reuse pooled scratch.
+// The im2col expansion itself runs on a pooled buffer, so steady-state
+// calls allocate nothing.
+func ConvAccumInto(acc []int64, x, w *tensor.IntTensor, stride, pad int) tensor.ConvGeom {
+	g := AccumGeometry(x, w, stride, pad)
+	n := x.Shape[0]
 	rows, cols := g.ColRows(), g.ColCols()
-	acc := make([]int64, n*outC*cols)
-	buf := make([]int32, rows*cols)
-	per := c * h * wd
+	if len(acc) < n*g.OutC*cols {
+		panic("quant: ConvAccumInto accumulator too small")
+	}
+	buf := tensor.GetInt32(rows * cols)
+	per := g.InC * g.InH * g.InW
 	for s := 0; s < n; s++ {
 		tensor.Im2colInt(x.Data[s*per:(s+1)*per], g, buf)
-		tensor.GemmInt(w.Data, buf, acc[s*outC*cols:(s+1)*outC*cols], outC, rows, cols)
+		tensor.GemmInt(w.Data, buf, acc[s*g.OutC*cols:(s+1)*g.OutC*cols], g.OutC, rows, cols)
 	}
-	return acc, g
+	tensor.PutInt32(buf)
+	return g
 }
 
 // DequantAccum converts raw accumulators into a float tensor using the

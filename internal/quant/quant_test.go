@@ -401,8 +401,7 @@ func TestStaticExecWeightCache(t *testing.T) {
 func TestProfilerAccumulates(t *testing.T) {
 	rng := tensor.NewRNG(16)
 	conv := nn.NewConv2D("c1", 1, 2, 3, 1, 1, false, rng)
-	e := NewStaticExec(8)
-	e.Enabled = true
+	e := NewStaticExec(8, WithStaticProfiling())
 	conv.Exec = e
 	x := tensor.New(2, 1, 4, 4)
 	conv.Forward(x, false)

@@ -37,14 +37,29 @@ type LayerProfile struct {
 }
 
 // Profiler accumulates per-layer profiles during an inference pass.
-// Executors embed it; callers Reset it between runs.
+// Executors embed it. Enable it at construction time via the executor's
+// profiling option (or EnableProfiling directly); callers Reset it between
+// runs to discard e.g. calibration-pass records.
 type Profiler struct {
-	Enabled   bool
-	KeepMasks bool
+	enabled   bool
+	keepMasks bool
 	mu        sync.Mutex
 	profiles  []*LayerProfile
 	index     map[string]int
 }
+
+// EnableProfiling turns on per-layer profile recording.
+func (p *Profiler) EnableProfiling() { p.enabled = true }
+
+// EnableMaskRecording turns on profiling and additionally retains the
+// per-output sensitivity masks (large: one bool per output feature).
+func (p *Profiler) EnableMaskRecording() {
+	p.enabled = true
+	p.keepMasks = true
+}
+
+// ProfilingEnabled reports whether Record is collecting.
+func (p *Profiler) ProfilingEnabled() bool { return p.enabled }
 
 // Reset clears accumulated profiles.
 func (p *Profiler) Reset() {
@@ -64,7 +79,7 @@ func (p *Profiler) Profiles() []*LayerProfile {
 // Record merges a layer observation into the profile set, accumulating
 // counts across batches for repeat visits to the same layer.
 func (p *Profiler) Record(lp *LayerProfile) {
-	if !p.Enabled {
+	if !p.enabled {
 		return
 	}
 	p.mu.Lock()
@@ -79,13 +94,13 @@ func (p *Profiler) Record(lp *LayerProfile) {
 		ex.SensitiveOutputs += lp.SensitiveOutputs
 		ex.HighInputMACs += lp.HighInputMACs
 		ex.TotalMACs += lp.TotalMACs
-		if p.KeepMasks {
+		if p.keepMasks {
 			ex.Mask = append(ex.Mask, lp.Mask...)
 		}
 		return
 	}
 	lp.Index = len(p.profiles)
-	if !p.KeepMasks {
+	if !p.keepMasks {
 		lp.Mask = nil
 	}
 	p.index[lp.Name] = len(p.profiles)
@@ -97,44 +112,85 @@ func (p *Profiler) Record(lp *LayerProfile) {
 // INT8, INT4 ... per the paper's baselines) and the convolution runs in
 // integer arithmetic.
 type StaticExec struct {
-	Bits int
+	bits int
 	Profiler
 
-	mu     sync.Mutex
-	wcache map[*nn.Conv2D]*tensor.IntTensor
+	mu       sync.Mutex
+	cacheGen uint64
+	wcache   map[*nn.Conv2D]*tensor.IntTensor
+}
+
+// StaticOption configures a StaticExec at construction time.
+type StaticOption func(*StaticExec)
+
+// WithStaticProfiling enables per-layer profile recording.
+func WithStaticProfiling() StaticOption {
+	return func(e *StaticExec) { e.EnableProfiling() }
 }
 
 // NewStaticExec builds a static INT-k executor.
-func NewStaticExec(bits int) *StaticExec {
-	return &StaticExec{Bits: bits, wcache: make(map[*nn.Conv2D]*tensor.IntTensor)}
+func NewStaticExec(bits int, opts ...StaticOption) *StaticExec {
+	if bits < 1 || bits > 16 {
+		panic("quant: NewStaticExec bits out of range [1,16]")
+	}
+	e := &StaticExec{bits: bits, wcache: make(map[*nn.Conv2D]*tensor.IntTensor)}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
 
+// Bits returns the configured bit width.
+func (e *StaticExec) Bits() int { return e.bits }
+
 // weightCodes returns cached integer codes for a layer's weights.
+// Quantization runs outside the lock; the result is stored only if no
+// InvalidateCache intervened, so a concurrent retraining step can never be
+// overwritten by codes computed from the stale weights.
 func (e *StaticExec) weightCodes(layer *nn.Conv2D) *tensor.IntTensor {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if q, ok := e.wcache[layer]; ok {
+		e.mu.Unlock()
 		return q
 	}
-	q := WeightCodes(layer.EffectiveWeight(), e.Bits)
-	e.wcache[layer] = q
+	gen := e.cacheGen
+	e.mu.Unlock()
+
+	q := WeightCodes(layer.EffectiveWeight(), e.bits)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur, ok := e.wcache[layer]; ok {
+		return cur
+	}
+	if e.cacheGen == gen {
+		e.wcache[layer] = q
+	}
 	return q
 }
 
-// InvalidateCache drops cached weight codes (call after mutating weights).
+// InvalidateCache drops cached weight codes. Call it after every weight
+// mutation (retraining step, fine-tune epoch) BEFORE issuing new Conv
+// calls; in-flight Conv calls started before the invalidation may still
+// return results computed from the old weights, but can no longer poison
+// the cache for later calls.
 func (e *StaticExec) InvalidateCache() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.cacheGen++
 	e.wcache = make(map[*nn.Conv2D]*tensor.IntTensor)
 }
 
 // Conv implements nn.ConvExecutor.
 func (e *StaticExec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
-	qx := ActCodes(x, e.Bits)
+	qx := ActCodes(x, e.bits)
 	qw := e.weightCodes(layer)
-	acc, g := ConvAccum(qx, qw, layer.Stride, layer.Pad)
+	g := AccumGeometry(qx, qw, layer.Stride, layer.Pad)
 	n := x.Shape[0]
+	acc := tensor.GetInt64(n * g.TotalOutputs())
+	ConvAccumInto(acc, qx, qw, layer.Stride, layer.Pad)
 	out := DequantAccum(acc, qx.Scale*qw.Scale, n, g)
+	tensor.PutInt64(acc)
 	e.Record(&LayerProfile{
 		Name:         layer.Name,
 		Geom:         g,

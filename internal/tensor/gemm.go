@@ -1,17 +1,33 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
-)
-
 // gemmParallelThreshold is the minimum m*n*k product above which GEMM fans
-// out across goroutines; below it the single-threaded loop is faster.
+// out across the shared worker pool; below it the single-threaded loop is
+// faster.
 const gemmParallelThreshold = 64 * 64 * 64
 
+// gemmRowBlocks splits m rows into pool-sized blocks and runs body(lo, hi)
+// for each block on the shared worker pool.
+func gemmRowBlocks(m int, body func(lo, hi int)) {
+	p := DefaultPool()
+	workers := p.Size()
+	if workers > m {
+		workers = m
+	}
+	rowsPer := (m + workers - 1) / workers
+	blocks := (m + rowsPer - 1) / rowsPer
+	p.ParallelN(blocks, func(b int) {
+		lo := b * rowsPer
+		hi := lo + rowsPer
+		if hi > m {
+			hi = m
+		}
+		body(lo, hi)
+	})
+}
+
 // Gemm computes C = A*B for row-major matrices: A is m×k, B is k×n and C is
-// m×n. C is overwritten. Large products are split across GOMAXPROCS
-// goroutines by row blocks.
+// m×n. C is overwritten. Large products are split across the shared worker
+// pool by row blocks.
 func Gemm(a, b, c []float32, m, k, n int) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic("tensor: Gemm buffer too small")
@@ -20,28 +36,9 @@ func Gemm(a, b, c []float32, m, k, n int) {
 		gemmBlock(a, b, c, 0, m, k, n)
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	rowsPer := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * rowsPer
-		hi := lo + rowsPer
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			gemmBlock(a, b, c, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	gemmRowBlocks(m, func(lo, hi int) {
+		gemmBlock(a, b, c, lo, hi, k, n)
+	})
 }
 
 // gemmBlock computes rows [lo,hi) of C = A*B with an ikj loop order that
@@ -66,38 +63,19 @@ func gemmBlock(a, b, c []float32, lo, hi, k, n int) {
 	}
 }
 
-// GemmAcc computes C += A*B (no zeroing), single block; used by backprop
-// accumulation paths.
+// GemmAcc computes C += A*B (no zeroing); used by backprop accumulation
+// paths.
 func GemmAcc(a, b, c []float32, m, k, n int) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic("tensor: GemmAcc buffer too small")
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if m*k*n < gemmParallelThreshold || workers <= 1 {
+	if m*k*n < gemmParallelThreshold || DefaultPool().Size() <= 1 {
 		gemmAccBlock(a, b, c, 0, m, k, n)
 		return
 	}
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	rowsPer := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * rowsPer
-		hi := lo + rowsPer
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			gemmAccBlock(a, b, c, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	gemmRowBlocks(m, func(lo, hi int) {
+		gemmAccBlock(a, b, c, lo, hi, k, n)
+	})
 }
 
 func gemmAccBlock(a, b, c []float32, lo, hi, k, n int) {
@@ -125,32 +103,13 @@ func GemmInt(a, b []int32, c []int64, m, k, n int) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic("tensor: GemmInt buffer too small")
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if m*k*n < gemmParallelThreshold || workers <= 1 {
+	if m*k*n < gemmParallelThreshold || DefaultPool().Size() <= 1 {
 		gemmIntBlock(a, b, c, 0, m, k, n)
 		return
 	}
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	rowsPer := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * rowsPer
-		hi := lo + rowsPer
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			gemmIntBlock(a, b, c, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	gemmRowBlocks(m, func(lo, hi int) {
+		gemmIntBlock(a, b, c, lo, hi, k, n)
+	})
 }
 
 func gemmIntBlock(a, b []int32, c []int64, lo, hi, k, n int) {

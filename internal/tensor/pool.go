@@ -1,0 +1,187 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size pool of long-lived worker goroutines shared by the
+// compute kernels (GEMM, the sparse ODQ executor, batch fan-out). One
+// process-wide pool sized by runtime.NumCPU serves every kernel, so the
+// parallelism of nested calls (a sparse conv whose predictor GEMM also
+// fans out) is bounded by the machine, not multiplied by it.
+//
+// ParallelN is deadlock-free under nesting because the caller always
+// participates in the work: if every pooled worker is busy, the calling
+// goroutine drains its own task set inline.
+type Pool struct {
+	queue chan func()
+	size  int
+}
+
+// NewPool builds a pool with the given number of workers (minimum 1).
+// A pool of size 1 spawns no goroutines and runs everything inline.
+func NewPool(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{size: size}
+	if size > 1 {
+		p.queue = make(chan func(), 8*size)
+		for i := 0; i < size; i++ {
+			go p.worker()
+		}
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for f := range p.queue {
+		f()
+	}
+}
+
+// Size returns the worker count.
+func (p *Pool) Size() int { return p.size }
+
+var (
+	defaultPoolOnce sync.Once
+	defaultPool     *Pool
+)
+
+// DefaultPool returns the shared process-wide pool, sized by
+// runtime.NumCPU and created on first use.
+func DefaultPool() *Pool {
+	defaultPoolOnce.Do(func() {
+		defaultPool = NewPool(runtime.NumCPU())
+	})
+	return defaultPool
+}
+
+// ParallelN runs fn(0) .. fn(n-1), blocking until all complete. Tasks are
+// distributed dynamically (an atomic cursor), so uneven task costs
+// balance across workers.
+func (p *Pool) ParallelN(n int, fn func(i int)) {
+	p.ParallelLimited(p.size, n, fn)
+}
+
+// ParallelLimited is ParallelN with concurrency capped at limit (<=0 or
+// >size means the full pool). The calling goroutine always executes tasks
+// itself; pooled workers only help, which keeps nested calls deadlock-free.
+func (p *Pool) ParallelLimited(limit, n int, fn func(i int)) {
+	if limit <= 0 || limit > p.size {
+		limit = p.size
+	}
+	if n <= 1 || limit <= 1 || p.queue == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	drain := func() {
+		for {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	helpers := limit - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	var wg sync.WaitGroup
+	for h := 0; h < helpers; h++ {
+		wg.Add(1)
+		job := func() {
+			defer wg.Done()
+			drain()
+		}
+		select {
+		case p.queue <- job:
+		default:
+			// Queue saturated (deeply nested parallelism): run inline
+			// rather than block on a worker that may be waiting on us.
+			job()
+		}
+	}
+	drain()
+	wg.Wait()
+}
+
+// ---- Scratch buffer pools ----
+//
+// The quantized conv hot path needs three kinds of scratch: int32 im2col
+// matrices, int64 accumulators and float32 im2col matrices. Pooling them
+// takes steady-state inference to near-zero allocation. Buffers come back
+// DIRTY: callers must fully overwrite (im2col and GemmInt do).
+
+var (
+	i32Pool = sync.Pool{}
+	i64Pool = sync.Pool{}
+	f32Pool = sync.Pool{}
+)
+
+// GetInt32 returns a length-n int32 scratch buffer with arbitrary contents.
+func GetInt32(n int) []int32 {
+	if v := i32Pool.Get(); v != nil {
+		s := *(v.(*[]int32))
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]int32, n)
+}
+
+// PutInt32 recycles a buffer obtained from GetInt32.
+func PutInt32(s []int32) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	i32Pool.Put(&s)
+}
+
+// GetInt64 returns a length-n int64 scratch buffer with arbitrary contents.
+func GetInt64(n int) []int64 {
+	if v := i64Pool.Get(); v != nil {
+		s := *(v.(*[]int64))
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]int64, n)
+}
+
+// PutInt64 recycles a buffer obtained from GetInt64.
+func PutInt64(s []int64) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	i64Pool.Put(&s)
+}
+
+// GetFloat32 returns a length-n float32 scratch buffer with arbitrary
+// contents.
+func GetFloat32(n int) []float32 {
+	if v := f32Pool.Get(); v != nil {
+		s := *(v.(*[]float32))
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float32, n)
+}
+
+// PutFloat32 recycles a buffer obtained from GetFloat32.
+func PutFloat32(s []float32) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	f32Pool.Put(&s)
+}
