@@ -1,4 +1,4 @@
-.PHONY: all build test vet race verify bench snapshot
+.PHONY: all build test vet race verify bench snapshot bench-train
 
 all: build
 
@@ -21,6 +21,10 @@ verify:
 	go vet ./...
 	go build ./...
 	go test -race -timeout 90m ./...
+	# Build-only smoke for the benchmark snapshot harnesses: without their
+	# env gates the snapshot tests compile, link and skip — CI never
+	# depends on timing.
+	go test -run 'TestODQConvBenchSnapshot|TestTrainGemmBenchSnapshot' -count=1 .
 
 bench:
 	go test -bench=. -benchmem -run '^$$' .
@@ -28,3 +32,9 @@ bench:
 # Regenerate the committed benchmark snapshot (BENCH_odq_conv.json).
 snapshot:
 	ODQ_BENCH_SNAPSHOT=1 go test -run TestODQConvBenchSnapshot -v .
+
+# Regenerate the committed training/GEMM snapshot (BENCH_train_gemm.json):
+# packed vs seed kernels at CNN shapes plus end-to-end QAT step throughput
+# at batch 32, min-of-3 runs.
+bench-train:
+	TRAIN_BENCH_SNAPSHOT=1 go test -run TestTrainGemmBenchSnapshot -v .

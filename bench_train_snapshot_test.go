@@ -1,0 +1,436 @@
+package repro_bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// ---------- Seed-path replicas ----------
+//
+// The packed-GEMM rework replaced both the kernels (blocked/register-tiled
+// vs the seed ikj loop) and the training conv data flow (pooled scratch and
+// batch fan-out vs per-sample allocation and materialized transposes). To
+// keep an honest baseline for BENCH_train_gemm.json, the seed behaviour is
+// replayed here verbatim: fresh per-sample im2col buffers, transposeBuf
+// copies, Transpose2 weight transposes and the retained naive kernels.
+
+// seedConv2D replays the seed Conv2D training path.
+type seedConv2D struct {
+	Name           string
+	InC, OutC      int
+	K, Stride, Pad int
+	Weight         *nn.Param
+	Bias           *nn.Param
+	WeightQuant    nn.FakeQuant
+
+	inX, qW *tensor.Tensor
+	geom    tensor.ConvGeom
+	colsB   [][]float32
+}
+
+func newSeedConv2D(name string, inC, outC, k, stride, pad int, rng *tensor.RNG) *seedConv2D {
+	w := tensor.New(outC, inC, k, k)
+	rng.KaimingConv(w)
+	return &seedConv2D{
+		Name: name, InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		Weight: nn.NewParam(name+".weight", w, true),
+		Bias:   nn.NewParam(name+".bias", tensor.New(outC), false),
+	}
+}
+
+func (c *seedConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	qw := c.Weight.W
+	if c.WeightQuant != nil {
+		qw = c.WeightQuant.Forward(c.Weight.W)
+	}
+	n := x.Shape[0]
+	g := tensor.Geometry(c.InC, x.Shape[2], x.Shape[3], c.OutC, c.K, c.Stride, c.Pad)
+	out := tensor.New(n, g.OutC, g.OutH, g.OutW)
+	rows, cols := g.ColRows(), g.ColCols()
+	if train {
+		c.inX, c.qW, c.geom = x, qw, g
+		c.colsB = make([][]float32, n)
+	}
+	buf := make([]float32, rows*cols)
+	per := c.InC * g.InH * g.InW
+	for s := 0; s < n; s++ {
+		cb := buf
+		if train {
+			cb = make([]float32, rows*cols)
+			c.colsB[s] = cb
+		}
+		tensor.Im2col(x.Data[s*per:(s+1)*per], g, cb)
+		tensor.GemmNaive(qw.Data, cb, out.Data[s*g.OutC*cols:(s+1)*g.OutC*cols], g.OutC, rows, cols)
+	}
+	hw := g.OutH * g.OutW
+	for s := 0; s < n; s++ {
+		for o := 0; o < g.OutC; o++ {
+			b := c.Bias.W.Data[o]
+			base := (s*g.OutC + o) * hw
+			for i := 0; i < hw; i++ {
+				out.Data[base+i] += b
+			}
+		}
+	}
+	return out
+}
+
+func seedTransposeBuf(src []float32, rows, cols int) []float32 {
+	out := make([]float32, rows*cols)
+	for r := 0; r < rows; r++ {
+		for cc := 0; cc < cols; cc++ {
+			out[cc*rows+r] = src[r*cols+cc]
+		}
+	}
+	return out
+}
+
+func (c *seedConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := c.geom
+	n := grad.Shape[0]
+	rows, cols := g.ColRows(), g.ColCols()
+	dX := tensor.New(c.inX.Shape...)
+	wT := c.qW.Reshape(g.OutC, rows).Transpose2()
+	dCols := make([]float32, rows*cols)
+	hw := g.OutH * g.OutW
+	for s := 0; s < n; s++ {
+		for o := 0; o < g.OutC; o++ {
+			var sum float32
+			base := (s*g.OutC + o) * hw
+			for i := 0; i < hw; i++ {
+				sum += grad.Data[base+i]
+			}
+			c.Bias.Grad.Data[o] += sum
+		}
+	}
+	per := c.InC * g.InH * g.InW
+	for s := 0; s < n; s++ {
+		gs := grad.Data[s*g.OutC*cols : (s+1)*g.OutC*cols]
+		colsT := seedTransposeBuf(c.colsB[s], rows, cols)
+		tensor.GemmAccNaive(gs, colsT, c.Weight.Grad.Data, g.OutC, cols, rows)
+		tensor.GemmNaive(wT.Data, gs, dCols, rows, g.OutC, cols)
+		tensor.Col2im(dCols, g, dX.Data[s*per:(s+1)*per])
+	}
+	c.colsB = nil
+	return dX
+}
+
+func (c *seedConv2D) Params() []*nn.Param     { return []*nn.Param{c.Weight, c.Bias} }
+func (c *seedConv2D) Visit(f func(nn.Module)) { f(c) }
+
+// seedLinear replays the seed Linear path (materialized Transpose2 of the
+// weight and gradient matrices, naive kernels).
+type seedLinear struct {
+	Name    string
+	In, Out int
+	Weight  *nn.Param
+	Bias    *nn.Param
+
+	inX *tensor.Tensor
+}
+
+func newSeedLinear(name string, in, out int, rng *tensor.RNG) *seedLinear {
+	w := tensor.New(out, in)
+	rng.KaimingLinear(w)
+	return &seedLinear{
+		Name: name, In: in, Out: out,
+		Weight: nn.NewParam(name+".weight", w, true),
+		Bias:   nn.NewParam(name+".bias", tensor.New(out), false),
+	}
+}
+
+func (l *seedLinear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Shape[0]
+	out := tensor.New(n, l.Out)
+	wT := l.Weight.W.Transpose2()
+	tensor.GemmNaive(x.Data, wT.Data, out.Data, n, l.In, l.Out)
+	for s := 0; s < n; s++ {
+		for o := 0; o < l.Out; o++ {
+			out.Data[s*l.Out+o] += l.Bias.W.Data[o]
+		}
+	}
+	if train {
+		l.inX = x
+	}
+	return out
+}
+
+func (l *seedLinear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Shape[0]
+	gT := grad.Transpose2()
+	tensor.GemmAccNaive(gT.Data, l.inX.Data, l.Weight.Grad.Data, l.Out, n, l.In)
+	for s := 0; s < n; s++ {
+		for o := 0; o < l.Out; o++ {
+			l.Bias.Grad.Data[o] += grad.Data[s*l.Out+o]
+		}
+	}
+	dX := tensor.New(n, l.In)
+	tensor.GemmNaive(grad.Data, l.Weight.W.Data, dX.Data, n, l.Out, l.In)
+	l.inX = nil
+	return dX
+}
+
+func (l *seedLinear) Params() []*nn.Param     { return []*nn.Param{l.Weight, l.Bias} }
+func (l *seedLinear) Visit(f func(nn.Module)) { f(l) }
+
+// ---------- QAT step harness ----------
+
+const qatBatch = 32
+
+// benchQATNet builds the QAT CNN used for the training-throughput bench:
+// three 3×3 conv stages (32→64→64 channels, DoReFa 4-bit weight
+// quantizers, QuantReLU activations) and a linear classifier, on 3×32×32
+// inputs at batch 32. seedStyle selects the seed-path replicas; both
+// variants consume the RNG identically, so the weights match exactly.
+func benchQATNet(seedStyle bool, rng *tensor.RNG) nn.Module {
+	qrelu := func(name string) nn.Module {
+		q := quant.NewQuantReLU(name, 4)
+		q.Range = 3
+		return q
+	}
+	conv := func(name string, inC, outC int) nn.Module {
+		if seedStyle {
+			c := newSeedConv2D(name, inC, outC, 3, 1, 1, rng)
+			c.WeightQuant = &quant.WeightQuantizer{Bits: 4}
+			return c
+		}
+		c := nn.NewConv2D(name, inC, outC, 3, 1, 1, true, rng)
+		c.WeightQuant = &quant.WeightQuantizer{Bits: 4}
+		return c
+	}
+	var fc nn.Module
+	if seedStyle {
+		fc = newSeedLinear("fc", 64*8*8, 10, rng)
+	} else {
+		fc = nn.NewLinear("fc", 64*8*8, 10, rng)
+	}
+	return nn.NewSequential("qatcnn",
+		conv("c1", 3, 32), qrelu("q1"), nn.NewMaxPool2D("p1", 2, 2),
+		conv("c2", 32, 64), qrelu("q2"), nn.NewMaxPool2D("p2", 2, 2),
+		conv("c3", 64, 64), qrelu("q3"),
+		nn.NewFlatten("flat"), fc,
+	)
+}
+
+func benchQATBatch(rng *tensor.RNG) (*tensor.Tensor, []int) {
+	x := tensor.New(qatBatch, 3, 32, 32)
+	rng.FillUniform(x, -1, 1)
+	y := make([]int, qatBatch)
+	for i := range y {
+		y[i] = rng.Intn(10)
+	}
+	return x, y
+}
+
+func benchQATStep(b *testing.B, seedStyle bool) {
+	net := benchQATNet(seedStyle, tensor.NewRNG(42))
+	x, y := benchQATBatch(tensor.NewRNG(43))
+	opt := train.NewSGD(0.01, 0.9, 1e-4)
+	params := net.Params()
+	train.Step(net, x, y, opt, params) // warm scratch pools
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		train.Step(net, x, y, opt, params)
+	}
+}
+
+func BenchmarkQATStep(b *testing.B) {
+	b.Run("packed", func(b *testing.B) { benchQATStep(b, false) })
+	b.Run("seed", func(b *testing.B) { benchQATStep(b, true) })
+}
+
+// ---------- GEMM micro-bench grid ----------
+
+// trainGemmShapes are representative im2col shapes of the bench CNN's
+// conv stages (m=OutC, k=InC·K², n=OutH·OutW).
+var trainGemmShapes = [][3]int{
+	{64, 576, 1024},
+	{32, 288, 256},
+	{64, 576, 64},
+}
+
+func benchGemmFloatShape(b *testing.B, m, k, n int, naive bool) {
+	rng := tensor.NewRNG(5)
+	a := make([]float32, m*k)
+	bb := make([]float32, k*n)
+	c := make([]float32, m*n)
+	for i := range a {
+		a[i] = rng.Float32()*2 - 1
+	}
+	for i := range bb {
+		bb[i] = rng.Float32()*2 - 1
+	}
+	b.SetBytes(int64(m*k+k*n+m*n) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if naive {
+			tensor.GemmNaive(a, bb, c, m, k, n)
+		} else {
+			tensor.Gemm(a, bb, c, m, k, n)
+		}
+	}
+}
+
+func benchGemmIntShape(b *testing.B, m, k, n int, naive bool) {
+	rng := tensor.NewRNG(6)
+	a := make([]int32, m*k)
+	bb := make([]int32, k*n)
+	c := make([]int64, m*n)
+	for i := range a {
+		a[i] = int32(rng.Intn(255)) - 127
+	}
+	for i := range bb {
+		bb[i] = int32(rng.Intn(255)) - 127
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if naive {
+			tensor.GemmIntNaive(a, bb, c, m, k, n)
+		} else {
+			tensor.GemmInt(a, bb, c, m, k, n)
+		}
+	}
+}
+
+func BenchmarkTrainGemm(b *testing.B) {
+	for _, sh := range trainGemmShapes {
+		tag := fmt.Sprintf("%dx%dx%d", sh[0], sh[1], sh[2])
+		b.Run("float-packed/"+tag, func(b *testing.B) { benchGemmFloatShape(b, sh[0], sh[1], sh[2], false) })
+		b.Run("float-naive/"+tag, func(b *testing.B) { benchGemmFloatShape(b, sh[0], sh[1], sh[2], true) })
+		b.Run("int-packed/"+tag, func(b *testing.B) { benchGemmIntShape(b, sh[0], sh[1], sh[2], false) })
+		b.Run("int-naive/"+tag, func(b *testing.B) { benchGemmIntShape(b, sh[0], sh[1], sh[2], true) })
+	}
+}
+
+// ---------- Committed snapshot ----------
+
+// TrainGemmBenchRecord is one cell of the training/GEMM benchmark grid.
+type TrainGemmBenchRecord struct {
+	Section     string `json:"section"` // "gemm-float" | "gemm-int" | "qat-step"
+	Name        string `json:"name"`    // shape or batch tag
+	Variant     string `json:"variant"` // "packed" | "seed"
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// TrainGemmBenchSnapshot is the BENCH_train_gemm.json schema.
+type TrainGemmBenchSnapshot struct {
+	QATModel string                 `json:"qat_model"`
+	Records  []TrainGemmBenchRecord `json:"records"`
+	// GemmFloatSpeedup / GemmIntSpeedup map each m×k×n shape to
+	// seed-ns / packed-ns for the float and integer kernels.
+	GemmFloatSpeedup map[string]float64 `json:"gemm_float_speedup_vs_seed"`
+	GemmIntSpeedup   map[string]float64 `json:"gemm_int_speedup_vs_seed"`
+	// QATStepsPerSec reports end-to-end training steps/s at batch 32 for
+	// the packed path and the seed replica; QATStepSpeedup is their ratio.
+	QATStepsPerSec map[string]float64 `json:"qat_steps_per_sec_batch32"`
+	QATStepSpeedup float64            `json:"qat_step_speedup_vs_seed"`
+}
+
+func minOf3(f func(b *testing.B)) testing.BenchmarkResult {
+	var best testing.BenchmarkResult
+	for rep := 0; rep < 3; rep++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			f(b)
+		})
+		if rep == 0 || res.NsPerOp() < best.NsPerOp() {
+			best = res
+		}
+	}
+	return best
+}
+
+// TestTrainGemmBenchSnapshot regenerates BENCH_train_gemm.json. Like the
+// ODQ snapshot it is env-gated so CI never depends on timing:
+//
+//	TRAIN_BENCH_SNAPSHOT=1 go test -run TestTrainGemmBenchSnapshot -v .
+func TestTrainGemmBenchSnapshot(t *testing.T) {
+	if os.Getenv("TRAIN_BENCH_SNAPSHOT") != "1" {
+		t.Skip("set TRAIN_BENCH_SNAPSHOT=1 to regenerate BENCH_train_gemm.json")
+	}
+	snap := &TrainGemmBenchSnapshot{
+		QATModel:         "conv3x(3->32->64->64) k3 QuantReLU4 + fc4096x10, input 3x32x32, batch 32",
+		GemmFloatSpeedup: map[string]float64{},
+		GemmIntSpeedup:   map[string]float64{},
+		QATStepsPerSec:   map[string]float64{},
+	}
+	record := func(section, name, variant string, r testing.BenchmarkResult) int64 {
+		snap.Records = append(snap.Records, TrainGemmBenchRecord{
+			Section: section, Name: name, Variant: variant,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		return r.NsPerOp()
+	}
+
+	for _, sh := range trainGemmShapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		tag := fmt.Sprintf("%dx%dx%d", m, k, n)
+		packed := record("gemm-float", tag, "packed",
+			minOf3(func(b *testing.B) { benchGemmFloatShape(b, m, k, n, false) }))
+		seed := record("gemm-float", tag, "seed",
+			minOf3(func(b *testing.B) { benchGemmFloatShape(b, m, k, n, true) }))
+		snap.GemmFloatSpeedup[tag] = float64(seed) / float64(packed)
+
+		packedI := record("gemm-int", tag, "packed",
+			minOf3(func(b *testing.B) { benchGemmIntShape(b, m, k, n, false) }))
+		seedI := record("gemm-int", tag, "seed",
+			minOf3(func(b *testing.B) { benchGemmIntShape(b, m, k, n, true) }))
+		snap.GemmIntSpeedup[tag] = float64(seedI) / float64(packedI)
+	}
+
+	packed := record("qat-step", "batch32", "packed",
+		minOf3(func(b *testing.B) { benchQATStep(b, false) }))
+	seed := record("qat-step", "batch32", "seed",
+		minOf3(func(b *testing.B) { benchQATStep(b, true) }))
+	snap.QATStepsPerSec["packed"] = 1e9 / float64(packed)
+	snap.QATStepsPerSec["seed"] = 1e9 / float64(seed)
+	snap.QATStepSpeedup = float64(seed) / float64(packed)
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_train_gemm.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("gemm float speedups: %v", snap.GemmFloatSpeedup)
+	t.Logf("gemm int speedups: %v", snap.GemmIntSpeedup)
+	t.Logf("qat step speedup: %.2fx (%v steps/s)", snap.QATStepSpeedup, snap.QATStepsPerSec)
+}
+
+// TestSeedReplicaMatchesPacked sanity-checks the bench baseline itself:
+// the seed replica and the packed path start from identical weights and
+// must produce numerically close logits and losses for the same batch, so
+// the throughput comparison measures the same computation.
+func TestSeedReplicaMatchesPacked(t *testing.T) {
+	newNet := benchQATNet(false, tensor.NewRNG(42))
+	seedNet := benchQATNet(true, tensor.NewRNG(42))
+	x, y := benchQATBatch(tensor.NewRNG(43))
+
+	ln := newNet.Forward(x, true)
+	ls := seedNet.Forward(x, true)
+	for i := range ln.Data {
+		d := ln.Data[i] - ls.Data[i]
+		if d < -1e-2 || d > 1e-2 {
+			t.Fatalf("logit %d diverged: packed %g seed %g", i, ln.Data[i], ls.Data[i])
+		}
+	}
+	lossN, gradN := nn.SoftmaxCE(ln, y)
+	lossS, gradS := nn.SoftmaxCE(ls, y)
+	if d := lossN - lossS; d < -1e-3 || d > 1e-3 {
+		t.Fatalf("loss diverged: packed %g seed %g", lossN, lossS)
+	}
+	newNet.Backward(gradN)
+	seedNet.Backward(gradS)
+}

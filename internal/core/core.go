@@ -480,13 +480,13 @@ func floatConv(x, w *tensor.Tensor, g tensor.ConvGeom) *tensor.Tensor {
 	n := x.Shape[0]
 	rows, cols := g.ColRows(), g.ColCols()
 	out := tensor.New(n, g.OutC, g.OutH, g.OutW)
-	buf := tensor.GetFloat32(rows * cols)
 	per := g.InC * g.InH * g.InW
-	for s := 0; s < n; s++ {
+	tensor.DefaultPool().ParallelN(n, func(s int) {
+		buf := tensor.GetFloat32(rows * cols)
 		tensor.Im2col(x.Data[s*per:(s+1)*per], g, buf)
 		tensor.Gemm(w.Data, buf, out.Data[s*g.OutC*cols:(s+1)*g.OutC*cols], g.OutC, rows, cols)
-	}
-	tensor.PutFloat32(buf)
+		tensor.PutFloat32(buf)
+	})
 	return out
 }
 

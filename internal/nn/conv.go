@@ -117,24 +117,35 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		c.geomN = g
 		c.colsB = make([][]float32, n)
 	}
-	buf := make([]float32, rows*cols)
-	for s := 0; s < n; s++ {
-		var cb []float32
+	per := c.InC * g.InH * g.InW
+	// The bias rides along as a GEMM epilogue (row initialization) unless
+	// a TrainExec will replace this output, in which case the bias must be
+	// added to the substituted value instead.
+	foldBias := c.Bias != nil && !(train && c.TrainExec != nil)
+	// Samples are independent: fan the per-sample im2col+GEMM out on the
+	// shared worker pool with pooled scratch. In training mode the im2col
+	// buffers are retained for Backward (which recycles them).
+	tensor.DefaultPool().ParallelN(n, func(s int) {
+		cb := tensor.GetFloat32(rows * cols)
+		tensor.Im2col(qx.Data[s*per:(s+1)*per], g, cb)
+		outS := out.Data[s*g.OutC*cols : (s+1)*g.OutC*cols]
+		if foldBias {
+			tensor.GemmBiasRow(qw.Data, cb, outS, c.Bias.W.Data, g.OutC, rows, cols)
+		} else {
+			tensor.Gemm(qw.Data, cb, outS, g.OutC, rows, cols)
+		}
 		if train {
-			cb = make([]float32, rows*cols)
 			c.colsB[s] = cb
 		} else {
-			cb = buf
+			tensor.PutFloat32(cb)
 		}
-		tensor.Im2col(qx.Data[s*c.InC*g.InH*g.InW:(s+1)*c.InC*g.InH*g.InW], g, cb)
-		tensor.Gemm(qw.Data, cb, out.Data[s*g.OutC*cols:(s+1)*g.OutC*cols], g.OutC, rows, cols)
-	}
+	})
 	if train && c.TrainExec != nil {
 		// Straight-through: forward the executor's value; the cached
 		// state above keeps gradients flowing through the plain conv.
 		out = c.TrainExec.Conv(x, c)
+		c.addBias(out)
 	}
-	c.addBias(out)
 	return out
 }
 
@@ -157,6 +168,13 @@ func (c *Conv2D) addBias(out *tensor.Tensor) {
 
 // Backward implements Module. Straight-through estimation: gradients flow
 // to the unquantized weights/activations through the fake quantizers.
+//
+// Samples run in parallel on the shared worker pool: each computes its
+// weight-gradient contribution into pooled scratch (reduced serially in
+// sample order afterwards, so results stay deterministic regardless of
+// worker count) and scatters its input gradient into a disjoint slice of
+// dX. The transpose buffers of the seed implementation are gone — GemmNT
+// and GemmTN absorb both transposes in their packing pass.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if c.colsB == nil {
 		panic("nn: Conv2D.Backward without cached forward")
@@ -165,8 +183,7 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Shape[0]
 	rows, cols := g.ColRows(), g.ColCols()
 	dX := tensor.New(c.inX.Shape...)
-	wT := c.qW.Reshape(g.OutC, rows).Transpose2()
-	dCols := make([]float32, rows*cols)
+	per := c.InC * g.InH * g.InW
 
 	if c.Bias != nil {
 		hw := g.OutH * g.OutW
@@ -182,15 +199,36 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 
-	for s := 0; s < n; s++ {
+	dWs := make([][]float32, n)
+	tensor.DefaultPool().ParallelN(n, func(s int) {
 		gs := grad.Data[s*g.OutC*cols : (s+1)*g.OutC*cols]
-		// dW += gs * colsᵀ  (OutC×cols · cols×rows)
-		// Compute via GemmAcc with B = colsᵀ laid out on the fly.
-		colsT := transposeBuf(c.colsB[s], rows, cols)
-		tensor.GemmAcc(gs, colsT, c.Weight.Grad.Data, g.OutC, cols, rows)
-		// dCols = Wᵀ * gs  (rows×OutC · OutC×cols)
-		tensor.Gemm(wT.Data, gs, dCols, rows, g.OutC, cols)
-		tensor.Col2im(dCols, g, dX.Data[s*c.InC*g.InH*g.InW:(s+1)*c.InC*g.InH*g.InW])
+		// dW_s = gs · colsᵀ  (OutC×cols · cols×rows), transpose absorbed
+		// by GemmNT packing.
+		dw := tensor.GetFloat32(g.OutC * rows)
+		for i := range dw {
+			dw[i] = 0
+		}
+		tensor.GemmNT(gs, c.colsB[s], dw, g.OutC, cols, rows)
+		dWs[s] = dw
+		// dCols = Wᵀ · gs  (rows×OutC · OutC×cols), transpose absorbed by
+		// GemmTN packing.
+		dCols := tensor.GetFloat32(rows * cols)
+		for i := range dCols {
+			dCols[i] = 0
+		}
+		tensor.GemmTN(c.qW.Data, gs, dCols, rows, g.OutC, cols)
+		tensor.Col2im(dCols, g, dX.Data[s*per:(s+1)*per])
+		tensor.PutFloat32(dCols)
+		tensor.PutFloat32(c.colsB[s])
+		c.colsB[s] = nil
+	})
+	wg := c.Weight.Grad.Data[:g.OutC*rows]
+	for s := 0; s < n; s++ {
+		dw := dWs[s]
+		for i := range wg {
+			wg[i] += dw[i]
+		}
+		tensor.PutFloat32(dw)
 	}
 
 	if c.ActQuant != nil && !c.DisableActQuant && !c.QuantRelaxed {
@@ -198,16 +236,6 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	c.colsB = nil
 	return dX
-}
-
-func transposeBuf(src []float32, rows, cols int) []float32 {
-	out := make([]float32, rows*cols)
-	for r := 0; r < rows; r++ {
-		for cc := 0; cc < cols; cc++ {
-			out[cc*rows+r] = src[r*cols+cc]
-		}
-	}
-	return out
 }
 
 // Params implements Module.

@@ -315,9 +315,9 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic("nn: Linear input size mismatch")
 	}
 	out := tensor.New(n, l.Out)
-	// out = x (n×in) · Wᵀ (in×out)
-	wT := l.Weight.W.Transpose2()
-	tensor.Gemm(x.Data, wT.Data, out.Data, n, l.In, l.Out)
+	// out = x (n×in) · Wᵀ (in×out); the transpose is absorbed by the
+	// GemmNT packing pass (out is freshly zeroed, so += is =).
+	tensor.GemmNT(x.Data, l.Weight.W.Data, out.Data, n, l.In, l.Out)
 	for s := 0; s < n; s++ {
 		for o := 0; o < l.Out; o++ {
 			out.Data[s*l.Out+o] += l.Bias.W.Data[o]
@@ -335,9 +335,8 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		panic("nn: Linear.Backward without cached forward")
 	}
 	n := grad.Shape[0]
-	// dW += gradᵀ (out×n) · x (n×in)
-	gT := grad.Transpose2()
-	tensor.GemmAcc(gT.Data, l.inX.Data, l.Weight.Grad.Data, l.Out, n, l.In)
+	// dW += gradᵀ (out×n) · x (n×in); transpose absorbed by GemmTN.
+	tensor.GemmTN(grad.Data, l.inX.Data, l.Weight.Grad.Data, l.Out, n, l.In)
 	for s := 0; s < n; s++ {
 		for o := 0; o < l.Out; o++ {
 			l.Bias.Grad.Data[o] += grad.Data[s*l.Out+o]

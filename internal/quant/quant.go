@@ -370,13 +370,15 @@ func ConvAccumInto(acc []int64, x, w *tensor.IntTensor, stride, pad int) tensor.
 	if len(acc) < n*g.OutC*cols {
 		panic("quant: ConvAccumInto accumulator too small")
 	}
-	buf := tensor.GetInt32(rows * cols)
 	per := g.InC * g.InH * g.InW
-	for s := 0; s < n; s++ {
+	// Samples are independent: fan the per-sample im2col+GemmInt out on
+	// the shared worker pool, each with its own pooled scratch buffer.
+	tensor.DefaultPool().ParallelN(n, func(s int) {
+		buf := tensor.GetInt32(rows * cols)
 		tensor.Im2colInt(x.Data[s*per:(s+1)*per], g, buf)
 		tensor.GemmInt(w.Data, buf, acc[s*g.OutC*cols:(s+1)*g.OutC*cols], g.OutC, rows, cols)
-	}
-	tensor.PutInt32(buf)
+		tensor.PutInt32(buf)
+	})
 	return g
 }
 

@@ -1,50 +1,527 @@
 package tensor
 
+// Packed, cache-blocked, register-tiled GEMM kernels.
+//
+// All matrix products in the repo (float training convolutions, the Linear
+// layer, and the integer kernels behind every quantized executor) funnel
+// into one BLIS-style loop nest: the operands are packed into
+// microkernel-sized panels (zero-padded at the tails), blocked MC×KC×NC to
+// keep the A block in L2 and each B panel in L1, and the innermost tile is
+// computed by a register-resident MR×NR microkernel. On amd64 with
+// AVX2+FMA (detected at runtime) the float microkernel is a 6×16
+// fused-multiply-add kernel and the integer microkernel a 2×8 VPMULDQ
+// kernel; elsewhere a scalar register-tiled fallback runs.
+//
+// Numerical contract:
+//   - float kernels (Gemm, GemmAcc, GemmTN, GemmNT, GemmBiasRow) may
+//     reassociate the reduction (blocking reorders additions, FMA keeps
+//     extra intermediate precision), so results can differ from the naive
+//     ikj loop by normal float32 rounding. Results are deterministic for a
+//     given machine and shape, and identical between serial and parallel
+//     execution (the reduction order per output element never depends on
+//     the worker count).
+//   - integer kernels (GemmInt) are bit-exact: integer addition is
+//     associative, so any blocking order yields the same accumulators as
+//     the naive loop. The ODQ sparse/dense `==` parity tests rely on this.
+//
+// The seed ikj kernels are retained as GemmNaive/GemmAccNaive/GemmIntNaive:
+// they are the parity oracles for the randomized kernel tests and the
+// baseline for BENCH_train_gemm.json.
+
 // gemmParallelThreshold is the minimum m*n*k product above which GEMM fans
 // out across the shared worker pool; below it the single-threaded loop is
 // faster.
 const gemmParallelThreshold = 64 * 64 * 64
 
-// gemmRowBlocks splits m rows into pool-sized blocks and runs body(lo, hi)
-// for each block on the shared worker pool.
-func gemmRowBlocks(m int, body func(lo, hi int)) {
-	p := DefaultPool()
-	workers := p.Size()
-	if workers > m {
-		workers = m
+// gemmKC is the reduction-dimension block: one packed B panel is
+// gemmKC×gemmNR values (≤16 KiB float32), sized to stay L1-resident while
+// a microkernel sweeps it.
+const gemmKC = 256
+
+// Microkernel tile and blocking sizes. The microkernel shape is
+// arch-dependent (6×16 for the AVX2 FMA kernel, scalar register tiles
+// otherwise), so the derived blocking follows it: gemmMC is the A-block
+// row count (A block ≈ MC×KC stays in L2), gemmNC the B-block column
+// count (B block ≈ KC×NC, streamed once per MC block).
+var (
+	gemmMR = microMRF32()
+	gemmNR = microNRF32()
+	gemmMC = gemmMCFor(gemmMR)
+	gemmNC = 64 * gemmNR
+
+	gemmMRI = microMRInt()
+	gemmNRI = microNRInt()
+	gemmMCI = gemmMCFor(gemmMRI)
+	gemmNCI = 64 * gemmNRI
+)
+
+// gemmMCFor rounds the ~128-row A block down to a multiple of mr.
+func gemmMCFor(mr int) int {
+	mc := (128 / mr) * mr
+	if mc < mr {
+		mc = mr
 	}
-	rowsPer := (m + workers - 1) / workers
-	blocks := (m + rowsPer - 1) / rowsPer
-	p.ParallelN(blocks, func(b int) {
-		lo := b * rowsPer
-		hi := lo + rowsPer
-		if hi > m {
-			hi = m
-		}
-		body(lo, hi)
-	})
+	return mc
 }
 
-// Gemm computes C = A*B for row-major matrices: A is m×k, B is k×n and C is
-// m×n. C is overwritten. Large products are split across the shared worker
-// pool by row blocks.
+// gemmMaxTile bounds MR*NR across all microkernel shapes (edge tiles are
+// accumulated in a stack tile of this size).
+const gemmMaxTile = 6 * 16
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// gemmPool supplies the worker pool for the blocked cores. It is a
+// variable (not a direct DefaultPool call) so tests can substitute a
+// multi-worker pool and exercise the parallel row-block path even on
+// single-CPU machines.
+var gemmPool = DefaultPool
+
+// ---- Public float32 entry points ----
+
+// Gemm computes C = A*B for row-major matrices: A is m×k, B is k×n and C
+// is m×n. C is overwritten. Large products are split across the shared
+// worker pool by row blocks.
 func Gemm(a, b, c []float32, m, k, n int) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic("tensor: Gemm buffer too small")
 	}
-	if m*k*n < gemmParallelThreshold {
-		gemmBlock(a, b, c, 0, m, k, n)
+	if m == 0 || n == 0 {
 		return
 	}
-	gemmRowBlocks(m, func(lo, hi int) {
-		gemmBlock(a, b, c, lo, hi, k, n)
-	})
+	cc := c[:m*n]
+	for i := range cc {
+		cc[i] = 0
+	}
+	if k == 0 {
+		return
+	}
+	gemmF32(a, k, 1, b, n, 1, c, m, k, n)
 }
 
-// gemmBlock computes rows [lo,hi) of C = A*B with an ikj loop order that
-// streams B rows sequentially for cache friendliness.
-func gemmBlock(a, b, c []float32, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
+// GemmAcc computes C += A*B (no zeroing); used by backprop accumulation
+// paths. Degenerate shapes (m, k or n zero) leave C untouched.
+func GemmAcc(a, b, c []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmAcc buffer too small")
+	}
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	gemmF32(a, k, 1, b, n, 1, c, m, k, n)
+}
+
+// GemmBiasRow computes C = A*B + bias broadcast across rows (bias[i] is
+// added to every element of row i). This is the convolution epilogue: the
+// bias lands in C during the initialization pass, so no separate
+// whole-output bias sweep is needed.
+func GemmBiasRow(a, b, c, bias []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmBiasRow buffer too small")
+	}
+	if len(bias) < m {
+		panic("tensor: GemmBiasRow bias too small")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		bv := bias[i]
+		for j := range ci {
+			ci[j] = bv
+		}
+	}
+	if k == 0 {
+		return
+	}
+	gemmF32(a, k, 1, b, n, 1, c, m, k, n)
+}
+
+// GemmTN computes C += Aᵀ*B where A is k×m row-major (so Aᵀ is m×k), B is
+// k×n and C is m×n. The transposition is absorbed by the packing pass —
+// no materialized transpose buffer. Used for dW += gradᵀ·x style
+// accumulations.
+func GemmTN(a, b, c []float32, m, k, n int) {
+	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmTN buffer too small")
+	}
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	gemmF32(a, 1, m, b, n, 1, c, m, k, n)
+}
+
+// GemmNT computes C += A*Bᵀ where A is m×k, B is n×k row-major (so Bᵀ is
+// k×n) and C is m×n. The transposition is absorbed by the packing pass.
+// Used for y = x·Wᵀ and dW += grad·colsᵀ style products.
+func GemmNT(a, b, c []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		panic("tensor: GemmNT buffer too small")
+	}
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	gemmF32(a, k, 1, b, 1, k, c, m, k, n)
+}
+
+// ---- Float32 blocked core ----
+
+// gemmF32 accumulates C += A̅·B̅ where A̅[i][p] = a[i*ars + p*acs] and
+// B̅[p][j] = b[p*brs + j*bcs]. The stride pairs express plain and
+// transposed operands with one packing pass each.
+func gemmF32(a []float32, ars, acs int, b []float32, brs, bcs int, c []float32, m, k, n int) {
+	mr, nr := gemmMR, gemmNR
+	pool := gemmPool()
+	parallel := pool.Size() > 1 && m*k*n >= gemmParallelThreshold
+	bp := GetFloat32(gemmKC * gemmNC)
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := minInt(gemmNC, n-jc)
+		for pc := 0; pc < k; pc += gemmKC {
+			kc := minInt(gemmKC, k-pc)
+			packF32B(b, brs, bcs, pc, kc, jc, nc, nr, bp)
+			blocks := (m + gemmMC - 1) / gemmMC
+			runBlock := func(blk int) {
+				ic := blk * gemmMC
+				mc := minInt(gemmMC, m-ic)
+				ap := GetFloat32(gemmMC * gemmKC)
+				packF32A(a, ars, acs, ic, mc, pc, kc, mr, ap)
+				for ir := 0; ir < mc; ir += mr {
+					h := minInt(mr, mc-ir)
+					apan := ap[(ir/mr)*kc*mr:]
+					crow := c[(ic+ir)*n+jc:]
+					for jr := 0; jr < nc; jr += nr {
+						w := minInt(nr, nc-jr)
+						bpan := bp[(jr/nr)*kc*nr:]
+						if h == mr && w == nr && useAsmF32 {
+							fmaKernel6x16(&apan[0], &bpan[0], kc, &crow[jr], n)
+						} else if h == mr && w == nr && mr == 1 {
+							microF32Acc1x8(apan, bpan, kc, crow[jr:jr+8])
+						} else {
+							microF32Edge(apan, bpan, kc, mr, nr, h, w, crow[jr:], n)
+						}
+					}
+				}
+				PutFloat32(ap)
+			}
+			if parallel && blocks > 1 {
+				pool.ParallelN(blocks, runBlock)
+			} else {
+				for blk := 0; blk < blocks; blk++ {
+					runBlock(blk)
+				}
+			}
+		}
+	}
+	PutFloat32(bp)
+}
+
+// packF32A packs rows [ic,ic+mc) × cols [pc,pc+kc) of A̅ into mr-row
+// panels laid out panel-major [p][r]; tail rows are zero-padded.
+func packF32A(a []float32, rs, cs int, ic, mc, pc, kc, mr int, dst []float32) {
+	for i0 := 0; i0 < mc; i0 += mr {
+		h := minInt(mr, mc-i0)
+		pan := dst[(i0/mr)*kc*mr:]
+		if cs == 1 {
+			for r := 0; r < h; r++ {
+				src := a[(ic+i0+r)*rs+pc:]
+				for p := 0; p < kc; p++ {
+					pan[p*mr+r] = src[p]
+				}
+			}
+		} else {
+			for r := 0; r < h; r++ {
+				base := (ic + i0 + r) * rs
+				for p := 0; p < kc; p++ {
+					pan[p*mr+r] = a[base+(pc+p)*cs]
+				}
+			}
+		}
+		if h < mr {
+			for p := 0; p < kc; p++ {
+				for r := h; r < mr; r++ {
+					pan[p*mr+r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packF32B packs rows [pc,pc+kc) × cols [jc,jc+nc) of B̅ into nr-column
+// panels laid out panel-major [p][j]; tail columns are zero-padded.
+func packF32B(b []float32, rs, cs int, pc, kc, jc, nc, nr int, dst []float32) {
+	for j0 := 0; j0 < nc; j0 += nr {
+		w := minInt(nr, nc-j0)
+		pan := dst[(j0/nr)*kc*nr:]
+		if cs == 1 {
+			for p := 0; p < kc; p++ {
+				src := b[(pc+p)*rs+jc+j0:]
+				d := pan[p*nr : p*nr+nr]
+				for j := 0; j < w; j++ {
+					d[j] = src[j]
+				}
+				for j := w; j < nr; j++ {
+					d[j] = 0
+				}
+			}
+		} else {
+			for j := 0; j < w; j++ {
+				src := b[(jc+j0+j)*cs+pc*rs:]
+				for p := 0; p < kc; p++ {
+					pan[p*nr+j] = src[p*rs]
+				}
+			}
+			if w < nr {
+				for p := 0; p < kc; p++ {
+					for j := w; j < nr; j++ {
+						pan[p*nr+j] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// microF32Acc1x8 is the scalar fallback microkernel for full 1×8 tiles:
+// eight register-resident accumulators over one packed A row and one
+// packed B panel.
+func microF32Acc1x8(ap, bp []float32, kc int, cd []float32) {
+	var c0, c1, c2, c3, c4, c5, c6, c7 float32
+	for p := 0; p < kc; p++ {
+		av := ap[p]
+		bq := bp[p*8 : p*8+8 : p*8+8]
+		c0 += av * bq[0]
+		c1 += av * bq[1]
+		c2 += av * bq[2]
+		c3 += av * bq[3]
+		c4 += av * bq[4]
+		c5 += av * bq[5]
+		c6 += av * bq[6]
+		c7 += av * bq[7]
+	}
+	cd = cd[:8:8]
+	cd[0] += c0
+	cd[1] += c1
+	cd[2] += c2
+	cd[3] += c3
+	cd[4] += c4
+	cd[5] += c5
+	cd[6] += c6
+	cd[7] += c7
+}
+
+// microF32Edge handles partial tiles (h<mr or w<nr): the zero-padded
+// panels make the full-tile product correct, so it accumulates the whole
+// mr×nr tile on the stack and stores only the valid h×w corner.
+func microF32Edge(ap, bp []float32, kc, mr, nr, h, w int, c []float32, ldc int) {
+	var tile [gemmMaxTile]float32
+	for p := 0; p < kc; p++ {
+		aq := ap[p*mr : p*mr+mr]
+		bq := bp[p*nr : p*nr+nr]
+		for r := 0; r < h; r++ {
+			av := aq[r]
+			trow := tile[r*nr : r*nr+nr]
+			for j := 0; j < w; j++ {
+				trow[j] += av * bq[j]
+			}
+		}
+	}
+	for r := 0; r < h; r++ {
+		cd := c[r*ldc:]
+		trow := tile[r*nr:]
+		for j := 0; j < w; j++ {
+			cd[j] += trow[j]
+		}
+	}
+}
+
+// ---- Integer entry point ----
+
+// GemmInt computes C = A*B over int32 codes with int64 accumulation.
+// A is m×k, B is k×n, C is m×n. This is the integer kernel behind all
+// quantized convolution paths; int64 accumulation is safe even for INT16
+// codes over CNN-scale reduction dimensions. Results are bit-identical to
+// the naive ikj loop for any blocking (integer addition is associative).
+func GemmInt(a, b []int32, c []int64, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmInt buffer too small")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	cc := c[:m*n]
+	for i := range cc {
+		cc[i] = 0
+	}
+	if k == 0 {
+		return
+	}
+	gemmIntCore(a, b, c, m, k, n)
+}
+
+func gemmIntCore(a, b []int32, c []int64, m, k, n int) {
+	mr, nr := gemmMRI, gemmNRI
+	pool := gemmPool()
+	parallel := pool.Size() > 1 && m*k*n >= gemmParallelThreshold
+	bp := GetInt32(gemmKC * gemmNCI)
+	for jc := 0; jc < n; jc += gemmNCI {
+		nc := minInt(gemmNCI, n-jc)
+		for pc := 0; pc < k; pc += gemmKC {
+			kc := minInt(gemmKC, k-pc)
+			packIntB(b, n, pc, kc, jc, nc, nr, bp)
+			blocks := (m + gemmMCI - 1) / gemmMCI
+			runBlock := func(blk int) {
+				ic := blk * gemmMCI
+				mc := minInt(gemmMCI, m-ic)
+				ap := GetInt32(gemmMCI * gemmKC)
+				packIntA(a, k, ic, mc, pc, kc, mr, ap)
+				for ir := 0; ir < mc; ir += mr {
+					h := minInt(mr, mc-ir)
+					apan := ap[(ir/mr)*kc*mr:]
+					crow := c[(ic+ir)*n+jc:]
+					for jr := 0; jr < nc; jr += nr {
+						w := minInt(nr, nc-jr)
+						bpan := bp[(jr/nr)*kc*nr:]
+						if h == mr && w == nr && useAsmInt {
+							mulKernelInt2x8(&apan[0], &bpan[0], kc, &crow[jr], n)
+						} else if h == mr && w == nr && !useAsmInt {
+							microIntAcc2x4(apan, bpan, kc, crow[jr:], n)
+						} else {
+							microIntEdge(apan, bpan, kc, mr, nr, h, w, crow[jr:], n)
+						}
+					}
+				}
+				PutInt32(ap)
+			}
+			if parallel && blocks > 1 {
+				pool.ParallelN(blocks, runBlock)
+			} else {
+				for blk := 0; blk < blocks; blk++ {
+					runBlock(blk)
+				}
+			}
+		}
+	}
+	PutInt32(bp)
+}
+
+// packIntA packs rows [ic,ic+mc) × cols [pc,pc+kc) of row-major A into
+// mr-row panels, zero-padding tail rows.
+func packIntA(a []int32, lda, ic, mc, pc, kc, mr int, dst []int32) {
+	for i0 := 0; i0 < mc; i0 += mr {
+		h := minInt(mr, mc-i0)
+		pan := dst[(i0/mr)*kc*mr:]
+		for r := 0; r < h; r++ {
+			src := a[(ic+i0+r)*lda+pc:]
+			for p := 0; p < kc; p++ {
+				pan[p*mr+r] = src[p]
+			}
+		}
+		if h < mr {
+			for p := 0; p < kc; p++ {
+				for r := h; r < mr; r++ {
+					pan[p*mr+r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packIntB packs rows [pc,pc+kc) × cols [jc,jc+nc) of row-major B into
+// nr-column panels, zero-padding tail columns.
+func packIntB(b []int32, ldb, pc, kc, jc, nc, nr int, dst []int32) {
+	for j0 := 0; j0 < nc; j0 += nr {
+		w := minInt(nr, nc-j0)
+		pan := dst[(j0/nr)*kc*nr:]
+		for p := 0; p < kc; p++ {
+			src := b[(pc+p)*ldb+jc+j0:]
+			d := pan[p*nr : p*nr+nr]
+			for j := 0; j < w; j++ {
+				d[j] = src[j]
+			}
+			for j := w; j < nr; j++ {
+				d[j] = 0
+			}
+		}
+	}
+}
+
+// microIntAcc2x4 is the scalar integer microkernel for full 2×4 tiles.
+// Quantized code matrices are often zero-heavy (high/low code splits), so
+// it keeps the per-element zero skip of the seed kernel.
+func microIntAcc2x4(ap, bp []int32, kc int, c []int64, ldc int) {
+	var c00, c01, c02, c03 int64
+	var c10, c11, c12, c13 int64
+	for p := 0; p < kc; p++ {
+		aq := ap[p*2 : p*2+2 : p*2+2]
+		bq := bp[p*4 : p*4+4 : p*4+4]
+		if av := int64(aq[0]); av != 0 {
+			c00 += av * int64(bq[0])
+			c01 += av * int64(bq[1])
+			c02 += av * int64(bq[2])
+			c03 += av * int64(bq[3])
+		}
+		if av := int64(aq[1]); av != 0 {
+			c10 += av * int64(bq[0])
+			c11 += av * int64(bq[1])
+			c12 += av * int64(bq[2])
+			c13 += av * int64(bq[3])
+		}
+	}
+	cd := c[:4:4]
+	cd[0] += c00
+	cd[1] += c01
+	cd[2] += c02
+	cd[3] += c03
+	cd = c[ldc : ldc+4 : ldc+4]
+	cd[0] += c10
+	cd[1] += c11
+	cd[2] += c12
+	cd[3] += c13
+}
+
+// microIntEdge handles partial integer tiles via a stack tile, mirroring
+// microF32Edge.
+func microIntEdge(ap, bp []int32, kc, mr, nr, h, w int, c []int64, ldc int) {
+	var tile [gemmMaxTile]int64
+	for p := 0; p < kc; p++ {
+		aq := ap[p*mr : p*mr+mr]
+		bq := bp[p*nr : p*nr+nr]
+		for r := 0; r < h; r++ {
+			av := int64(aq[r])
+			if av == 0 {
+				continue
+			}
+			trow := tile[r*nr : r*nr+nr]
+			for j := 0; j < w; j++ {
+				trow[j] += av * int64(bq[j])
+			}
+		}
+	}
+	for r := 0; r < h; r++ {
+		cd := c[r*ldc:]
+		trow := tile[r*nr:]
+		for j := 0; j < w; j++ {
+			cd[j] += trow[j]
+		}
+	}
+}
+
+// ---- Naive reference kernels (the seed implementation) ----
+//
+// Retained verbatim as the parity oracle for the randomized kernel tests
+// and as the baseline side of BENCH_train_gemm.json. Do not optimize.
+
+// GemmNaive is the seed ikj kernel: C = A*B, single-threaded.
+func GemmNaive(a, b, c []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmNaive buffer too small")
+	}
+	for i := 0; i < m; i++ {
 		ci := c[i*n : (i+1)*n]
 		for x := range ci {
 			ci[x] = 0
@@ -63,23 +540,12 @@ func gemmBlock(a, b, c []float32, lo, hi, k, n int) {
 	}
 }
 
-// GemmAcc computes C += A*B (no zeroing); used by backprop accumulation
-// paths.
-func GemmAcc(a, b, c []float32, m, k, n int) {
+// GemmAccNaive is the seed ikj accumulation kernel: C += A*B.
+func GemmAccNaive(a, b, c []float32, m, k, n int) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
-		panic("tensor: GemmAcc buffer too small")
+		panic("tensor: GemmAccNaive buffer too small")
 	}
-	if m*k*n < gemmParallelThreshold || DefaultPool().Size() <= 1 {
-		gemmAccBlock(a, b, c, 0, m, k, n)
-		return
-	}
-	gemmRowBlocks(m, func(lo, hi int) {
-		gemmAccBlock(a, b, c, lo, hi, k, n)
-	})
-}
-
-func gemmAccBlock(a, b, c []float32, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
+	for i := 0; i < m; i++ {
 		ci := c[i*n : (i+1)*n]
 		ai := a[i*k : (i+1)*k]
 		for p := 0; p < k; p++ {
@@ -95,25 +561,13 @@ func gemmAccBlock(a, b, c []float32, lo, hi, k, n int) {
 	}
 }
 
-// GemmInt computes C = A*B over int32 codes with int64 accumulation.
-// A is m×k, B is k×n, C is m×n. This is the integer kernel behind all
-// quantized convolution paths; int64 accumulation is safe even for INT16
-// codes over CNN-scale reduction dimensions.
-func GemmInt(a, b []int32, c []int64, m, k, n int) {
+// GemmIntNaive is the seed ikj integer kernel: C = A*B with int64
+// accumulation.
+func GemmIntNaive(a, b []int32, c []int64, m, k, n int) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
-		panic("tensor: GemmInt buffer too small")
+		panic("tensor: GemmIntNaive buffer too small")
 	}
-	if m*k*n < gemmParallelThreshold || DefaultPool().Size() <= 1 {
-		gemmIntBlock(a, b, c, 0, m, k, n)
-		return
-	}
-	gemmRowBlocks(m, func(lo, hi int) {
-		gemmIntBlock(a, b, c, lo, hi, k, n)
-	})
-}
-
-func gemmIntBlock(a, b []int32, c []int64, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
+	for i := 0; i < m; i++ {
 		ci := c[i*n : (i+1)*n]
 		for x := range ci {
 			ci[x] = 0

@@ -1,0 +1,402 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// kernelShapes covers odd and prime dimensions, microkernel tail blocks
+// (one off either side of MR/NR), KC boundary straddles, and the CNN-scale
+// shape the benchmarks use.
+func kernelShapes() [][3]int {
+	shapes := [][3]int{
+		{1, 1, 1},
+		{2, 3, 5},
+		{7, 11, 13},
+		{37, 53, 61},
+		{13, 300, 33},
+		{7, 256, 17},
+		{64, 100, 64},
+		{5, 255, 9},
+		{3, 257, 31},
+		{64, 576, 96},
+	}
+	// Tail blocks around the active microkernel tile.
+	for _, dm := range []int{-1, 0, 1} {
+		for _, dn := range []int{-1, 0, 1} {
+			m := gemmMR*3 + dm
+			n := gemmNR*2 + dn
+			if m < 1 {
+				m = 1
+			}
+			if n < 1 {
+				n = 1
+			}
+			shapes = append(shapes, [3]int{m, gemmKC + 1, n})
+		}
+	}
+	return shapes
+}
+
+func fillRandF32(rng *RNG, s []float32) {
+	for i := range s {
+		s[i] = rng.Float32()*2 - 1
+	}
+}
+
+// fillRandI32 produces signed INT8-range codes with a zero-heavy
+// distribution, matching the high/low code splits the quantized executors
+// feed GemmInt.
+func fillRandI32(rng *RNG, s []int32) {
+	for i := range s {
+		v := int32(rng.Intn(255)) - 127
+		if rng.Intn(4) == 0 {
+			v = 0
+		}
+		s[i] = v
+	}
+}
+
+func assertCloseF32(t *testing.T, got, want []float32, tol float64, label string) {
+	t.Helper()
+	for i := range want {
+		diff := math.Abs(float64(got[i]) - float64(want[i]))
+		scale := math.Max(1, math.Abs(float64(want[i])))
+		if diff > tol*scale {
+			t.Fatalf("%s: element %d: got %g want %g (rel diff %g)",
+				label, i, got[i], want[i], diff/scale)
+		}
+	}
+}
+
+// TestGemmTiledMatchesNaive checks the blocked float kernel against the
+// retained seed ikj loop across odd, prime and tail-block shapes. Float
+// results may reassociate, so the comparison is relative, not exact.
+func TestGemmTiledMatchesNaive(t *testing.T) {
+	rng := NewRNG(11)
+	for _, sh := range kernelShapes() {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := make([]float32, m*k)
+		b := make([]float32, k*n)
+		fillRandF32(rng, a)
+		fillRandF32(rng, b)
+		got := make([]float32, m*n)
+		want := make([]float32, m*n)
+		Gemm(a, b, got, m, k, n)
+		GemmNaive(a, b, want, m, k, n)
+		assertCloseF32(t, got, want, 1e-4, fmt.Sprintf("Gemm %dx%dx%d", m, k, n))
+	}
+}
+
+// TestGemmAccTiledMatchesNaive seeds C with nonzero values and checks the
+// accumulating kernel.
+func TestGemmAccTiledMatchesNaive(t *testing.T) {
+	rng := NewRNG(13)
+	for _, sh := range kernelShapes() {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := make([]float32, m*k)
+		b := make([]float32, k*n)
+		fillRandF32(rng, a)
+		fillRandF32(rng, b)
+		got := make([]float32, m*n)
+		want := make([]float32, m*n)
+		fillRandF32(rng, want)
+		copy(got, want)
+		GemmAcc(a, b, got, m, k, n)
+		GemmAccNaive(a, b, want, m, k, n)
+		assertCloseF32(t, got, want, 1e-4, fmt.Sprintf("GemmAcc %dx%dx%d", m, k, n))
+	}
+}
+
+// TestGemmIntTiledBitExact is the integer-exactness contract: the blocked
+// kernel must produce bit-identical accumulators to the naive loop for
+// every shape — the ODQ sparse/dense `==` parity tests depend on it.
+func TestGemmIntTiledBitExact(t *testing.T) {
+	rng := NewRNG(17)
+	for _, sh := range kernelShapes() {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := make([]int32, m*k)
+		b := make([]int32, k*n)
+		fillRandI32(rng, a)
+		fillRandI32(rng, b)
+		got := make([]int64, m*n)
+		want := make([]int64, m*n)
+		GemmInt(a, b, got, m, k, n)
+		GemmIntNaive(a, b, want, m, k, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("GemmInt %dx%dx%d: element %d: got %d want %d (must be bit-exact)",
+					m, k, n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGemmTNMatchesMaterializedTranspose checks that the stride-absorbed
+// transpose of GemmTN matches materializing Aᵀ and running GemmAccNaive.
+func TestGemmTNMatchesMaterializedTranspose(t *testing.T) {
+	rng := NewRNG(19)
+	for _, sh := range kernelShapes() {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := make([]float32, k*m) // k×m, logical operand is Aᵀ (m×k)
+		b := make([]float32, k*n)
+		fillRandF32(rng, a)
+		fillRandF32(rng, b)
+		got := make([]float32, m*n)
+		want := make([]float32, m*n)
+		fillRandF32(rng, want)
+		copy(got, want)
+		GemmTN(a, b, got, m, k, n)
+		at := make([]float32, m*k)
+		for p := 0; p < k; p++ {
+			for i := 0; i < m; i++ {
+				at[i*k+p] = a[p*m+i]
+			}
+		}
+		GemmAccNaive(at, b, want, m, k, n)
+		assertCloseF32(t, got, want, 1e-4, fmt.Sprintf("GemmTN %dx%dx%d", m, k, n))
+	}
+}
+
+// TestGemmNTMatchesMaterializedTranspose does the same for GemmNT (C += A·Bᵀ).
+func TestGemmNTMatchesMaterializedTranspose(t *testing.T) {
+	rng := NewRNG(23)
+	for _, sh := range kernelShapes() {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := make([]float32, m*k)
+		b := make([]float32, n*k) // n×k, logical operand is Bᵀ (k×n)
+		fillRandF32(rng, a)
+		fillRandF32(rng, b)
+		got := make([]float32, m*n)
+		want := make([]float32, m*n)
+		fillRandF32(rng, want)
+		copy(got, want)
+		GemmNT(a, b, got, m, k, n)
+		bt := make([]float32, k*n)
+		for j := 0; j < n; j++ {
+			for p := 0; p < k; p++ {
+				bt[p*n+j] = b[j*k+p]
+			}
+		}
+		GemmAccNaive(a, bt, want, m, k, n)
+		assertCloseF32(t, got, want, 1e-4, fmt.Sprintf("GemmNT %dx%dx%d", m, k, n))
+	}
+}
+
+// TestGemmBiasRowMatchesGemmPlusBias checks the bias epilogue against an
+// explicit Gemm followed by a row-broadcast add.
+func TestGemmBiasRowMatchesGemmPlusBias(t *testing.T) {
+	rng := NewRNG(29)
+	for _, sh := range [][3]int{{1, 1, 1}, {7, 11, 13}, {37, 53, 61}, {64, 576, 96}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := make([]float32, m*k)
+		b := make([]float32, k*n)
+		bias := make([]float32, m)
+		fillRandF32(rng, a)
+		fillRandF32(rng, b)
+		fillRandF32(rng, bias)
+		got := make([]float32, m*n)
+		want := make([]float32, m*n)
+		GemmBiasRow(a, b, got, bias, m, k, n)
+		Gemm(a, b, want, m, k, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				want[i*n+j] += bias[i]
+			}
+		}
+		assertCloseF32(t, got, want, 1e-4, fmt.Sprintf("GemmBiasRow %dx%dx%d", m, k, n))
+	}
+}
+
+// TestGemmDegenerateShapes exercises every entry point with zero
+// dimensions. The seed implementation divided by a row-block count derived
+// from m, so m==0 crashed; now all entry points must be no-ops with the
+// documented C semantics.
+func TestGemmDegenerateShapes(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	b := []float32{5, 6, 7, 8}
+	bias := []float32{9, 9}
+	ai := []int32{1, 2, 3, 4}
+	bi := []int32{5, 6, 7, 8}
+
+	t.Run("m=0", func(t *testing.T) {
+		c := []float32{42, 42}
+		Gemm(a, b, c, 0, 2, 2)
+		GemmAcc(a, b, c, 0, 2, 2)
+		GemmBiasRow(a, b, c, bias, 0, 2, 2)
+		GemmTN(a, b, c, 0, 2, 2)
+		GemmNT(a, b, c, 0, 2, 2)
+		ci := []int64{42, 42}
+		GemmInt(ai, bi, ci, 0, 2, 2)
+		if c[0] != 42 || ci[0] != 42 {
+			t.Fatalf("m=0 must leave C untouched, got %v %v", c, ci)
+		}
+	})
+	t.Run("n=0", func(t *testing.T) {
+		c := []float32{42, 42}
+		Gemm(a, b, c, 2, 2, 0)
+		GemmAcc(a, b, c, 2, 2, 0)
+		GemmBiasRow(a, b, c, bias, 2, 2, 0)
+		GemmTN(a, b, c, 2, 2, 0)
+		GemmNT(a, b, c, 2, 2, 0)
+		ci := []int64{42, 42}
+		GemmInt(ai, bi, ci, 2, 2, 0)
+		if c[0] != 42 || ci[0] != 42 {
+			t.Fatalf("n=0 must leave C untouched, got %v %v", c, ci)
+		}
+	})
+	t.Run("k=0", func(t *testing.T) {
+		// k==0 means the product is the zero matrix: Gemm/GemmInt zero C,
+		// GemmBiasRow leaves the broadcast bias, accumulators are no-ops.
+		c := []float32{42, 42, 42, 42}
+		Gemm(a, b, c, 2, 0, 2)
+		if c[0] != 0 || c[3] != 0 {
+			t.Fatalf("Gemm k=0 must zero C, got %v", c)
+		}
+		acc := []float32{1, 2, 3, 4}
+		GemmAcc(a, b, acc, 2, 0, 2)
+		GemmTN(a, b, acc, 2, 0, 2)
+		GemmNT(a, b, acc, 2, 0, 2)
+		if acc[0] != 1 || acc[3] != 4 {
+			t.Fatalf("accumulating kernels with k=0 must leave C untouched, got %v", acc)
+		}
+		cb := []float32{0, 0, 0, 0}
+		GemmBiasRow(a, b, cb, bias, 2, 0, 2)
+		if cb[0] != 9 || cb[3] != 9 {
+			t.Fatalf("GemmBiasRow k=0 must broadcast bias, got %v", cb)
+		}
+		ci := []int64{42, 42, 42, 42}
+		GemmInt(ai, bi, ci, 2, 0, 2)
+		if ci[0] != 0 || ci[3] != 0 {
+			t.Fatalf("GemmInt k=0 must zero C, got %v", ci)
+		}
+	})
+	t.Run("all-zero", func(t *testing.T) {
+		Gemm(nil, nil, nil, 0, 0, 0)
+		GemmAcc(nil, nil, nil, 0, 0, 0)
+		GemmBiasRow(nil, nil, nil, nil, 0, 0, 0)
+		GemmTN(nil, nil, nil, 0, 0, 0)
+		GemmNT(nil, nil, nil, 0, 0, 0)
+		GemmInt(nil, nil, nil, 0, 0, 0)
+		MatVec(nil, nil, nil, 0, 0)
+	})
+}
+
+// TestGemmSerialSizeOnePool pins the satellite contract directly: with a
+// single-worker pool the blocked core must not enqueue pool tasks at all
+// (Pool size 1 has no queue — enqueueing would panic on the nil channel),
+// even for products far above the parallel threshold.
+func TestGemmSerialSizeOnePool(t *testing.T) {
+	old := gemmPool
+	gemmPool = func() *Pool { return NewPool(1) }
+	defer func() { gemmPool = old }()
+
+	m, k, n := 300, 80, 96 // well above gemmParallelThreshold, >1 MC block
+	rng := NewRNG(31)
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	fillRandF32(rng, a)
+	fillRandF32(rng, b)
+	got := make([]float32, m*n)
+	want := make([]float32, m*n)
+	Gemm(a, b, got, m, k, n)
+	GemmNaive(a, b, want, m, k, n)
+	assertCloseF32(t, got, want, 1e-4, "size-one pool Gemm")
+}
+
+// TestGemmParallelMatchesSerial substitutes a multi-worker pool so the
+// row-block fan-out actually runs (DefaultPool may be size 1 on small
+// machines) and checks the parallel result is bit-identical to the serial
+// one: row blocks are disjoint, so per-element reduction order must not
+// depend on the worker count.
+func TestGemmParallelMatchesSerial(t *testing.T) {
+	m, k, n := 300, 80, 96 // >1 MC block and above the parallel threshold
+	rng := NewRNG(37)
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	fillRandF32(rng, a)
+	fillRandF32(rng, b)
+	ai := make([]int32, m*k)
+	bi := make([]int32, k*n)
+	fillRandI32(rng, ai)
+	fillRandI32(rng, bi)
+
+	serial := make([]float32, m*n)
+	serialInt := make([]int64, m*n)
+	Gemm(a, b, serial, m, k, n) // DefaultPool on a 1-CPU box stays serial
+	GemmInt(ai, bi, serialInt, m, k, n)
+
+	old := gemmPool
+	par := NewPool(4)
+	gemmPool = func() *Pool { return par }
+	defer func() { gemmPool = old }()
+
+	parallel := make([]float32, m*n)
+	parallelInt := make([]int64, m*n)
+	Gemm(a, b, parallel, m, k, n)
+	GemmInt(ai, bi, parallelInt, m, k, n)
+
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("float element %d: serial %g != parallel %g", i, serial[i], parallel[i])
+		}
+		if serialInt[i] != parallelInt[i] {
+			t.Fatalf("int element %d: serial %d != parallel %d", i, serialInt[i], parallelInt[i])
+		}
+	}
+}
+
+// TestGemmConcurrentCallers runs many goroutines through the kernels at
+// once — the scratch pools and packing buffers must be race-free (this is
+// exercised under -race by make verify).
+func TestGemmConcurrentCallers(t *testing.T) {
+	const workers = 8
+	m, k, n := 37, 300, 33
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := NewRNG(seed)
+			a := make([]float32, m*k)
+			b := make([]float32, k*n)
+			fillRandF32(rng, a)
+			fillRandF32(rng, b)
+			ai := make([]int32, m*k)
+			bi := make([]int32, k*n)
+			fillRandI32(rng, ai)
+			fillRandI32(rng, bi)
+			got := make([]float32, m*n)
+			want := make([]float32, m*n)
+			gotI := make([]int64, m*n)
+			wantI := make([]int64, m*n)
+			for iter := 0; iter < 8; iter++ {
+				Gemm(a, b, got, m, k, n)
+				GemmNaive(a, b, want, m, k, n)
+				for i := range want {
+					d := math.Abs(float64(got[i]) - float64(want[i]))
+					if d > 1e-4*math.Max(1, math.Abs(float64(want[i]))) {
+						errc <- fmt.Errorf("concurrent Gemm diverged at %d", i)
+						return
+					}
+				}
+				GemmInt(ai, bi, gotI, m, k, n)
+				GemmIntNaive(ai, bi, wantI, m, k, n)
+				for i := range wantI {
+					if gotI[i] != wantI[i] {
+						errc <- fmt.Errorf("concurrent GemmInt diverged at %d", i)
+						return
+					}
+				}
+			}
+		}(int64(100 + w))
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

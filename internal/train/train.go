@@ -50,6 +50,18 @@ func (o *SGD) Step(params []*nn.Param) {
 	}
 }
 
+// Step runs one training iteration — forward, loss, backward, optimizer
+// update — on a single batch and returns the batch loss and logits. Fit
+// uses it per batch; benchmarks use it directly to measure steady-state
+// QAT step throughput.
+func Step(net nn.Module, x *tensor.Tensor, y []int, opt *SGD, params []*nn.Param) (float32, *tensor.Tensor) {
+	logits := net.Forward(x, true)
+	loss, grad := nn.SoftmaxCE(logits, y)
+	net.Backward(grad)
+	opt.Step(params)
+	return loss, logits
+}
+
 // Options configures a training run.
 type Options struct {
 	Epochs    int
@@ -101,10 +113,7 @@ func Fit(net nn.Module, ds *dataset.Dataset, opts Options) *History {
 			if opts.Augment != nil {
 				x = opts.Augment.Apply(x)
 			}
-			logits := net.Forward(x, true)
-			loss, grad := nn.SoftmaxCE(logits, y)
-			net.Backward(grad)
-			opt.Step(params)
+			loss, logits := Step(net, x, y, opt, params)
 
 			epochLoss += float64(loss) * float64(len(idx))
 			pred := logits.ArgmaxRows()
