@@ -1,4 +1,4 @@
-.PHONY: all build test vet race verify bench snapshot bench-train
+.PHONY: all build test vet race verify bench snapshot bench-train bench-telemetry profile
 
 all: build
 
@@ -20,11 +20,15 @@ race:
 verify:
 	go vet ./...
 	go build ./...
+	# Fast early gate: the telemetry layer and the kernels it instruments
+	# are the most concurrency-sensitive packages; shake them under the
+	# race detector before the long full-tree pass.
+	go test -race -count=1 ./internal/telemetry ./internal/tensor
 	go test -race -timeout 90m ./...
 	# Build-only smoke for the benchmark snapshot harnesses: without their
 	# env gates the snapshot tests compile, link and skip — CI never
 	# depends on timing.
-	go test -run 'TestODQConvBenchSnapshot|TestTrainGemmBenchSnapshot' -count=1 .
+	go test -run 'TestODQConvBenchSnapshot|TestTrainGemmBenchSnapshot|TestTelemetryBenchSnapshot' -count=1 .
 
 bench:
 	go test -bench=. -benchmem -run '^$$' .
@@ -38,3 +42,19 @@ snapshot:
 # at batch 32, min-of-3 runs.
 bench-train:
 	TRAIN_BENCH_SNAPSHOT=1 go test -run TestTrainGemmBenchSnapshot -v .
+
+# Regenerate the committed telemetry-overhead snapshot (BENCH_telemetry.json):
+# per-site disabled/enabled costs plus interleaved enabled-vs-disabled
+# overhead on the QAT-step and ODQ-conv hot paths.
+bench-telemetry:
+	TELEMETRY_BENCH_SNAPSHOT=1 go test -run TestTelemetryBenchSnapshot -v .
+
+# Profile a short experiment run end to end: CPU profile + Chrome trace
+# (load trace.json at https://ui.perfetto.dev), then the top-10 hottest
+# frames by flat time.
+profile:
+	go build -o odq-bench-profile ./cmd/odq-bench
+	./odq-bench-profile -scale test -run figure1 -quiet \
+		-cpuprofile cpu.pprof -trace-out trace.json
+	go tool pprof -top -nodecount=10 odq-bench-profile cpu.pprof
+	rm -f odq-bench-profile

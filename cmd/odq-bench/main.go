@@ -12,9 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry/telemetryflag"
 )
 
 func main() {
@@ -22,6 +24,8 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiment ids (see -list) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	quiet := flag.Bool("quiet", false, "suppress training progress logs")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path (inspect with go tool pprof)")
+	tf := telemetryflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -29,6 +33,36 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	}
+
+	flushTelemetry, err := tf.Activate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	// exit stops profiling and flushes telemetry on every path out.
+	exit := func(code int) {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if err := flushTelemetry(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
 	}
 
 	var scale experiments.Scale
@@ -41,7 +75,7 @@ func main() {
 		scale = experiments.FullScale()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want test, quick or full)\n", *scaleName)
-		os.Exit(2)
+		exit(2)
 	}
 
 	logOut := os.Stderr
@@ -53,9 +87,9 @@ func main() {
 	if *run == "all" {
 		if err := experiments.RunAll(lab, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 	for _, name := range strings.Split(*run, ",") {
 		name = strings.TrimSpace(name)
@@ -65,7 +99,8 @@ func main() {
 		fmt.Printf("### %s\n\n", name)
 		if err := experiments.Run(lab, name, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
+	exit(0)
 }

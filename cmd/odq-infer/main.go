@@ -19,6 +19,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/quant"
+	"repro/internal/telemetry/telemetryflag"
 	"repro/internal/train"
 )
 
@@ -33,7 +34,14 @@ func main() {
 	samples := flag.Int("samples", 128, "test samples")
 	seed := flag.Int64("seed", 1, "random seed")
 	dump := flag.String("dump", "", "write per-layer profiles (with ODQ masks) to this path for odq-sim")
+	tf := telemetryflag.Register(flag.CommandLine)
 	flag.Parse()
+
+	flushTelemetry, err := tf.Activate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	classes := 10
 	if *dsName == "c100" {
@@ -118,6 +126,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("profiles written to %s\n", *dump)
+	}
+	if err := flushTelemetry(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

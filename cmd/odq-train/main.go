@@ -15,6 +15,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/telemetry/telemetryflag"
 	"repro/internal/train"
 )
 
@@ -29,7 +30,14 @@ func main() {
 	lr := flag.Float64("lr", 0.02, "learning rate")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("o", "", "checkpoint output path (optional)")
+	tf := telemetryflag.Register(flag.CommandLine)
 	flag.Parse()
+
+	flushTelemetry, err := tf.Activate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	classes := 10
 	if *dsName == "c100" {
@@ -76,5 +84,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("checkpoint written to %s\n", *out)
+	}
+	if err := flushTelemetry(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

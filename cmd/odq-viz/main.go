@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/maskio"
+	"repro/internal/quant"
 	"repro/internal/stats"
 )
 
@@ -78,12 +79,7 @@ func main() {
 			os.Exit(2)
 		}
 		mask := p.Mask[ofm*cols : (ofm+1)*cols]
-		sens := 0
-		for _, m := range mask {
-			if m {
-				sens++
-			}
-		}
+		sens := quant.MaskDensity(mask)
 		fmt.Printf("%s sample %d channel %d: %d/%d sensitive (%.1f%%)\n",
 			p.Name, *sample, *channel, sens, cols, 100*float64(sens)/float64(cols))
 		if *pgm != "" {

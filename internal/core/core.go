@@ -22,7 +22,20 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/quant"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
+)
+
+// ODQ telemetry handles. Partial-product counters mirror the paper's cost
+// accounting: the predictor pays one high×high MAC per output tap, the
+// executor pays the three remaining partials only for sensitive outputs.
+var (
+	mODQConvs         = telemetry.GetCounter("odq.convs")
+	mODQPredMACs      = telemetry.GetCounter("odq.predictor.partial_products")
+	mODQExecMACs      = telemetry.GetCounter("odq.executor.partial_products")
+	mODQCacheHits     = telemetry.GetCounter("odq.wcache.hits")
+	mODQCacheMisses   = telemetry.GetCounter("odq.wcache.misses")
+	mODQInvalidations = telemetry.GetCounter("odq.wcache.invalidations")
 )
 
 // Exec is the ODQ convolution executor. All configuration is fixed at
@@ -205,10 +218,12 @@ func (e *Exec) weights(layer *nn.Conv2D) (hi, lo *tensor.IntTensor) {
 	if h, ok := e.wcacheHi[layer]; ok {
 		l := e.wcacheLo[layer]
 		e.mu.Unlock()
+		mODQCacheHits.Inc()
 		return h, l
 	}
 	gen := e.cacheGen
 	e.mu.Unlock()
+	mODQCacheMisses.Inc()
 
 	q := quant.WeightCodes(layer.EffectiveWeight(), e.bits)
 	h, l := quant.SplitCodesRounded(q, e.lowBits(), true)
@@ -231,6 +246,7 @@ func (e *Exec) weights(layer *nn.Conv2D) (hi, lo *tensor.IntTensor) {
 // from the pre-update weights, but generation tracking guarantees they
 // cannot re-populate the cache with stale codes.
 func (e *Exec) InvalidateCache() {
+	mODQInvalidations.Inc()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.cacheGen++
@@ -271,6 +287,9 @@ func fuse(pred, hl, lh, ll int64, predScale, sHL, sLH, sLL float32) float32 {
 // Conv implements nn.ConvExecutor: sensitivity prediction over the
 // high-order parts followed by result generation for sensitive outputs.
 func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
+	spConv := telemetry.StartSpan("odq.conv")
+	defer spConv.End()
+	mODQConvs.Inc()
 	n := x.Shape[0]
 	qx := quant.ActCodes(x, e.bits)
 	xh, xl := quant.SplitCodesRounded(qx, e.lowBits(), false)
@@ -281,6 +300,7 @@ func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
 	// (the paper derives its threshold from each layer's output
 	// distribution, §3); this keeps one network-wide threshold value
 	// meaningful across layers whose raw output scales differ.
+	spPred := telemetry.StartSpan("odq.predictor")
 	g := quant.AccumGeometry(xh, wh, layer.Stride, layer.Pad)
 	total := n * g.TotalOutputs()
 	predAcc := tensor.GetInt64(total)
@@ -303,7 +323,6 @@ func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
 	}
 	cut := float32(meanAbs) * th
 	mask := make([]bool, total)
-	sensitive := int64(0)
 	for i, a := range predAcc {
 		v := float32(a) * predScale
 		if v < 0 {
@@ -311,14 +330,24 @@ func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
 		}
 		if v >= cut {
 			mask[i] = true
-			sensitive++
 		}
 	}
+	// One popcount for everything downstream: the profile record, the
+	// telemetry ratio and the executor cost accounting all read this value
+	// (quant.MaskDensity is the repo's single mask-density helper).
+	sensitive := quant.MaskDensity(mask)
 	if e.collectDist {
 		e.sampleDist(predAcc, predScale, float32(meanAbs))
 	}
+	spPred.End()
+	if telemetry.Enabled() {
+		macsPerOut := int64(g.ColRows())
+		mODQPredMACs.Add(int64(total) * macsPerOut)
+		mODQExecMACs.Add(3 * sensitive * macsPerOut)
+	}
 
 	// Stage 2 — result generation for the masked outputs.
+	spExec := telemetry.StartSpan("odq.executor")
 	sHL := xh.Scale * wl.Scale
 	sLH := xl.Scale * wh.Scale
 	sLL := xl.Scale * wl.Scale
@@ -329,6 +358,7 @@ func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
 		e.resultSparse(out, predAcc, mask, xh, xl, wh, wl, g, predScale, sHL, sLH, sLL)
 	}
 	tensor.PutInt64(predAcc)
+	spExec.End()
 
 	e.Record(&quant.LayerProfile{
 		Name:             layer.Name,

@@ -16,8 +16,13 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/quant"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
+
+// mDRQConvs counts executor Conv calls; per-layer output/MAC counters are
+// published by the shared Profiler.Record telemetry hook.
+var mDRQConvs = telemetry.GetCounter("drq.convs")
 
 // Exec is the DRQ convolution executor. Configuration is fixed at
 // construction time through Option values.
@@ -286,6 +291,9 @@ func countTaps(masks [][]bool, n, c, h, w, k, stride, pad int, keep bool) ([]int
 
 // Conv implements nn.ConvExecutor: the mixed-precision DRQ convolution.
 func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
+	sp := telemetry.StartSpan("drq.conv")
+	defer sp.End()
+	mDRQConvs.Inc()
 	n := x.Shape[0]
 	meanAbs := meanMagnitude(x)
 	threshold := e.thresholdScale * meanAbs

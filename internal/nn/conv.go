@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -88,6 +89,8 @@ func (c *Conv2D) EffectiveWeight() *tensor.Tensor {
 
 // Forward implements Module.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	sp := telemetry.StartSpan("nn.conv.forward")
+	defer sp.End()
 	if x.Rank() != 4 {
 		panic(fmt.Sprintf("nn: %s expects NCHW input, got %v", c.Name, x.Shape))
 	}
@@ -176,6 +179,8 @@ func (c *Conv2D) addBias(out *tensor.Tensor) {
 // dX. The transpose buffers of the seed implementation are gone — GemmNT
 // and GemmTN absorb both transposes in their packing pass.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	sp := telemetry.StartSpan("nn.conv.backward")
+	defer sp.End()
 	if c.colsB == nil {
 		panic("nn: Conv2D.Backward without cached forward")
 	}

@@ -1,0 +1,51 @@
+package quant
+
+import "repro/internal/telemetry"
+
+// MaskDensity returns the number of true entries in a sensitivity mask.
+// This is THE mask-density popcount for the repo: the ODQ executor, the
+// cycle simulator's per-OFM workload builder and the mask viewer all call
+// it instead of open-coding the loop, and it is the value that feeds the
+// per-layer sensitivity-ratio telemetry.
+func MaskDensity(mask []bool) int64 {
+	var n int64
+	for _, b := range mask {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// SensitivityRatio returns SensitiveOutputs/TotalOutputs (0 when the
+// profile is empty) — the paper's "fraction of output features predicted
+// sensitive", the central ratio the telemetry layer exposes per layer.
+func (lp *LayerProfile) SensitivityRatio() float64 {
+	if lp.TotalOutputs == 0 {
+		return 0
+	}
+	return float64(lp.SensitiveOutputs) / float64(lp.TotalOutputs)
+}
+
+// recordLayerTelemetry publishes a layer observation to the default
+// telemetry registry. Called by Profiler.Record on every executor Conv —
+// independent of whether profile *retention* is enabled — so per-layer
+// counters are live whenever telemetry is on. The gauge carries the
+// cumulative ratio (all batches so far), matching SensitiveFraction.
+func recordLayerTelemetry(lp *LayerProfile) {
+	if !telemetry.Enabled() {
+		return
+	}
+	pfx := "layer." + lp.Name
+	sens := telemetry.GetCounter(pfx + ".sensitive")
+	tot := telemetry.GetCounter(pfx + ".outputs")
+	sens.Add(lp.SensitiveOutputs)
+	tot.Add(lp.TotalOutputs)
+	telemetry.GetCounter(pfx + ".macs").Add(lp.TotalMACs)
+	if lp.HighInputMACs != 0 {
+		telemetry.GetCounter(pfx + ".high_input_macs").Add(lp.HighInputMACs)
+	}
+	if tv := tot.Value(); tv > 0 {
+		telemetry.GetGauge(pfx + ".sensitivity_ratio").Set(float64(sens.Value()) / float64(tv))
+	}
+}

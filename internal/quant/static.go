@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -77,8 +78,11 @@ func (p *Profiler) Profiles() []*LayerProfile {
 }
 
 // Record merges a layer observation into the profile set, accumulating
-// counts across batches for repeat visits to the same layer.
+// counts across batches for repeat visits to the same layer. Telemetry
+// publication happens unconditionally (every executor calls Record), so
+// per-layer counters are live even when profile retention is off.
 func (p *Profiler) Record(lp *LayerProfile) {
+	recordLayerTelemetry(lp)
 	if !p.enabled {
 		return
 	}
@@ -151,8 +155,10 @@ func (e *StaticExec) weightCodes(layer *nn.Conv2D) *tensor.IntTensor {
 	e.mu.Lock()
 	if q, ok := e.wcache[layer]; ok {
 		e.mu.Unlock()
+		mStaticCacheHits.Inc()
 		return q
 	}
+	mStaticCacheMisses.Inc()
 	gen := e.cacheGen
 	e.mu.Unlock()
 
@@ -181,8 +187,19 @@ func (e *StaticExec) InvalidateCache() {
 	e.wcache = make(map[*nn.Conv2D]*tensor.IntTensor)
 }
 
+// Static-executor telemetry handles (bound to the registry current at
+// package init; see the telemetry package docs).
+var (
+	mStaticConvs       = telemetry.GetCounter("quant.static.convs")
+	mStaticCacheHits   = telemetry.GetCounter("quant.static.wcache.hits")
+	mStaticCacheMisses = telemetry.GetCounter("quant.static.wcache.misses")
+)
+
 // Conv implements nn.ConvExecutor.
 func (e *StaticExec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
+	sp := telemetry.StartSpan("quant.static.conv")
+	defer sp.End()
+	mStaticConvs.Inc()
 	qx := ActCodes(x, e.bits)
 	qw := e.weightCodes(layer)
 	g := AccumGeometry(qx, qw, layer.Stride, layer.Pad)

@@ -10,6 +10,15 @@ package sim
 // pressures the predictor, and executor starvation shows up as executor
 // idle cycles — the pipeline bubbles of §4.2.
 
+import "repro/internal/telemetry"
+
+var (
+	mSimLayers   = telemetry.GetCounter("sim.layers")
+	mSimCycles   = telemetry.GetCounter("sim.cycles")
+	mSimIdleFrac = telemetry.GetHistogram("sim.idle_frac",
+		telemetry.LinearBuckets(0.1, 0.1, 9)) // 0.1 .. 0.9
+)
+
 // LayerWork describes one convolution layer's workload for the slice.
 type LayerWork struct {
 	// OutputsPerOFM is OH·OW, the feature count per output channel.
@@ -105,6 +114,20 @@ type ofmState struct {
 // SimulateLayer runs the slice over one layer and returns busy/idle
 // accounting. It is deterministic.
 func SimulateLayer(w LayerWork, cfg SliceConfig) SliceResult {
+	sp := telemetry.StartSpan("sim.layer")
+	res := simulateLayer(w, cfg)
+	sp.End()
+	if telemetry.Enabled() {
+		mSimLayers.Inc()
+		mSimCycles.Add(res.Cycles)
+		if res.Cycles > 0 {
+			mSimIdleFrac.Observe(res.IdleFrac())
+		}
+	}
+	return res
+}
+
+func simulateLayer(w LayerWork, cfg SliceConfig) SliceResult {
 	nOFM := len(w.SensPerOFM)
 	res := SliceResult{}
 	if nOFM == 0 || w.OutputsPerOFM == 0 {

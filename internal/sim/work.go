@@ -14,13 +14,7 @@ func LayerWorkFromProfile(p *quant.LayerProfile) LayerWork {
 	w := LayerWork{OutputsPerOFM: cols, SensPerOFM: make([]int, nOFM)}
 	if len(p.Mask) == nOFM*cols {
 		for ofm := 0; ofm < nOFM; ofm++ {
-			cnt := 0
-			for i := ofm * cols; i < (ofm+1)*cols; i++ {
-				if p.Mask[i] {
-					cnt++
-				}
-			}
-			w.SensPerOFM[ofm] = cnt
+			w.SensPerOFM[ofm] = int(quant.MaskDensity(p.Mask[ofm*cols : (ofm+1)*cols]))
 		}
 		return w
 	}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// varsHandler serves an expvar-style JSON snapshot of the default
+// registry. It reads Default() per request, so a swapped registry is
+// picked up immediately.
+func varsHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(Snapshot()) //nolint:errcheck // best-effort debug endpoint
+}
+
+// traceHandler serves the span ring as Chrome trace JSON (load the saved
+// response in Perfetto).
+func traceHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	Default().WriteTrace(w) //nolint:errcheck // best-effort debug endpoint
+}
+
+// Handler returns the metrics snapshot handler alone (for embedding in an
+// existing mux).
+func Handler() http.Handler { return http.HandlerFunc(varsHandler) }
+
+// DebugMux returns an http.ServeMux with the full debug surface:
+//
+//	/debug/vars   expvar-style JSON snapshot of all metrics
+//	/debug/trace  Chrome trace JSON of the span ring
+//	/debug/pprof  the standard net/http/pprof handlers
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", varsHandler)
+	mux.HandleFunc("/debug/trace", traceHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug server on addr in a background goroutine
+// (the CLI -debug-addr flag) and returns it; callers may Close it to stop.
+// Listening errors are returned synchronously.
+func ServeDebug(addr string) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: DebugMux()}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return srv, nil
+}

@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// defaultSpanCap is the span ring capacity: enough for tens of seconds of
+// conv/GEMM-granularity spans. When the ring is full the oldest records
+// are overwritten (counted in SpanStats.Dropped); within capacity the
+// record is lossless — every StartSpan/End pair while enabled is kept,
+// nothing is sampled.
+const defaultSpanCap = 1 << 16
+
+// spanRecord is one completed span.
+type spanRecord struct {
+	name  string
+	start int64 // ns, from the ring's clock
+	dur   int64 // ns
+}
+
+// spanRing is a fixed-capacity overwrite-oldest ring of completed spans.
+// Recording takes one short mutex hold (span End is conv/phase-granular,
+// orders of magnitude rarer than counter updates, so a mutex keeps it
+// simple and race-detector-clean).
+type spanRing struct {
+	mu       sync.Mutex
+	buf      []spanRecord
+	next     int   // next slot to write
+	recorded int64 // total record() calls
+	now      func() int64
+}
+
+func newSpanRing(capacity int) *spanRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &spanRing{
+		buf: make([]spanRecord, 0, capacity),
+		now: func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+func (r *spanRing) record(name string, start, end int64) {
+	rec := spanRecord{name: name, start: start, dur: end - start}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next] = rec
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.recorded++
+	r.mu.Unlock()
+}
+
+func (r *spanRing) stats() SpanStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dropped := r.recorded - int64(len(r.buf))
+	return SpanStats{Recorded: r.recorded, Dropped: dropped, Capacity: cap(r.buf)}
+}
+
+// records returns a copy of the retained spans (unordered).
+func (r *spanRing) records() []spanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]spanRecord(nil), r.buf...)
+}
+
+func (r *spanRing) reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.recorded = 0
+}
+
+// Span is a scoped timing measurement. The zero Span (returned when
+// telemetry is disabled) makes End a no-op, so call sites need no guards:
+//
+//	sp := telemetry.StartSpan("odq.predictor")
+//	... work ...
+//	sp.End()
+//
+// Span is a value type: starting and ending a span allocates nothing.
+type Span struct {
+	name  string
+	start int64
+	ring  *spanRing
+}
+
+// StartSpan begins a span recorded into the default registry's ring.
+// Use static (compile-time constant) names; dynamic names allocate at the
+// call site.
+func StartSpan(name string) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	return Default().StartSpan(name)
+}
+
+// StartSpan begins a span recorded into this registry's ring.
+func (r *Registry) StartSpan(name string) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	ring := r.spans
+	return Span{name: name, start: ring.now(), ring: ring}
+}
+
+// End completes the span. No-op on the zero Span.
+func (s Span) End() {
+	if s.ring == nil {
+		return
+	}
+	s.ring.record(s.name, s.start, s.ring.now())
+}
+
+// ResetSpans clears the registry's span ring.
+func (r *Registry) ResetSpans() { r.spans.reset() }
+
+// TraceEvent is one Chrome trace-event ("complete" phase) record. The
+// exported JSON loads directly in Perfetto / chrome://tracing.
+type TraceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds since the first span
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// traceFile is the Chrome trace-event file envelope.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// TraceEvents converts the retained spans to Chrome trace events, sorted
+// by start time (ts is monotonically non-decreasing) and re-based so the
+// earliest span starts at ts 0. Spans are laid out on "threads" by greedy
+// interval coloring: each span takes the lowest tid whose previous span
+// has already ended, so overlapping (concurrent or nested) spans render
+// on separate rows in Perfetto.
+func (r *Registry) TraceEvents() []TraceEvent {
+	recs := r.spans.records()
+	if len(recs) == 0 {
+		return nil
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].start != recs[j].start {
+			return recs[i].start < recs[j].start
+		}
+		if recs[i].dur != recs[j].dur {
+			return recs[i].dur > recs[j].dur // longer (enclosing) span first
+		}
+		return recs[i].name < recs[j].name
+	})
+	base := recs[0].start
+	var laneEnds []int64
+	events := make([]TraceEvent, 0, len(recs))
+	for _, rec := range recs {
+		tid := -1
+		for i, end := range laneEnds {
+			if end <= rec.start {
+				tid = i
+				break
+			}
+		}
+		if tid < 0 {
+			tid = len(laneEnds)
+			laneEnds = append(laneEnds, 0)
+		}
+		laneEnds[tid] = rec.start + rec.dur
+		events = append(events, TraceEvent{
+			Name: rec.name,
+			Ph:   "X",
+			Ts:   float64(rec.start-base) / 1e3,
+			Dur:  float64(rec.dur) / 1e3,
+			Pid:  1,
+			Tid:  tid + 1,
+		})
+	}
+	return events
+}
+
+// WriteTrace writes the registry's spans as Chrome trace-event JSON.
+func (r *Registry) WriteTrace(w io.Writer) error {
+	f := traceFile{TraceEvents: r.TraceEvents(), DisplayTimeUnit: "ns"}
+	if f.TraceEvents == nil {
+		f.TraceEvents = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// WriteTrace writes the default registry's spans as Chrome trace JSON.
+func WriteTrace(w io.Writer) error { return Default().WriteTrace(w) }
+
+// WriteTraceFile dumps the default registry's spans to path (the CLI
+// -trace-out flag).
+func WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteSnapshotFile dumps a JSON snapshot of the default registry to path
+// (the CLI -metrics-out flag).
+func WriteSnapshotFile(path string) error {
+	data, err := json.MarshalIndent(Snapshot(), "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

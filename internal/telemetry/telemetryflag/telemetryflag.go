@@ -1,0 +1,71 @@
+// Package telemetryflag wires the telemetry layer into a CLI. All three
+// commands (odq-train, odq-infer, odq-bench) share the same three flags:
+//
+//	-debug-addr :6060     serve /debug/vars, /debug/trace, /debug/pprof
+//	-trace-out trace.json write a Chrome trace (Perfetto-loadable) on exit
+//	-metrics-out m.json   write a metrics snapshot on exit
+//
+// Telemetry stays globally disabled (a few ns per instrumentation site)
+// unless at least one of the flags is set.
+package telemetryflag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+// Flags holds the parsed telemetry flag values.
+type Flags struct {
+	DebugAddr  string
+	TraceOut   string
+	MetricsOut string
+}
+
+// Register installs the shared telemetry flags on fs.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.DebugAddr, "debug-addr", "",
+		"serve /debug/vars, /debug/trace and /debug/pprof on this address (e.g. :6060)")
+	fs.StringVar(&f.TraceOut, "trace-out", "",
+		"write a Chrome trace-event JSON file (load in Perfetto) on exit")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "",
+		"write a metrics snapshot JSON file on exit")
+	return f
+}
+
+// Activate enables collection when any telemetry flag was set and starts
+// the debug HTTP server when -debug-addr was given. It returns a flush
+// function for the caller to run before exit; with no flags set both
+// Activate and the returned flush are no-ops.
+func (f *Flags) Activate() (flush func() error, err error) {
+	if f.DebugAddr == "" && f.TraceOut == "" && f.MetricsOut == "" {
+		return func() error { return nil }, nil
+	}
+	telemetry.Enable()
+	if f.DebugAddr != "" {
+		if _, err := telemetry.ServeDebug(f.DebugAddr); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: debug server listening on %s (try /debug/vars, /debug/trace, /debug/pprof)\n", f.DebugAddr)
+	}
+	return f.flush, nil
+}
+
+func (f *Flags) flush() error {
+	if f.TraceOut != "" {
+		if err := telemetry.WriteTraceFile(f.TraceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: trace written to %s\n", f.TraceOut)
+	}
+	if f.MetricsOut != "" {
+		if err := telemetry.WriteSnapshotFile(f.MetricsOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: metrics snapshot written to %s\n", f.MetricsOut)
+	}
+	return nil
+}

@@ -28,6 +28,8 @@ package tensor
 // they are the parity oracles for the randomized kernel tests and the
 // baseline for BENCH_train_gemm.json.
 
+import "repro/internal/telemetry"
+
 // gemmParallelThreshold is the minimum m*n*k product above which GEMM fans
 // out across the shared worker pool; below it the single-threaded loop is
 // faster.
@@ -178,12 +180,27 @@ func gemmF32(a []float32, ars, acs int, b []float32, brs, bcs int, c []float32, 
 	mr, nr := gemmMR, gemmNR
 	pool := gemmPool()
 	parallel := pool.Size() > 1 && m*k*n >= gemmParallelThreshold
+	if telemetry.Enabled() {
+		if useAsmF32 {
+			mGemmF32AVX2.Inc()
+		} else {
+			mGemmF32Scalar.Inc()
+		}
+		rb := 1
+		if parallel {
+			rb = (m + gemmMC - 1) / gemmMC
+		}
+		mGemmRowBlocks.Observe(float64(rb))
+	}
 	bp := GetFloat32(gemmKC * gemmNC)
 	for jc := 0; jc < n; jc += gemmNC {
 		nc := minInt(gemmNC, n-jc)
 		for pc := 0; pc < k; pc += gemmKC {
 			kc := minInt(gemmKC, k-pc)
+			spPack := telemetry.StartSpan("gemm.pack")
 			packF32B(b, brs, bcs, pc, kc, jc, nc, nr, bp)
+			spPack.End()
+			spKern := telemetry.StartSpan("gemm.kernel")
 			blocks := (m + gemmMC - 1) / gemmMC
 			runBlock := func(blk int) {
 				ic := blk * gemmMC
@@ -215,6 +232,7 @@ func gemmF32(a []float32, ars, acs int, b []float32, brs, bcs int, c []float32, 
 					runBlock(blk)
 				}
 			}
+			spKern.End()
 		}
 	}
 	PutFloat32(bp)
@@ -367,12 +385,27 @@ func gemmIntCore(a, b []int32, c []int64, m, k, n int) {
 	mr, nr := gemmMRI, gemmNRI
 	pool := gemmPool()
 	parallel := pool.Size() > 1 && m*k*n >= gemmParallelThreshold
+	if telemetry.Enabled() {
+		if useAsmInt {
+			mGemmIntAVX2.Inc()
+		} else {
+			mGemmIntScalar.Inc()
+		}
+		rb := 1
+		if parallel {
+			rb = (m + gemmMCI - 1) / gemmMCI
+		}
+		mGemmRowBlocks.Observe(float64(rb))
+	}
 	bp := GetInt32(gemmKC * gemmNCI)
 	for jc := 0; jc < n; jc += gemmNCI {
 		nc := minInt(gemmNCI, n-jc)
 		for pc := 0; pc < k; pc += gemmKC {
 			kc := minInt(gemmKC, k-pc)
+			spPack := telemetry.StartSpan("gemm.pack")
 			packIntB(b, n, pc, kc, jc, nc, nr, bp)
+			spPack.End()
+			spKern := telemetry.StartSpan("gemm.kernel")
 			blocks := (m + gemmMCI - 1) / gemmMCI
 			runBlock := func(blk int) {
 				ic := blk * gemmMCI
@@ -404,6 +437,7 @@ func gemmIntCore(a, b []int32, c []int64, m, k, n int) {
 					runBlock(blk)
 				}
 			}
+			spKern.End()
 		}
 	}
 	PutInt32(bp)

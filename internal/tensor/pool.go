@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Pool is a fixed-size pool of long-lived worker goroutines shared by the
@@ -73,6 +75,11 @@ func (p *Pool) ParallelLimited(limit, n int, fn func(i int)) {
 	if limit <= 0 || limit > p.size {
 		limit = p.size
 	}
+	if telemetry.Enabled() {
+		mPoolCalls.Inc()
+		mPoolTasks.Add(int64(n))
+		mPoolFanout.Observe(float64(n))
+	}
 	if n <= 1 || limit <= 1 || p.queue == nil {
 		for i := 0; i < n; i++ {
 			fn(i)
@@ -105,6 +112,7 @@ func (p *Pool) ParallelLimited(limit, n int, fn func(i int)) {
 		default:
 			// Queue saturated (deeply nested parallelism): run inline
 			// rather than block on a worker that may be waiting on us.
+			mPoolSaturated.Inc()
 			job()
 		}
 	}
@@ -130,9 +138,11 @@ func GetInt32(n int) []int32 {
 	if v := i32Pool.Get(); v != nil {
 		s := *(v.(*[]int32))
 		if cap(s) >= n {
+			mScratchHits.Inc()
 			return s[:n]
 		}
 	}
+	mScratchMisses.Inc()
 	return make([]int32, n)
 }
 
@@ -150,9 +160,11 @@ func GetInt64(n int) []int64 {
 	if v := i64Pool.Get(); v != nil {
 		s := *(v.(*[]int64))
 		if cap(s) >= n {
+			mScratchHits.Inc()
 			return s[:n]
 		}
 	}
+	mScratchMisses.Inc()
 	return make([]int64, n)
 }
 
@@ -171,9 +183,11 @@ func GetFloat32(n int) []float32 {
 	if v := f32Pool.Get(); v != nil {
 		s := *(v.(*[]float32))
 		if cap(s) >= n {
+			mScratchHits.Inc()
 			return s[:n]
 		}
 	}
+	mScratchMisses.Inc()
 	return make([]float32, n)
 }
 

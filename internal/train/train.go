@@ -6,10 +6,24 @@ package train
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
+)
+
+var (
+	mTrainSteps  = telemetry.GetCounter("train.steps")
+	mTrainEpochs = telemetry.GetCounter("train.epochs")
+	mStepMs      = telemetry.GetHistogram("train.step_ms",
+		telemetry.ExpBuckets(1, 2, 12)) // 1ms .. 2s
+	mEpochMs = telemetry.GetHistogram("train.epoch_ms",
+		telemetry.ExpBuckets(100, 2, 12)) // 0.1s .. 200s
+	gTrainLoss = telemetry.GetGauge("train.loss")
+	gTrainAcc  = telemetry.GetGauge("train.acc")
+	gTrainLR   = telemetry.GetGauge("train.lr")
 )
 
 // SGD is stochastic gradient descent with classical momentum and decoupled
@@ -55,10 +69,21 @@ func (o *SGD) Step(params []*nn.Param) {
 // uses it per batch; benchmarks use it directly to measure steady-state
 // QAT step throughput.
 func Step(net nn.Module, x *tensor.Tensor, y []int, opt *SGD, params []*nn.Param) (float32, *tensor.Tensor) {
+	sp := telemetry.StartSpan("train.step")
+	var t0 time.Time
+	if telemetry.Enabled() {
+		t0 = time.Now()
+	}
 	logits := net.Forward(x, true)
 	loss, grad := nn.SoftmaxCE(logits, y)
 	net.Backward(grad)
 	opt.Step(params)
+	sp.End()
+	if telemetry.Enabled() {
+		mTrainSteps.Inc()
+		mStepMs.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+		gTrainLoss.Set(float64(loss))
+	}
 	return loss, logits
 }
 
@@ -102,6 +127,11 @@ func Fit(net nn.Module, ds *dataset.Dataset, opts Options) *History {
 	hist := &History{}
 
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		spEpoch := telemetry.StartSpan("train.epoch")
+		var tEpoch time.Time
+		if telemetry.Enabled() {
+			tEpoch = time.Now()
+		}
 		if opts.LRDropEvery > 0 && epoch > 0 && epoch%opts.LRDropEvery == 0 {
 			opt.LR /= 2
 		}
@@ -128,6 +158,14 @@ func Fit(net nn.Module, ds *dataset.Dataset, opts Options) *History {
 		acc := float64(correct) / float64(seen)
 		hist.Loss = append(hist.Loss, meanLoss)
 		hist.TrainAcc = append(hist.TrainAcc, acc)
+		spEpoch.End()
+		if telemetry.Enabled() {
+			mTrainEpochs.Inc()
+			mEpochMs.Observe(float64(time.Since(tEpoch)) / float64(time.Millisecond))
+			gTrainLoss.Set(float64(meanLoss))
+			gTrainAcc.Set(acc)
+			gTrainLR.Set(float64(opt.LR))
+		}
 		if opts.Log != nil {
 			fmt.Fprintf(opts.Log, "epoch %d/%d loss=%.4f acc=%.3f lr=%.4f\n",
 				epoch+1, opts.Epochs, meanLoss, acc, opt.LR)

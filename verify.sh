@@ -3,7 +3,11 @@
 set -eux
 go vet ./...
 go build ./...
+# Fast early gate: the telemetry layer and the kernels it instruments are
+# the most concurrency-sensitive packages; shake them under the race
+# detector before the long full-tree pass.
+go test -race -count=1 ./internal/telemetry ./internal/tensor
 go test -race -timeout 90m ./...
 # Build-only smoke for the benchmark snapshot harnesses: without their env
 # gates they compile, link and skip, so CI never depends on timing.
-go test -run 'TestODQConvBenchSnapshot|TestTrainGemmBenchSnapshot' -count=1 .
+go test -run 'TestODQConvBenchSnapshot|TestTrainGemmBenchSnapshot|TestTelemetryBenchSnapshot' -count=1 .
