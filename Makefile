@@ -29,6 +29,9 @@ verify:
 	# env gates the snapshot tests compile, link and skip — CI never
 	# depends on timing.
 	go test -run 'TestODQConvBenchSnapshot|TestTrainGemmBenchSnapshot|TestTelemetryBenchSnapshot' -count=1 .
+	# Crash-safety gate: train, SIGKILL mid-run, resume; the resumed run
+	# must be bit-identical to one that was never interrupted.
+	./scripts/resume_smoke.sh
 
 bench:
 	go test -bench=. -benchmem -run '^$$' .

@@ -37,10 +37,37 @@ func main() {
 	tf := telemetryflag.Register(flag.CommandLine)
 	flag.Parse()
 
+	// Validate everything up front so a bad flag combination exits with
+	// one actionable line instead of a panic mid-inference.
+	if *samples < 1 {
+		fail("-samples must be >= 1 (got %d)", *samples)
+	}
+	if *scale <= 0 {
+		fail("-width must be > 0 (got %g)", *scale)
+	}
+	if *qatBits < 0 || *qatBits > 16 {
+		fail("-qat must be in [0,16] (got %d)", *qatBits)
+	}
+	if *threshold < 0 {
+		fail("-threshold must be >= 0 (got %g)", *threshold)
+	}
+	switch *dsName {
+	case "c10", "c100", "mnist":
+	default:
+		fail("unknown dataset %q (want c10, c100 or mnist)", *dsName)
+	}
+	switch *scheme {
+	case "float", "int16", "int8", "int4", "drq84", "drq42", "odq":
+	default:
+		fail("unknown scheme %q (want float, int16, int8, int4, drq84, drq42 or odq)", *scheme)
+	}
+	if *dump != "" && *scheme == "float" {
+		fail("the float scheme records no profiles: -dump needs a quantized -scheme")
+	}
+
 	flushTelemetry, err := tf.Activate()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 
 	classes := 10
@@ -58,26 +85,24 @@ func main() {
 		Classes: classes, Scale: *scale, QATBits: *qatBits, Seed: *seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fail("%v", err)
 	}
 	if *ckpt != "" {
 		f, err := os.Open(*ckpt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail("%v", err)
 		}
-		if err := nn.Load(f, net); err != nil {
-			f.Close()
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		err = nn.Load(f, net)
 		f.Close()
+		if err != nil {
+			fail("%v (was the checkpoint trained with different -model/-width/-qat/-dataset flags?)", err)
+		}
 	}
 
 	var profiler interface{ Profiles() []*quant.LayerProfile }
 	switch *scheme {
 	case "float":
+		// No executor: the plain float path.
 	case "int16", "int8", "int4":
 		bits := map[string]int{"int16": 16, "int8": 8, "int4": 4}[*scheme]
 		e := quant.NewStaticExec(bits, quant.WithStaticProfiling())
@@ -101,36 +126,32 @@ func main() {
 		nn.SetConvExecTail(net, e)
 		profiler = e
 		defer reportODQ(e)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
-		os.Exit(2)
 	}
 
 	acc := train.Evaluate(net, testDS, 32)
 	fmt.Printf("scheme=%s accuracy=%.4f\n", *scheme, acc)
 
 	if *dump != "" {
-		if profiler == nil {
-			fmt.Fprintln(os.Stderr, "odq-infer: the float scheme records no profiles to dump")
-			os.Exit(2)
-		}
 		f, err := os.Create(*dump)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		err = maskio.Write(f, profiler.Profiles())
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		fmt.Printf("profiles written to %s\n", *dump)
 	}
 	if err := flushTelemetry(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail("%v", err)
 	}
+}
+
+// fail prints a one-line actionable message and exits 1.
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "odq-infer: "+format+"\n", args...)
+	os.Exit(1)
 }
 
 func reportODQ(e *core.Exec) {

@@ -1,16 +1,23 @@
 // Command odq-train trains a model with DoReFa-style 4-bit quantization-
 // aware training on a synthetic dataset and saves a checkpoint usable by
-// odq-infer.
+// odq-infer. With -ckpt-every it writes durable, checksummed training
+// checkpoints (model + optimizer momentum + progress) atomically during
+// the run, and -resume continues a killed run from the last checkpoint —
+// bit-identically to a run that was never interrupted.
 //
 // Usage:
 //
 //	odq-train -model resnet20 -dataset c10 -epochs 14 -o resnet20.ckpt
+//	odq-train -epochs 14 -ckpt-every 1 -o run.ckpt          # durable run
+//	odq-train -epochs 14 -ckpt-every 1 -o run.ckpt -resume  # after a crash
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"syscall"
 
 	"repro/internal/dataset"
 	"repro/internal/models"
@@ -18,6 +25,13 @@ import (
 	"repro/internal/telemetry/telemetryflag"
 	"repro/internal/train"
 )
+
+// fail prints a one-line actionable message and exits 1 (2 for usage
+// errors is reserved by flag itself).
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "odq-train: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	modelName := flag.String("model", "resnet20", "model: lenet5, resnet20, resnet56, vgg16, densenet")
@@ -30,13 +44,54 @@ func main() {
 	lr := flag.Float64("lr", 0.02, "learning rate")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("o", "", "checkpoint output path (optional)")
+	ckptEvery := flag.Int("ckpt-every", 0, "save a full training checkpoint to -o every N epochs (0 = only a model checkpoint at the end)")
+	resume := flag.Bool("resume", false, "resume training from the checkpoint at -o (requires -ckpt-every)")
+	nanPolicy := flag.String("nan-policy", "abort", "reaction to NaN/Inf loss or gradients: abort, skip, rollback, ignore")
+	clipNorm := flag.Float64("clip-norm", 0, "clip gradients to this global L2 norm (0 = off)")
+	killAfter := flag.Int("kill-after", 0, "SIGKILL self after N completed epochs (crash-safety testing; 0 = off)")
 	tf := telemetryflag.Register(flag.CommandLine)
 	flag.Parse()
 
+	// Validate everything up front: a bad flag combination should cost
+	// one line of stderr, not a panic fourteen epochs in.
+	if *epochs < 1 {
+		fail("-epochs must be >= 1 (got %d)", *epochs)
+	}
+	if *batch < 1 {
+		fail("-batch must be >= 1 (got %d)", *batch)
+	}
+	if *samples < 1 {
+		fail("-samples must be >= 1 (got %d)", *samples)
+	}
+	if *lr <= 0 {
+		fail("-lr must be > 0 (got %g)", *lr)
+	}
+	if *scale <= 0 {
+		fail("-width must be > 0 (got %g)", *scale)
+	}
+	if *qatBits < 0 || *qatBits > 16 {
+		fail("-qat must be in [0,16] (got %d)", *qatBits)
+	}
+	if *ckptEvery < 0 {
+		fail("-ckpt-every must be >= 0 (got %d)", *ckptEvery)
+	}
+	if (*ckptEvery > 0 || *resume) && *out == "" {
+		fail("-ckpt-every/-resume need a checkpoint path: pass -o")
+	}
+	if *resume && *ckptEvery == 0 {
+		fail("-resume needs periodic checkpoints: pass -ckpt-every (e.g. -ckpt-every 1)")
+	}
+	if *killAfter > 0 && *ckptEvery == 0 {
+		fail("-kill-after without -ckpt-every would lose all progress: pass -ckpt-every")
+	}
+	policy, err := train.ParseNaNPolicy(*nanPolicy)
+	if err != nil {
+		fail("%v", err)
+	}
+
 	flushTelemetry, err := tf.Activate()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 
 	classes := 10
@@ -47,46 +102,90 @@ func main() {
 	switch *dsName {
 	case "mnist":
 		trainDS = dataset.MNISTLike(*samples, *seed+100)
-		testDS = dataset.MNISTLike(*samples/4, *seed+200)
+		testDS = dataset.MNISTLike(*samples/4+1, *seed+200)
 	case "c10", "c100":
 		trainDS = dataset.SyntheticImages(classes, *samples, 3, 32, 32, *seed+100)
-		testDS = dataset.SyntheticImages(classes, *samples/4, 3, 32, 32, *seed+200)
+		testDS = dataset.SyntheticImages(classes, *samples/4+1, 3, 32, 32, *seed+200)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dsName)
-		os.Exit(2)
+		fail("unknown dataset %q (want c10, c100 or mnist)", *dsName)
 	}
 
 	net, err := models.Build(*modelName, models.Config{
 		Classes: classes, Scale: *scale, QATBits: *qatBits, Seed: *seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fail("%v", err)
 	}
 
-	train.Fit(net, trainDS, train.Options{
+	opts := train.Options{
 		Epochs: *epochs, BatchSize: *batch, LR: float32(*lr),
 		Momentum: 0.9, Decay: 1e-4, Seed: *seed,
 		LRDropEvery: *epochs * 2 / 3, Log: os.Stderr,
-	})
+		NaNPolicy: policy, ClipNorm: float32(*clipNorm),
+	}
+	if *ckptEvery > 0 {
+		opts.CkptPath = *out
+		opts.CkptEvery = *ckptEvery
+		opts.Resume = *resume
+	}
+	if *killAfter > 0 {
+		// Crash-safety testing: die the hard way (no deferred cleanup, no
+		// flushes) after the checkpoint for epoch N lands, by watching the
+		// training log for the epoch-completion line.
+		opts.Log = &killWatcher{out: os.Stderr, after: *killAfter}
+	}
+
+	if _, err := train.Fit(net, trainDS, opts); err != nil {
+		if strings.Contains(err.Error(), "resume") {
+			fail("%v (was the checkpoint written by a run with different -model/-width/-qat or -seed?)", err)
+		}
+		fail("%v", err)
+	}
 	acc := train.Evaluate(net, testDS, 64)
 	fmt.Printf("test accuracy: %.4f\n", acc)
 
-	if *out != "" {
+	// Without periodic checkpointing, write a model checkpoint at the
+	// end (legacy flow; odq-infer loads either kind).
+	if *out != "" && *ckptEvery == 0 {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail("%v", err)
 		}
-		defer f.Close()
 		if err := nn.Save(f, net); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			f.Close()
+			fail("%v", err)
 		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+	}
+	if *out != "" {
 		fmt.Printf("checkpoint written to %s\n", *out)
 	}
 	if err := flushTelemetry(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail("%v", err)
 	}
+}
+
+// killWatcher tees training-progress lines and SIGKILLs the process
+// after the Nth epoch-completion line — after Fit has written that
+// epoch's checkpoint would be the next step, so the kill lands between
+// epochs the way a real crash does. SIGKILL is not catchable: no
+// deferred cleanup runs, which is the point.
+type killWatcher struct {
+	out    *os.File
+	after  int
+	epochs int
+}
+
+func (k *killWatcher) Write(p []byte) (int, error) {
+	n, err := k.out.Write(p)
+	if strings.Contains(string(p), "epoch ") && strings.Contains(string(p), "loss=") {
+		k.epochs++
+		if k.epochs >= k.after {
+			// Flush nothing, clean up nothing: simulate the power cord.
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		}
+	}
+	return n, err
 }

@@ -27,11 +27,11 @@ func main() {
 	net := models.LeNet5(models.Config{Classes: 10, QATBits: 4, Seed: 8})
 	fmt.Println("training LeNet-5 (clipped warm-up, then 4-bit QAT)...")
 	models.SetQATRelaxed(net, true)
-	train.Fit(net, trainDS, train.Options{
+	train.MustFit(net, trainDS, train.Options{
 		Epochs: 8, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: 9,
 	})
 	models.SetQATRelaxed(net, false)
-	train.Fit(net, trainDS, train.Options{
+	train.MustFit(net, trainDS, train.Options{
 		Epochs: 4, BatchSize: 16, LR: 0.01, Momentum: 0.9, Seed: 10,
 	})
 

@@ -27,7 +27,7 @@ func main() {
 
 	net := models.ResNet(20, models.Config{Classes: 10, Scale: 0.25, QATBits: 4, Seed: 5})
 	fmt.Println("training ResNet-20 (4-bit QAT)...")
-	train.Fit(net, trainDS, train.Options{
+	train.MustFit(net, trainDS, train.Options{
 		Epochs: 16, BatchSize: 16, LR: 0.02, Momentum: 0.9,
 		Decay: 1e-4, Seed: 6, LRDropEvery: 10, Log: os.Stdout,
 	})
@@ -70,7 +70,7 @@ func main() {
 	odq := core.NewExec(0.25, core.WithoutWeightCache(), core.WithMaskRecording())
 	nn.SetConvTrainExec(net, odq)
 	nn.SetBNFrozen(net, true)
-	train.Fit(net, trainDS, train.Options{
+	train.MustFit(net, trainDS, train.Options{
 		Epochs: 4, BatchSize: 16, LR: 0.005, Momentum: 0.9, Seed: 7,
 	})
 	nn.SetBNFrozen(net, false)

@@ -33,12 +33,12 @@ func main() {
 	// fine-tuning (the stable two-phase QAT recipe).
 	fmt.Println("training (clipped warm-up, then 4-bit QAT)...")
 	models.SetQATRelaxed(net, true)
-	train.Fit(net, trainDS, train.Options{
+	train.MustFit(net, trainDS, train.Options{
 		Epochs: 8, BatchSize: 16, LR: 0.02, Momentum: 0.9,
 		Decay: 1e-4, Seed: 3, Log: os.Stdout,
 	})
 	models.SetQATRelaxed(net, false)
-	train.Fit(net, trainDS, train.Options{
+	train.MustFit(net, trainDS, train.Options{
 		Epochs: 4, BatchSize: 16, LR: 0.01, Momentum: 0.9,
 		Decay: 1e-4, Seed: 4, Log: os.Stdout,
 	})
@@ -56,7 +56,7 @@ func main() {
 	fmt.Println("fine-tuning with the ODQ forward (threshold 0.25)...")
 	nn.SetConvTrainExec(net, odq)
 	nn.SetBNFrozen(net, true)
-	train.Fit(net, trainDS, train.Options{
+	train.MustFit(net, trainDS, train.Options{
 		Epochs: 2, BatchSize: 16, LR: 0.005, Momentum: 0.9, Seed: 4,
 	})
 	nn.SetBNFrozen(net, false)

@@ -25,7 +25,7 @@ func main() {
 	net := models.ResNet(20, models.Config{Classes: 10, Scale: 0.25, QATBits: 4, Seed: 9})
 
 	fmt.Println("training (4-bit QAT)...")
-	train.Fit(net, trainDS, train.Options{
+	train.MustFit(net, trainDS, train.Options{
 		Epochs: 12, BatchSize: 16, LR: 0.02, Momentum: 0.9,
 		Decay: 1e-4, Seed: 10, LRDropEvery: 8,
 	})
@@ -52,7 +52,7 @@ func main() {
 	retrain := func(th float32) {
 		nn.SetConvTrainExec(net, e)
 		nn.SetBNFrozen(net, true)
-		train.Fit(net, trainDS, train.Options{
+		train.MustFit(net, trainDS, train.Options{
 			Epochs: 1, BatchSize: 16, LR: 0.005, Momentum: 0.9, Seed: 11,
 		})
 		nn.SetBNFrozen(net, false)

@@ -13,12 +13,24 @@ type Augmenter struct {
 	// Flip enables random horizontal flips.
 	Flip bool
 
-	rng *tensor.RNG
+	seed int64
+	rng  *tensor.RNG
 }
 
 // NewAugmenter builds a deterministic augmenter.
 func NewAugmenter(pad int, flip bool, seed int64) *Augmenter {
-	return &Augmenter{Pad: pad, Flip: flip, rng: tensor.NewRNG(seed)}
+	return &Augmenter{Pad: pad, Flip: flip, seed: seed, rng: tensor.NewRNG(seed)}
+}
+
+// SeedEpoch rewinds the augmentation stream to a position derived only
+// from (base seed, epoch). The training loop calls this at every epoch
+// start so the stream consumed during epoch e does not depend on how
+// many draws earlier epochs made — which is what lets a run resumed from
+// an epoch-boundary checkpoint replay the exact augmentations an
+// uninterrupted run would have used.
+func (a *Augmenter) SeedEpoch(epoch int) {
+	// Golden-ratio mixing keeps adjacent epochs' streams uncorrelated.
+	a.rng = tensor.NewRNG(a.seed + int64(epoch)*0x9E3779B9)
 }
 
 // Apply augments a batch [N,C,H,W] in place-ish (returns a new tensor;

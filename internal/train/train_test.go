@@ -64,7 +64,7 @@ func TestFitLearnsTinyProblem(t *testing.T) {
 		nn.NewGlobalAvgPool2D("gap"),
 		nn.NewLinear("fc", 16, 4, rng),
 	)
-	hist := Fit(net, ds, Options{Epochs: 6, BatchSize: 16, LR: 0.1, Seed: 3})
+	hist := MustFit(net, ds, Options{Epochs: 6, BatchSize: 16, LR: 0.1, Seed: 3})
 	first, last := hist.Loss[0], hist.Loss[len(hist.Loss)-1]
 	if last >= first {
 		t.Fatalf("loss did not drop: %v -> %v", first, last)
@@ -81,7 +81,7 @@ func TestQATModelTrains(t *testing.T) {
 	rng := tensor.NewRNG(7)
 	_ = rng
 	net := models.ResNet(20, cfg)
-	hist := Fit(net, ds, Options{Epochs: 3, BatchSize: 16, LR: 0.05, Seed: 8})
+	hist := MustFit(net, ds, Options{Epochs: 3, BatchSize: 16, LR: 0.05, Seed: 8})
 	if hist.Loss[len(hist.Loss)-1] >= hist.Loss[0] {
 		t.Fatalf("QAT loss did not drop: %v", hist.Loss)
 	}
@@ -105,7 +105,7 @@ func TestLRSchedule(t *testing.T) {
 		nn.NewLinear("fc", 4, 2, rng),
 	)
 	// Just exercise the schedule path; 4 epochs with drops every 1.
-	Fit(net, ds, Options{Epochs: 4, BatchSize: 4, LR: 0.1, LRDropEvery: 1, Seed: 11})
+	MustFit(net, ds, Options{Epochs: 4, BatchSize: 4, LR: 0.1, LRDropEvery: 1, Seed: 11})
 }
 
 func TestFitWithAugmentation(t *testing.T) {
@@ -118,7 +118,7 @@ func TestFitWithAugmentation(t *testing.T) {
 		nn.NewGlobalAvgPool2D("gap"),
 		nn.NewLinear("fc", 8, 4, rng),
 	)
-	hist := Fit(net, ds, Options{
+	hist := MustFit(net, ds, Options{
 		Epochs: 5, BatchSize: 16, LR: 0.1, Seed: 23,
 		Augment: dataset.NewAugmenter(2, true, 24),
 	})

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Crash-safety smoke test: train, SIGKILL mid-run, resume, and assert the
+# resumed run is bit-identical to one that was never interrupted.
+#
+#   1. Reference run: 2 epochs with per-epoch checkpoints.
+#   2. Crash run: same flags, but -kill-after 1 SIGKILLs the process right
+#      after epoch 1's checkpoint lands (no cleanup runs — the power cord).
+#   3. Resume run: -resume picks the crash run back up for epoch 2.
+#
+# Pass criteria: the resumed checkpoint is byte-for-byte identical to the
+# reference checkpoint, and both runs report the same test accuracy.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/odq-train" ./cmd/odq-train
+
+flags="-model lenet5 -dataset mnist -samples 64 -batch 16 -epochs 2 -ckpt-every 1 -seed 5"
+
+echo "resume_smoke: reference run (uninterrupted)"
+"$tmp/odq-train" $flags -o "$tmp/ref.ckpt" >"$tmp/ref.out" 2>/dev/null
+
+echo "resume_smoke: crash run (SIGKILL after epoch 1)"
+if "$tmp/odq-train" $flags -o "$tmp/crash.ckpt" -kill-after 1 >/dev/null 2>&1; then
+    echo "resume_smoke: FAIL — crash run exited normally instead of being killed" >&2
+    exit 1
+fi
+if [ ! -f "$tmp/crash.ckpt" ]; then
+    echo "resume_smoke: FAIL — no checkpoint survived the kill" >&2
+    exit 1
+fi
+
+echo "resume_smoke: resume run (epoch 2 from the checkpoint)"
+"$tmp/odq-train" $flags -o "$tmp/crash.ckpt" -resume >"$tmp/resume.out" 2>/dev/null
+
+if ! cmp -s "$tmp/ref.ckpt" "$tmp/crash.ckpt"; then
+    echo "resume_smoke: FAIL — resumed checkpoint differs from the uninterrupted one" >&2
+    exit 1
+fi
+
+ref_acc=$(grep '^test accuracy' "$tmp/ref.out")
+res_acc=$(grep '^test accuracy' "$tmp/resume.out")
+if [ "$ref_acc" != "$res_acc" ]; then
+    echo "resume_smoke: FAIL — accuracy mismatch: '$ref_acc' vs '$res_acc'" >&2
+    exit 1
+fi
+
+echo "resume_smoke: OK — resumed run is bit-identical ($ref_acc)"
