@@ -32,6 +32,10 @@ verify:
 	# Crash-safety gate: train, SIGKILL mid-run, resume; the resumed run
 	# must be bit-identical to one that was never interrupted.
 	./scripts/resume_smoke.sh
+	# Serving gate: start odq-serve, concurrent request burst, assert all
+	# 200s with cross-request batching visible on the metrics endpoint,
+	# then a graceful SIGTERM drain.
+	./scripts/serve_smoke.sh
 
 bench:
 	go test -bench=. -benchmem -run '^$$' .

@@ -15,10 +15,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/drq"
+	"repro/internal/infer"
 	"repro/internal/maskio"
 	"repro/internal/models"
-	"repro/internal/nn"
-	"repro/internal/quant"
 	"repro/internal/telemetry/telemetryflag"
 	"repro/internal/train"
 )
@@ -29,7 +28,7 @@ func main() {
 	scale := flag.Float64("width", 0.25, "channel width multiplier (must match the checkpoint)")
 	qatBits := flag.Int("qat", 4, "QAT bit width the model was built with")
 	ckpt := flag.String("ckpt", "", "checkpoint path (empty = randomly initialized)")
-	scheme := flag.String("scheme", "odq", "scheme: float, int16, int8, int4, drq84, drq42, odq")
+	scheme := flag.String("scheme", "odq", "scheme: "+infer.SchemeHelp())
 	threshold := flag.Float64("threshold", 0.5, "ODQ sensitivity threshold")
 	samples := flag.Int("samples", 128, "test samples")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -56,10 +55,8 @@ func main() {
 	default:
 		fail("unknown dataset %q (want c10, c100 or mnist)", *dsName)
 	}
-	switch *scheme {
-	case "float", "int16", "int8", "int4", "drq84", "drq42", "odq":
-	default:
-		fail("unknown scheme %q (want float, int16, int8, int4, drq84, drq42 or odq)", *scheme)
+	if _, err := infer.SchemeByName(*scheme); err != nil {
+		fail("%v", err)
 	}
 	if *dump != "" && *scheme == "float" {
 		fail("the float scheme records no profiles: -dump needs a quantized -scheme")
@@ -81,57 +78,38 @@ func main() {
 		testDS = dataset.SyntheticImages(classes, *samples, 3, 32, 32, *seed+200)
 	}
 
-	net, err := models.Build(*modelName, models.Config{
+	net, err := infer.LoadModel(*modelName, models.Config{
 		Classes: classes, Scale: *scale, QATBits: *qatBits, Seed: *seed,
-	})
+	}, *ckpt)
 	if err != nil {
 		fail("%v", err)
 	}
-	if *ckpt != "" {
-		f, err := os.Open(*ckpt)
-		if err != nil {
-			fail("%v", err)
-		}
-		err = nn.Load(f, net)
-		f.Close()
-		if err != nil {
-			fail("%v (was the checkpoint trained with different -model/-width/-qat/-dataset flags?)", err)
-		}
-	}
 
-	var profiler interface{ Profiles() []*quant.LayerProfile }
-	switch *scheme {
-	case "float":
-		// No executor: the plain float path.
-	case "int16", "int8", "int4":
-		bits := map[string]int{"int16": 16, "int8": 8, "int4": 4}[*scheme]
-		e := quant.NewStaticExec(bits, quant.WithStaticProfiling())
-		nn.SetConvExec(net, e)
-		profiler = e
-	case "drq84", "drq42":
-		hi, lo := 8, 4
-		if *scheme == "drq42" {
-			hi, lo = 4, 2
-		}
-		e := drq.NewExec(hi, lo, drq.WithProfiling())
-		nn.SetConvExecTail(net, e)
-		profiler = e
-		defer reportDRQ(e)
-	case "odq":
-		opts := []core.Option{core.WithProfiling()}
-		if *dump != "" {
-			opts = append(opts, core.WithMaskRecording())
-		}
-		e := core.NewExec(float32(*threshold), opts...)
-		nn.SetConvExecTail(net, e)
-		profiler = e
-		defer reportODQ(e)
+	opts := []infer.Option{infer.WithThreshold(float32(*threshold)), infer.WithProfiling()}
+	if *dump != "" {
+		opts = append(opts, infer.WithMaskRecording())
+	}
+	sess, err := infer.NewSession(net, *scheme, opts...)
+	if err != nil {
+		fail("%v", err)
 	}
 
 	acc := train.Evaluate(net, testDS, 32)
 	fmt.Printf("scheme=%s accuracy=%.4f\n", *scheme, acc)
 
+	// Per-family precision-mix reports.
+	switch e := sess.Exec().(type) {
+	case *core.Exec:
+		reportODQ(e)
+	case *drq.Exec:
+		reportDRQ(e)
+	}
+
 	if *dump != "" {
+		profiler, ok := sess.Exec().(infer.Profiled)
+		if !ok {
+			fail("scheme %s records no per-layer profiles: -dump is unsupported", *scheme)
+		}
 		f, err := os.Create(*dump)
 		if err != nil {
 			fail("%v", err)

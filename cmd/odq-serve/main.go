@@ -1,0 +1,168 @@
+// Command odq-serve is the production inference service: it loads a
+// checkpoint into a resident infer.Session and serves an HTTP/JSON API
+// with cross-request dynamic batching, bounded-queue admission control,
+// hot weight reload (POST /v1/reload or SIGHUP) and graceful drain on
+// SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	odq-serve -model resnet20 -dataset c10 -ckpt resnet20.ckpt \
+//	    -scheme odq -threshold 0.5 -addr :8080 -debug-addr :6060
+//
+// API:
+//
+//	POST /v1/infer   {"input":[...C*H*W floats...]} → class + logits
+//	POST /v1/reload  {"path":"new.ckpt"}            → new generation
+//	GET  /v1/status  serving counters
+//	GET  /healthz    liveness (503 while draining)
+//
+// Metrics (request-latency and batch-size histograms, per-model QPS,
+// queue depth), traces and pprof live on -debug-addr.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/infer"
+	"repro/internal/models"
+	"repro/internal/serve"
+	"repro/internal/telemetry/telemetryflag"
+)
+
+func main() {
+	modelName := flag.String("model", "resnet20", "model architecture (must match the checkpoint)")
+	dsName := flag.String("dataset", "c10", "dataset the model was trained for: c10, c100 or mnist (fixes input shape and classes)")
+	scale := flag.Float64("width", 0.25, "channel width multiplier (must match the checkpoint)")
+	qatBits := flag.Int("qat", 4, "QAT bit width the model was built with")
+	ckpt := flag.String("ckpt", "", "checkpoint path (empty = randomly initialized; also the SIGHUP reload default)")
+	scheme := flag.String("scheme", "odq", "scheme: "+infer.SchemeHelp())
+	threshold := flag.Float64("threshold", 0.5, "ODQ sensitivity threshold")
+	seed := flag.Int64("seed", 1, "init seed when no checkpoint is given")
+	addr := flag.String("addr", "127.0.0.1:8080", "serving address (use :0 for an ephemeral port; the bound address is printed)")
+	maxBatch := flag.Int("max-batch", 16, "flush a batch at this many requests")
+	batchDeadline := flag.Duration("batch-deadline", 2*time.Millisecond, "flush a non-empty batch this long after its first request")
+	queueDepth := flag.Int("queue-depth", 256, "admission queue bound; overflow gets HTTP 429")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish accepted requests on shutdown")
+	tf := telemetryflag.Register(flag.CommandLine)
+	flag.Parse()
+
+	if *scale <= 0 {
+		fail("-width must be > 0 (got %g)", *scale)
+	}
+	if *qatBits < 0 || *qatBits > 16 {
+		fail("-qat must be in [0,16] (got %d)", *qatBits)
+	}
+	if *threshold < 0 {
+		fail("-threshold must be >= 0 (got %g)", *threshold)
+	}
+	if _, err := infer.SchemeByName(*scheme); err != nil {
+		fail("%v", err)
+	}
+
+	classes, c, h, w := 10, 3, 32, 32
+	switch *dsName {
+	case "c10":
+	case "c100":
+		classes = 100
+	case "mnist":
+		c, h, w = 1, 28, 28
+	default:
+		fail("unknown dataset %q (want c10, c100 or mnist)", *dsName)
+	}
+
+	flushTelemetry, err := tf.Activate()
+	if err != nil {
+		fail("%v", err)
+	}
+
+	model, err := infer.LoadModel(*modelName, models.Config{
+		Classes: classes, Scale: *scale, QATBits: *qatBits, Seed: *seed,
+	}, *ckpt)
+	if err != nil {
+		fail("%v", err)
+	}
+	sess, err := infer.NewSession(model, *scheme, infer.WithThreshold(float32(*threshold)))
+	if err != nil {
+		fail("%v", err)
+	}
+
+	srv, err := serve.New(sess, serve.Config{
+		ModelName: *modelName,
+		InputC:    c, InputH: h, InputW: w,
+		MaxBatch:      *maxBatch,
+		BatchDeadline: *batchDeadline,
+		QueueDepth:    *queueDepth,
+		CkptPath:      *ckpt,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("%v", err)
+	}
+	// The bound address line is load-bearing: scripts/serve_smoke.sh
+	// parses it to find the ephemeral port behind -addr :0.
+	fmt.Fprintf(os.Stderr, "odq-serve: listening on http://%s (model=%s scheme=%s input=%dx%dx%d max-batch=%d deadline=%v)\n",
+		ln.Addr(), *modelName, *scheme, c, h, w, *maxBatch, *batchDeadline)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	for {
+		select {
+		case err := <-serveErr:
+			fail("%v", err)
+		case sig := <-sigs:
+			if sig == syscall.SIGHUP {
+				// Hot reload from the configured default checkpoint.
+				gen, err := srv.Reload("")
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "odq-serve: SIGHUP reload failed: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "odq-serve: SIGHUP reload ok, weight generation %d\n", gen)
+				}
+				continue
+			}
+			// Graceful drain: stop admission, finish every accepted
+			// request, then close the HTTP side.
+			fmt.Fprintf(os.Stderr, "odq-serve: %v received, draining (timeout %v)\n", sig, *drainTimeout)
+			if err := srv.Drain(*drainTimeout); err != nil {
+				fmt.Fprintf(os.Stderr, "odq-serve: %v\n", err)
+				os.Exit(1)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			err := httpSrv.Shutdown(ctx)
+			cancel()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "odq-serve: http shutdown: %v\n", err)
+			}
+			st := srv.Stats()
+			fmt.Fprintf(os.Stderr, "odq-serve: drained; served=%d rejected=%d batches=%d mean-batch=%.2f\n",
+				st.Served, st.Rejected, st.Batches, st.MeanBatch)
+			if err := flushTelemetry(); err != nil {
+				fail("%v", err)
+			}
+			return
+		}
+	}
+}
+
+// fail prints a one-line actionable message and exits 1.
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "odq-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

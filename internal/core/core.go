@@ -50,12 +50,15 @@ type Exec struct {
 	bits     int
 	predBits int
 	// threshold is the output-sensitivity threshold in units of each
-	// layer's mean |predictor output| (the paper derives thresholds from
-	// per-layer output distributions and then uses one value for the
-	// whole network, §3/§6.4). An output is sensitive when its
-	// |predictor partial| ≥ threshold × mean; 0 marks everything
-	// sensitive. layerThresholds optionally overrides it per layer for
-	// the per-layer ablation.
+	// sample's mean |predictor output| within the layer (the paper
+	// derives thresholds from per-layer output distributions and then
+	// uses one value for the whole network, §3/§6.4). An output is
+	// sensitive when its |predictor partial| ≥ threshold × mean; 0 marks
+	// everything sensitive. Per-sample normalization makes inference
+	// batch-invariant (a sample's result never depends on its
+	// batch-mates), which the serving layer relies on for bit-identical
+	// dynamic batching. layerThresholds optionally overrides it per
+	// layer for the per-layer ablation.
 	threshold       float32
 	layerThresholds map[string]float32
 	// noWeightCache disables the per-layer weight-code cache; set during
@@ -296,49 +299,58 @@ func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
 	wh, wl := e.weights(layer)
 
 	// Stage 1 — sensitivity prediction: high × high partial only. The
-	// threshold is relative to the layer's mean |predictor output|
-	// (the paper derives its threshold from each layer's output
-	// distribution, §3); this keeps one network-wide threshold value
+	// threshold is relative to each sample's mean |predictor output| in
+	// the layer (the paper derives its threshold from per-layer output
+	// distributions, §3); this keeps one network-wide threshold value
 	// meaningful across layers whose raw output scales differ.
+	// Normalizing per sample (not per batch) makes every sample's mask —
+	// and therefore its output — independent of whatever it happens to
+	// be batched with, so a dynamically batched serving pass is
+	// bit-identical to running each request alone.
 	spPred := telemetry.StartSpan("odq.predictor")
 	g := quant.AccumGeometry(xh, wh, layer.Stride, layer.Pad)
-	total := n * g.TotalOutputs()
+	perSample := g.TotalOutputs()
+	total := n * perSample
 	predAcc := tensor.GetInt64(total)
 	quant.ConvAccumInto(predAcc, xh, wh, layer.Stride, layer.Pad)
 	predScale := xh.Scale * wh.Scale
-	var meanAbs float64
-	for _, a := range predAcc {
-		v := float64(a) * float64(predScale)
-		if v < 0 {
-			v = -v
-		}
-		meanAbs += v
-	}
-	if total > 0 {
-		meanAbs /= float64(total)
-	}
 	th := e.threshold
 	if v, ok := e.layerThresholds[layer.Name]; ok {
 		th = v
 	}
-	cut := float32(meanAbs) * th
 	mask := make([]bool, total)
-	for i, a := range predAcc {
-		v := float32(a) * predScale
-		if v < 0 {
-			v = -v
+	for s := 0; s < n; s++ {
+		seg := predAcc[s*perSample : (s+1)*perSample]
+		var meanAbs float64
+		for _, a := range seg {
+			v := float64(a) * float64(predScale)
+			if v < 0 {
+				v = -v
+			}
+			meanAbs += v
 		}
-		if v >= cut {
-			mask[i] = true
+		if perSample > 0 {
+			meanAbs /= float64(perSample)
+		}
+		cut := float32(meanAbs) * th
+		mseg := mask[s*perSample : (s+1)*perSample]
+		for i, a := range seg {
+			v := float32(a) * predScale
+			if v < 0 {
+				v = -v
+			}
+			if v >= cut {
+				mseg[i] = true
+			}
+		}
+		if e.collectDist {
+			e.sampleDist(seg, predScale, float32(meanAbs))
 		}
 	}
 	// One popcount for everything downstream: the profile record, the
 	// telemetry ratio and the executor cost accounting all read this value
 	// (quant.MaskDensity is the repo's single mask-density helper).
 	sensitive := quant.MaskDensity(mask)
-	if e.collectDist {
-		e.sampleDist(predAcc, predScale, float32(meanAbs))
-	}
 	spPred.End()
 	if telemetry.Enabled() {
 		macsPerOut := int64(g.ColRows())

@@ -295,9 +295,16 @@ func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
 	defer sp.End()
 	mDRQConvs.Inc()
 	n := x.Shape[0]
-	meanAbs := meanMagnitude(x)
-	threshold := e.thresholdScale * meanAbs
-	masks := RegionMask(x, e.regionSize, threshold)
+	// The region threshold is relative to each sample's own mean input
+	// magnitude (not the batch's): a sample's sensitivity map — and so
+	// its output — never depends on what it was batched with, which the
+	// serving layer relies on for bit-identical dynamic batching.
+	masks := make([][]bool, 0, n)
+	for s := 0; s < n; s++ {
+		sample := x.Slice4Batch(s)
+		threshold := e.thresholdScale * meanMagnitude(sample)
+		masks = append(masks, RegionMask(sample, e.regionSize, threshold)...)
+	}
 
 	xHi := maskedCopy(x, masks, true)
 	xLo := maskedCopy(x, masks, false)

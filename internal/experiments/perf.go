@@ -7,13 +7,36 @@ import (
 	"repro/internal/core"
 	"repro/internal/drq"
 	"repro/internal/energy"
+	"repro/internal/infer"
 	"repro/internal/quant"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
-// schemeNames lists the quantization schemes of Figure 18 in render order.
-var schemeNames = []string{"FP32", "INT16", "INT8", "DRQ 8/4", "DRQ 4/2", "ODQ 4/2"}
+// figure18Schemes maps Figure 18's display labels to canonical scheme
+// names in package infer's registry, in render order. Construction goes
+// through infer.NewFromScheme so the experiment can never drift from the
+// CLI scheme set.
+var figure18Schemes = []struct {
+	Label  string
+	Scheme string
+}{
+	{"FP32", "float"},
+	{"INT16", "int16"},
+	{"INT8", "int8"},
+	{"DRQ 8/4", "drq84"},
+	{"DRQ 4/2", "drq42"},
+	{"ODQ 4/2", "odq"},
+}
+
+// schemeNames lists Figure 18's display labels in render order.
+var schemeNames = func() []string {
+	out := make([]string, len(figure18Schemes))
+	for i, s := range figure18Schemes {
+		out[i] = s.Label
+	}
+	return out
+}()
 
 // Figure18Row is one (model, dataset, scheme) accuracy cell.
 type Figure18Row struct {
@@ -45,27 +68,29 @@ func Figure18(l *Lab, modelNames, datasets []string) *Figure18Result {
 		for _, m := range modelNames {
 			tm := l.Model(m, ds)
 			th := l.Threshold(tm)
-			for _, scheme := range schemeNames {
-				row := Figure18Row{Model: m, Dataset: ds, Scheme: scheme, HighFrac: 1}
-				switch scheme {
-				case "FP32":
+			for _, sc := range figure18Schemes {
+				row := Figure18Row{Model: m, Dataset: ds, Scheme: sc.Label, HighFrac: 1}
+				if sc.Scheme == "float" {
 					row.Accuracy = tm.FP32Acc
-				case "INT16":
-					row.Accuracy = l.EvalWithExec(tm, quant.NewStaticExec(16))
-				case "INT8":
-					row.Accuracy = l.EvalWithExec(tm, quant.NewStaticExec(8))
-				case "DRQ 8/4":
-					e := drq.NewExec(8, 4, drq.WithProfiling())
+					r.Rows = append(r.Rows, row)
+					continue
+				}
+				exec, err := infer.NewFromScheme(sc.Scheme, infer.WithThreshold(th), infer.WithProfiling())
+				if err != nil {
+					panic(err) // figure18Schemes holds only registry names
+				}
+				// Eval mode and high-precision share are per-family
+				// reporting concerns: DRQ evaluates on base weights, ODQ
+				// on the threshold-retrained weights.
+				switch e := exec.(type) {
+				case *drq.Exec:
 					row.Accuracy = l.EvalDynamicBase(tm, e)
 					row.HighFrac = highMACFrac(e.Profiles())
-				case "DRQ 4/2":
-					e := drq.NewExec(4, 2, drq.WithProfiling())
-					row.Accuracy = l.EvalDynamicBase(tm, e)
-					row.HighFrac = highMACFrac(e.Profiles())
-				case "ODQ 4/2":
-					e := core.NewExec(th, core.WithProfiling())
+				case *core.Exec:
 					row.Accuracy = l.EvalDynamic(tm, e)
 					row.HighFrac = e.SensitiveFraction()
+				default:
+					row.Accuracy = l.EvalWithExec(tm, exec)
 				}
 				r.Rows = append(r.Rows, row)
 			}

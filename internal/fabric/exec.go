@@ -20,8 +20,9 @@ type Exec struct {
 	// Cfg is the slice configuration (threshold included).
 	Cfg Config
 
-	mu     sync.Mutex
-	wcache map[*nn.Conv2D]*tensor.IntTensor
+	mu       sync.Mutex
+	cacheGen uint64
+	wcache   map[*nn.Conv2D]*tensor.IntTensor
 	// Totals accumulated across layers and samples.
 	TotalCycles     int64
 	TotalDRAMBytes  int64
@@ -32,20 +33,81 @@ type Exec struct {
 	TotalArrayCycle int64
 }
 
-// NewExec builds a fabric-backed executor.
-func NewExec(cfg Config) *Exec {
-	return &Exec{Bits: 4, Cfg: cfg, wcache: make(map[*nn.Conv2D]*tensor.IntTensor)}
+// Option configures a fabric Exec at construction time — the same
+// functional-options construction idiom as the other executors
+// (core.NewExec, quant.NewStaticExec, quant.NewPerChannelExec,
+// drq.NewExec).
+type Option func(*Exec)
+
+// WithConfig sets the slice configuration (threshold included). Without
+// it, New uses DefaultConfig(0): the paper's running-example slice with
+// every output sensitive.
+func WithConfig(cfg Config) Option {
+	return func(e *Exec) { e.Cfg = cfg }
 }
 
+// WithThreshold overrides only the sensitivity threshold of the current
+// configuration.
+func WithThreshold(threshold float32) Option {
+	return func(e *Exec) { e.Cfg.Threshold = threshold }
+}
+
+// WithBits sets the code width (default 4, the paper's).
+func WithBits(bits int) Option {
+	return func(e *Exec) { e.Bits = bits }
+}
+
+// New builds a fabric-backed executor with the paper's running-example
+// slice configuration, modified by the given options.
+func New(opts ...Option) *Exec {
+	e := &Exec{Bits: 4, Cfg: DefaultConfig(0), wcache: make(map[*nn.Conv2D]*tensor.IntTensor)}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// NewExec builds a fabric-backed executor from a bare Config.
+//
+// Deprecated: use New(WithConfig(cfg)) — the functional-options
+// constructor shared by the whole executor family.
+func NewExec(cfg Config) *Exec {
+	return New(WithConfig(cfg))
+}
+
+// weights returns cached integer weight codes for a layer. Quantization
+// runs outside the lock; the result is stored only if no InvalidateCache
+// intervened (generation check), so an in-flight Conv can never
+// re-populate the cache from stale weights.
 func (e *Exec) weights(layer *nn.Conv2D) *tensor.IntTensor {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if q, ok := e.wcache[layer]; ok {
+		e.mu.Unlock()
 		return q
 	}
+	gen := e.cacheGen
+	e.mu.Unlock()
+
 	q := quant.WeightCodes(layer.EffectiveWeight(), e.Bits)
-	e.wcache[layer] = q
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur, ok := e.wcache[layer]; ok {
+		return cur
+	}
+	if e.cacheGen == gen {
+		e.wcache[layer] = q
+	}
 	return q
+}
+
+// InvalidateCache drops cached weight codes (call after weight mutation,
+// before new Conv calls — the executor-family contract).
+func (e *Exec) InvalidateCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cacheGen++
+	e.wcache = make(map[*nn.Conv2D]*tensor.IntTensor)
 }
 
 // Conv implements nn.ConvExecutor by pushing each sample through RunConv.

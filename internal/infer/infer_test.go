@@ -1,0 +1,127 @@
+package infer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func testNet(t *testing.T, seed int64) *nn.Sequential {
+	t.Helper()
+	net, err := models.Build("lenet5", models.Config{Classes: 10, Scale: 0.25, QATBits: 4, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func testInput(n int, seed int64) *tensor.Tensor {
+	x := tensor.New(n, 1, 28, 28)
+	rng := tensor.NewRNG(seed)
+	rng.FillUniform(x, 0, 1)
+	return x
+}
+
+func TestNewFromSchemeUnknownErrors(t *testing.T) {
+	if _, err := NewFromScheme("int7"); err == nil {
+		t.Fatal("unknown scheme must error, not panic")
+	} else if !strings.Contains(err.Error(), "odq") {
+		t.Fatalf("error should list valid names, got: %v", err)
+	}
+}
+
+func TestNewFromSchemeFloatIsNil(t *testing.T) {
+	e, err := NewFromScheme("float")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != nil {
+		t.Fatal("float scheme must yield a nil executor (plain float path)")
+	}
+}
+
+func TestNewFromSchemeBuildsEveryScheme(t *testing.T) {
+	for _, name := range SchemeNames() {
+		e, err := NewFromScheme(name, WithThreshold(0.5), WithProfiling())
+		if err != nil {
+			t.Fatalf("scheme %s: %v", name, err)
+		}
+		if name != "float" && e == nil {
+			t.Fatalf("scheme %s: nil executor", name)
+		}
+	}
+}
+
+func TestSchemeODQThresholdApplied(t *testing.T) {
+	e, err := NewFromScheme("odq", WithThreshold(0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	odq, ok := e.(*core.Exec)
+	if !ok {
+		t.Fatalf("odq scheme built %T", e)
+	}
+	if odq.Threshold() != 0.7 {
+		t.Fatalf("threshold not applied: got %g", odq.Threshold())
+	}
+}
+
+// TestSessionMatchesManualConstruction pins that the factory+session path
+// is the same computation as the hand-constructed executor install the
+// CLIs used to do.
+func TestSessionMatchesManualConstruction(t *testing.T) {
+	for _, scheme := range []string{"float", "int8", "int8pc", "drq84", "odq"} {
+		netA := testNet(t, 3)
+		netB := testNet(t, 3)
+		x := testInput(2, 7)
+
+		sess, err := NewSession(netA, scheme, WithThreshold(0.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sess.Forward(x)
+
+		execB, err := NewFromScheme(scheme, WithThreshold(0.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, _ := SchemeByName(scheme)
+		Install(netB, sb, execB)
+		want := netB.Forward(x, false)
+
+		if tensor.MaxAbsDiff(got, want) != 0 {
+			t.Fatalf("scheme %s: session output differs from manual construction", scheme)
+		}
+	}
+}
+
+// TestForwardBatchInvariance pins the property dynamic batching relies
+// on: running a sample alone is bit-identical to running it inside any
+// batch, for every scheme. (The ODQ predictor and the DRQ region
+// threshold normalize per sample, activations quantize on a fixed grid,
+// and all kernels accumulate per-row in a batch-independent order.)
+func TestForwardBatchInvariance(t *testing.T) {
+	for _, scheme := range []string{"float", "int8", "int8pc", "drq84", "drq42", "odq"} {
+		net := testNet(t, 5)
+		sess, err := NewSession(net, scheme, WithThreshold(0.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := testInput(6, 11)
+		batched := sess.Forward(batch)
+		classes := batched.Shape[1]
+		for s := 0; s < batch.Shape[0]; s++ {
+			single := sess.Forward(batch.Slice4Batch(s))
+			for j := 0; j < classes; j++ {
+				if single.Data[j] != batched.Data[s*classes+j] {
+					t.Fatalf("scheme %s: sample %d logit %d differs batched vs alone (%g vs %g)",
+						scheme, s, j, batched.Data[s*classes+j], single.Data[j])
+				}
+			}
+		}
+	}
+}

@@ -69,8 +69,9 @@ type PerChannelExec struct {
 	bits int
 	Profiler
 
-	mu     sync.Mutex
-	wcache map[*nn.Conv2D]perChanWeights
+	mu       sync.Mutex
+	cacheGen uint64
+	wcache   map[*nn.Conv2D]perChanWeights
 }
 
 type perChanWeights struct {
@@ -101,16 +102,47 @@ func NewPerChannelExec(bits int, opts ...PerChannelOption) *PerChannelExec {
 // Bits returns the configured bit width.
 func (e *PerChannelExec) Bits() int { return e.bits }
 
-// Conv implements nn.ConvExecutor.
-func (e *PerChannelExec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
+// weightCodes returns the cached per-channel codes for a layer.
+// Quantization runs outside the lock; the result is stored only if no
+// InvalidateCache intervened (generation check), so an in-flight Conv can
+// never re-populate the cache from stale weights — the same contract as
+// the other executors' weight caches.
+func (e *PerChannelExec) weightCodes(layer *nn.Conv2D) perChanWeights {
 	e.mu.Lock()
-	w, ok := e.wcache[layer]
-	if !ok {
-		codes, scales := WeightCodesPerChannel(layer.EffectiveWeight(), e.bits)
-		w = perChanWeights{codes: codes, scales: scales}
+	if w, ok := e.wcache[layer]; ok {
+		e.mu.Unlock()
+		return w
+	}
+	gen := e.cacheGen
+	e.mu.Unlock()
+
+	codes, scales := WeightCodesPerChannel(layer.EffectiveWeight(), e.bits)
+	w := perChanWeights{codes: codes, scales: scales}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur, ok := e.wcache[layer]; ok {
+		return cur
+	}
+	if e.cacheGen == gen {
 		e.wcache[layer] = w
 	}
-	e.mu.Unlock()
+	return w
+}
+
+// InvalidateCache drops cached weight codes. Call it after every weight
+// mutation BEFORE issuing new Conv calls; generation tracking keeps
+// in-flight Conv calls from re-populating the cache with stale codes.
+func (e *PerChannelExec) InvalidateCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cacheGen++
+	e.wcache = make(map[*nn.Conv2D]perChanWeights)
+}
+
+// Conv implements nn.ConvExecutor.
+func (e *PerChannelExec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
+	w := e.weightCodes(layer)
 	qx := ActCodes(x, e.bits)
 	acc, g := ConvAccum(qx, w.codes, layer.Stride, layer.Pad)
 	n := x.Shape[0]

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// InferRequest is the POST /v1/infer body: one sample per request (the
+// server batches across requests, not within them).
+type InferRequest struct {
+	// Input is the flattened C*H*W input in NCHW order.
+	Input []float32 `json:"input"`
+}
+
+// InferResponse is the POST /v1/infer answer.
+type InferResponse struct {
+	Class      int       `json:"class"`
+	Logits     []float32 `json:"logits"`
+	BatchSize  int       `json:"batch_size"`
+	Generation uint64    `json:"generation"`
+	LatencyMS  float64   `json:"latency_ms"`
+}
+
+// ReloadRequest is the POST /v1/reload body.
+type ReloadRequest struct {
+	// Path of the checkpoint to load; empty uses the server's configured
+	// default.
+	Path string `json:"path"`
+}
+
+// ReloadResponse reports the weight generation after a reload.
+type ReloadResponse struct {
+	Generation uint64 `json:"generation"`
+}
+
+// StatusResponse is the GET /v1/status body.
+type StatusResponse struct {
+	Model           string  `json:"model"`
+	Scheme          string  `json:"scheme"`
+	InputShape      [3]int  `json:"input_shape"`
+	Classes         int     `json:"classes"`
+	Generation      uint64  `json:"generation"`
+	Served          int64   `json:"served"`
+	Rejected        int64   `json:"rejected"`
+	Batches         int64   `json:"batches"`
+	MeanBatch       float64 `json:"mean_batch"`
+	QueueDepth      int     `json:"queue_depth"`
+	QueueCap        int     `json:"queue_cap"`
+	MaxBatch        int     `json:"max_batch"`
+	BatchDeadlineMS float64 `json:"batch_deadline_ms"`
+	Draining        bool    `json:"draining"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service API:
+//
+//	POST /v1/infer   one sample in, class + logits out (dynamically batched)
+//	POST /v1/reload  hot-swap weights from a checkpoint
+//	GET  /v1/status  serving counters and model identity
+//	GET  /healthz    liveness (503 while draining)
+//
+// Metrics, traces and pprof live on the separate -debug-addr server
+// (telemetry.DebugMux), keeping the serving port minimal.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", s.handleInfer)
+	mux.HandleFunc("/v1/reload", s.handleReload)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // response already committed
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req InferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Submit(req.Input)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure: the bounded queue is the admission control.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	select {
+	case res := <-resp:
+		writeJSON(w, http.StatusOK, InferResponse{
+			Class:      res.Class,
+			Logits:     res.Logits,
+			BatchSize:  res.BatchSize,
+			Generation: res.Generation,
+			LatencyMS:  float64(res.Latency) / float64(time.Millisecond),
+		})
+	case <-r.Context().Done():
+		// Client went away; the batcher's buffered send still succeeds.
+		writeError(w, http.StatusServiceUnavailable, r.Context().Err())
+	}
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req ReloadRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	gen, err := s.Reload(req.Path)
+	if err != nil {
+		if errors.Is(err, ErrDraining) {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{Generation: gen})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	writeJSON(w, http.StatusOK, StatusResponse{
+		Model:           s.cfg.ModelName,
+		Scheme:          s.sess.Scheme(),
+		InputShape:      [3]int{s.cfg.InputC, s.cfg.InputH, s.cfg.InputW},
+		Classes:         s.classes,
+		Generation:      s.sess.Generation(),
+		Served:          st.Served,
+		Rejected:        st.Rejected,
+		Batches:         st.Batches,
+		MeanBatch:       st.MeanBatch,
+		QueueDepth:      st.QueueDepth,
+		QueueCap:        st.QueueCap,
+		MaxBatch:        s.cfg.MaxBatch,
+		BatchDeadlineMS: float64(s.cfg.BatchDeadline) / float64(time.Millisecond),
+		Draining:        s.Draining(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n")) //nolint:errcheck // best-effort liveness probe
+}

@@ -1,0 +1,387 @@
+// Package serve is the production inference service over a resident
+// infer.Session: cross-request dynamic batching (collect requests up to a
+// deadline or a max batch, run ONE batched executor pass, scatter the
+// per-request results), admission control with a bounded queue and
+// backpressure, graceful drain, and hot model reload built on the
+// executors' generation-checked weight-cache invalidation.
+//
+// Correctness rests on a property pinned in package infer: inference is
+// batch-invariant (the ODQ predictor and the DRQ region threshold
+// normalize per sample), so a batched pass is bit-identical to running
+// every request alone — batching changes latency and throughput, never
+// answers.
+//
+// Concurrency model: HTTP handlers only enqueue; one batcher goroutine
+// owns the session and performs every Forward and every reload, so
+// weight swaps never race an in-flight pass.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/infer"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// Admission errors, mapped to HTTP status codes by the handler layer.
+var (
+	// ErrQueueFull means the bounded admission queue is at capacity:
+	// backpressure, retry later (HTTP 429).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrDraining means the server is shutting down and accepts no new
+	// work (HTTP 503).
+	ErrDraining = errors.New("serve: draining, not accepting requests")
+)
+
+// Config sizes the serving loop. Zero values take the stated defaults.
+type Config struct {
+	// ModelName labels telemetry (the per-model QPS gauge) and status
+	// output. Default "model".
+	ModelName string
+	// InputC/H/W is the accepted input shape; every request must carry
+	// exactly C*H*W values.
+	InputC, InputH, InputW int
+	// MaxBatch flushes a batch when this many requests are collected
+	// (default 16).
+	MaxBatch int
+	// BatchDeadline flushes a non-empty batch this long after its first
+	// request was dequeued (default 2ms). A lone request therefore waits
+	// at most BatchDeadline before executing.
+	BatchDeadline time.Duration
+	// QueueDepth bounds the admission queue; submissions beyond it get
+	// ErrQueueFull (default 256).
+	QueueDepth int
+	// CkptPath is the default checkpoint for reloads that name no path
+	// (the SIGHUP path in odq-serve).
+	CkptPath string
+}
+
+func (c Config) withDefaults() Config {
+	if c.ModelName == "" {
+		c.ModelName = "model"
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.BatchDeadline <= 0 {
+		c.BatchDeadline = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// Result is one request's answer.
+type Result struct {
+	// Class is the argmax class index.
+	Class int
+	// Logits is the request's full logit row.
+	Logits []float32
+	// BatchSize is how many requests shared the executor pass.
+	BatchSize int
+	// Generation is the weight generation that produced the answer.
+	Generation uint64
+	// Latency is enqueue-to-scatter time.
+	Latency time.Duration
+}
+
+// pending is one admitted request waiting for its batch.
+type pending struct {
+	x    []float32
+	enq  time.Time
+	resp chan Result
+}
+
+type reloadReq struct {
+	path string
+	err  chan error
+}
+
+// Server owns a resident session and batches requests onto it.
+type Server struct {
+	cfg     Config
+	sess    *infer.Session
+	classes int
+
+	mu       sync.RWMutex // guards draining vs. enqueue/close ordering
+	draining bool
+
+	queue   chan *pending
+	reloads chan reloadReq
+	done    chan struct{} // closed when the batcher exits
+
+	// Plain stats, live regardless of telemetry enablement (Status and
+	// the tests read these; telemetry mirrors them when enabled).
+	served   atomic.Int64
+	rejected atomic.Int64
+	batches  atomic.Int64
+	batchSum atomic.Int64
+
+	// Telemetry instruments (per-model QPS gauge name depends on config,
+	// so handles live on the server, bound at New).
+	mRequests  *telemetry.Counter
+	mRejected  *telemetry.Counter
+	mBatches   *telemetry.Counter
+	mReloads   *telemetry.Counter
+	hLatencyMS *telemetry.Histogram
+	hBatchSize *telemetry.Histogram
+	gQueue     *telemetry.Gauge
+	gQPS       *telemetry.Gauge
+}
+
+// New builds a server over a resident session and warms it up: one
+// batch-1 forward packs every layer's weight codes and tells the server
+// the classifier width. Call Start to begin serving.
+func New(sess *infer.Session, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.InputC <= 0 || cfg.InputH <= 0 || cfg.InputW <= 0 {
+		return nil, fmt.Errorf("serve: input shape %dx%dx%d invalid", cfg.InputC, cfg.InputH, cfg.InputW)
+	}
+	probe := sess.Forward(tensor.New(1, cfg.InputC, cfg.InputH, cfg.InputW))
+	if probe.Rank() != 2 {
+		return nil, fmt.Errorf("serve: model output rank %d, want 2 (logits)", probe.Rank())
+	}
+	s := &Server{
+		cfg:     cfg,
+		sess:    sess,
+		classes: probe.Shape[1],
+		queue:   make(chan *pending, cfg.QueueDepth),
+		reloads: make(chan reloadReq),
+		done:    make(chan struct{}),
+
+		mRequests:  telemetry.GetCounter("serve.requests"),
+		mRejected:  telemetry.GetCounter("serve.rejected"),
+		mBatches:   telemetry.GetCounter("serve.batches"),
+		mReloads:   telemetry.GetCounter("serve.reloads"),
+		hLatencyMS: telemetry.GetHistogram("serve.request_latency_ms", telemetry.ExpBuckets(0.1, 2, 18)),
+		hBatchSize: telemetry.GetHistogram("serve.batch_size", telemetry.LinearBuckets(1, 1, 64)),
+		gQueue:     telemetry.GetGauge("serve.queue_depth"),
+		gQPS:       telemetry.GetGauge("serve.qps." + cfg.ModelName),
+	}
+	return s, nil
+}
+
+// Session returns the underlying resident session.
+func (s *Server) Session() *infer.Session { return s.sess }
+
+// Classes returns the classifier width discovered at warmup.
+func (s *Server) Classes() int { return s.classes }
+
+// Start launches the batcher and the QPS sampler.
+func (s *Server) Start() {
+	go s.run()
+	go s.sampleQPS()
+}
+
+// Submit admits one request (input length must be exactly C*H*W) and
+// returns a channel that receives exactly one Result once its batch has
+// executed. ErrQueueFull and ErrDraining signal backpressure and
+// shutdown; the caller maps them to 429/503.
+func (s *Server) Submit(x []float32) (<-chan Result, error) {
+	if want := s.cfg.InputC * s.cfg.InputH * s.cfg.InputW; len(x) != want {
+		return nil, fmt.Errorf("serve: input has %d values, want %d (%dx%dx%d)",
+			len(x), want, s.cfg.InputC, s.cfg.InputH, s.cfg.InputW)
+	}
+	p := &pending{x: x, enq: time.Now(), resp: make(chan Result, 1)}
+	// The RLock pairs with Drain's Lock: draining is never set between
+	// our check and our send, so no send can follow close(s.queue).
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- p:
+		s.mRequests.Inc()
+		s.gQueue.Set(float64(len(s.queue)))
+		return p.resp, nil
+	default:
+		s.rejected.Add(1)
+		s.mRejected.Inc()
+		return nil, ErrQueueFull
+	}
+}
+
+// Reload asks the batcher to hot-swap weights from the checkpoint at
+// path (empty = the configured default) between batches, so a swap never
+// races an executor pass. Returns the new weight generation.
+func (s *Server) Reload(path string) (uint64, error) {
+	if path == "" {
+		path = s.cfg.CkptPath
+	}
+	if path == "" {
+		return 0, errors.New("serve: no checkpoint path to reload from")
+	}
+	req := reloadReq{path: path, err: make(chan error, 1)}
+	select {
+	case s.reloads <- req:
+	case <-s.done:
+		return 0, ErrDraining
+	}
+	if err := <-req.err; err != nil {
+		return 0, err
+	}
+	return s.sess.Generation(), nil
+}
+
+// Drain stops admission (new Submits get ErrDraining), lets the batcher
+// finish every already-accepted request, and returns when the batcher
+// has exited or the timeout elapsed.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+	select {
+	case <-s.done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("serve: drain timed out after %v", timeout)
+	}
+}
+
+// Draining reports whether the server has stopped admission.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// Stats is a point-in-time view of the serving counters.
+type Stats struct {
+	Served, Rejected, Batches int64
+	MeanBatch                 float64
+	QueueDepth, QueueCap      int
+}
+
+// Stats returns the live counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Served:     s.served.Load(),
+		Rejected:   s.rejected.Load(),
+		Batches:    s.batches.Load(),
+		QueueDepth: len(s.queue),
+		QueueCap:   s.cfg.QueueDepth,
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(s.batchSum.Load()) / float64(st.Batches)
+	}
+	return st
+}
+
+// run is the batcher: the single goroutine that owns the session.
+func (s *Server) run() {
+	defer close(s.done)
+	for {
+		select {
+		case r := <-s.reloads:
+			s.reload(r)
+		case p, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			if closed := s.runBatch(p); closed {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) reload(r reloadReq) {
+	sp := telemetry.StartSpan("serve.reload")
+	err := s.sess.ReloadFile(r.path)
+	sp.End()
+	if err == nil {
+		s.mReloads.Inc()
+	}
+	r.err <- err
+}
+
+// runBatch collects up to MaxBatch requests (waiting at most
+// BatchDeadline past the first), executes one batched pass, and scatters
+// the results. Returns true when the queue was closed (drain): the
+// current batch still executes — drain completes all accepted work.
+func (s *Server) runBatch(first *pending) (closed bool) {
+	spCollect := telemetry.StartSpan("serve.collect")
+	batch := append(make([]*pending, 0, s.cfg.MaxBatch), first)
+	deadline := time.NewTimer(s.cfg.BatchDeadline)
+collect:
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case p, ok := <-s.queue:
+			if !ok {
+				closed = true
+				break collect
+			}
+			batch = append(batch, p)
+		case <-deadline.C:
+			break collect
+		}
+	}
+	deadline.Stop()
+	s.gQueue.Set(float64(len(s.queue)))
+	spCollect.End()
+
+	n := len(batch)
+	per := s.cfg.InputC * s.cfg.InputH * s.cfg.InputW
+	x := tensor.New(n, s.cfg.InputC, s.cfg.InputH, s.cfg.InputW)
+	for i, p := range batch {
+		copy(x.Data[i*per:(i+1)*per], p.x)
+	}
+
+	spExec := telemetry.StartSpan("serve.execute")
+	logits := s.sess.Forward(x)
+	spExec.End()
+
+	spScatter := telemetry.StartSpan("serve.scatter")
+	gen := s.sess.Generation()
+	now := time.Now()
+	preds := logits.ArgmaxRows()
+	for i, p := range batch {
+		row := make([]float32, s.classes)
+		copy(row, logits.Data[i*s.classes:(i+1)*s.classes])
+		lat := now.Sub(p.enq)
+		s.hLatencyMS.Observe(float64(lat) / float64(time.Millisecond))
+		p.resp <- Result{
+			Class:      preds[i],
+			Logits:     row,
+			BatchSize:  n,
+			Generation: gen,
+			Latency:    lat,
+		}
+	}
+	spScatter.End()
+
+	s.served.Add(int64(n))
+	s.batches.Add(1)
+	s.batchSum.Add(int64(n))
+	s.mBatches.Inc()
+	s.hBatchSize.Observe(float64(n))
+	return closed
+}
+
+// sampleQPS publishes the per-model QPS gauge once a second until drain.
+func (s *Server) sampleQPS() {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	last := int64(0)
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tick.C:
+			cur := s.served.Load()
+			s.gQPS.Set(float64(cur - last))
+			last = cur
+		}
+	}
+}

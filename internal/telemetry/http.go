@@ -47,13 +47,15 @@ func DebugMux() *http.ServeMux {
 
 // ServeDebug starts the debug server on addr in a background goroutine
 // (the CLI -debug-addr flag) and returns it; callers may Close it to stop.
-// Listening errors are returned synchronously.
+// Listening errors are returned synchronously. The returned server's Addr
+// holds the actually bound address, so ":0" callers can discover their
+// ephemeral port.
 func ServeDebug(addr string) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: DebugMux()}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: DebugMux()}
 	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
 	return srv, nil
 }

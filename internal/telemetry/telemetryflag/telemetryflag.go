@@ -46,10 +46,13 @@ func (f *Flags) Activate() (flush func() error, err error) {
 	}
 	telemetry.Enable()
 	if f.DebugAddr != "" {
-		if _, err := telemetry.ServeDebug(f.DebugAddr); err != nil {
+		srv, err := telemetry.ServeDebug(f.DebugAddr)
+		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "telemetry: debug server listening on %s (try /debug/vars, /debug/trace, /debug/pprof)\n", f.DebugAddr)
+		// srv.Addr is the actually bound address, so ":0" callers (the
+		// serve smoke test) learn their ephemeral port from this line.
+		fmt.Fprintf(os.Stderr, "telemetry: debug server listening on %s (try /debug/vars, /debug/trace, /debug/pprof)\n", srv.Addr)
 	}
 	return f.flush, nil
 }
