@@ -1,4 +1,4 @@
-.PHONY: all build test vet race verify bench snapshot bench-train bench-telemetry profile
+.PHONY: all build test vet race verify verify-quick bench snapshot bench-train bench-telemetry bench-bitplane bench-compare profile
 
 all: build
 
@@ -14,28 +14,16 @@ vet:
 race:
 	go test -race -timeout 90m ./...
 
-# The verification gate for this repo: vet, build, race-enabled tests.
-# The experiments package runs training loops; under the race detector on a
-# small machine it can exceed the default 10m per-package timeout.
+# The full verification gate for this repo. verify.sh is the single source
+# of truth for what it runs (the full CI tier executes the same script).
 verify:
+	./verify.sh
+
+# Fast local gate matching the CI PR tier: vet, build, short tests.
+verify-quick:
 	go vet ./...
 	go build ./...
-	# Fast early gate: the telemetry layer and the kernels it instruments
-	# are the most concurrency-sensitive packages; shake them under the
-	# race detector before the long full-tree pass.
-	go test -race -count=1 ./internal/telemetry ./internal/tensor
-	go test -race -timeout 90m ./...
-	# Build-only smoke for the benchmark snapshot harnesses: without their
-	# env gates the snapshot tests compile, link and skip — CI never
-	# depends on timing.
-	go test -run 'TestODQConvBenchSnapshot|TestTrainGemmBenchSnapshot|TestTelemetryBenchSnapshot' -count=1 .
-	# Crash-safety gate: train, SIGKILL mid-run, resume; the resumed run
-	# must be bit-identical to one that was never interrupted.
-	./scripts/resume_smoke.sh
-	# Serving gate: start odq-serve, concurrent request burst, assert all
-	# 200s with cross-request batching visible on the metrics endpoint,
-	# then a graceful SIGTERM drain.
-	./scripts/serve_smoke.sh
+	go test -short -timeout 15m ./...
 
 bench:
 	go test -bench=. -benchmem -run '^$$' .
@@ -55,6 +43,18 @@ bench-train:
 # overhead on the QAT-step and ODQ-conv hot paths.
 bench-telemetry:
 	TELEMETRY_BENCH_SNAPSHOT=1 go test -run TestTelemetryBenchSnapshot -v .
+
+# Regenerate the committed bitplane snapshot (BENCH_bitplane.json):
+# bitplane vs int-GEMM predictor micro-kernels, sparse/legacy/dense
+# executor at swept sensitivities, and the packed-domain pipeline vs the
+# float round-trip path.
+bench-bitplane:
+	BITPLANE_BENCH_SNAPSHOT=1 go test -run TestBitplaneBenchSnapshot -timeout 60m -v .
+
+# Compare fresh benchmark snapshot runs against the committed BENCH_*.json
+# files (informational; see scripts/bench_compare.sh).
+bench-compare:
+	./scripts/bench_compare.sh
 
 # Profile a short experiment run end to end: CPU profile + Chrome trace
 # (load trace.json at https://ui.perfetto.dev), then the top-10 hottest

@@ -1,0 +1,123 @@
+// Command odq-benchcmp diffs two benchmark snapshot JSON files (the
+// committed BENCH_*.json baselines against a fresh run). It walks both
+// documents, pairs every numeric leaf whose key carries a nanosecond
+// metric ("ns_per_op", "disabled_ns", ...), and prints a table of
+// old/new/delta. Exit status is 1 when any metric slowed down by more
+// than the tolerance — callers that only want the report (CI's
+// informational tier) ignore the status.
+//
+// Usage: odq-benchcmp [-tol 0.5] old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "odq-benchcmp: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// nsMetric reports whether a JSON object key names a nanosecond timing.
+func nsMetric(key string) bool {
+	return strings.HasSuffix(key, "_ns") || strings.Contains(key, "ns_per_op")
+}
+
+// collect flattens a decoded JSON tree into path → value for every
+// nanosecond metric leaf. Array elements use their index; regeneration is
+// deterministic in ordering, so indices pair up across runs.
+func collect(path string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if path != "" {
+				p = path + "." + k
+			}
+			if f, ok := t[k].(float64); ok && nsMetric(k) {
+				out[p] = f
+				continue
+			}
+			collect(p, t[k], out)
+		}
+	case []any:
+		for i, e := range t {
+			collect(fmt.Sprintf("%s[%d]", path, i), e, out)
+		}
+	}
+}
+
+func load(path string) map[string]float64 {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fail("%s: %v", path, err)
+	}
+	out := make(map[string]float64)
+	collect("", doc, out)
+	return out
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.5, "allowed slowdown fraction before flagging (0.5 = +50%)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fail("usage: odq-benchcmp [-tol 0.5] old.json new.json")
+	}
+	oldM := load(flag.Arg(0))
+	newM := load(flag.Arg(1))
+
+	paths := make([]string, 0, len(oldM))
+	for p := range oldM {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	w := 0
+	for _, p := range paths {
+		if len(p) > w {
+			w = len(p)
+		}
+	}
+	regressed := 0
+	fmt.Printf("%-*s  %14s  %14s  %8s\n", w, "metric", "old(ns)", "new(ns)", "delta")
+	for _, p := range paths {
+		nv, ok := newM[p]
+		if !ok {
+			fmt.Printf("%-*s  %14.0f  %14s  %8s\n", w, p, oldM[p], "-", "removed")
+			continue
+		}
+		delta := 0.0
+		if oldM[p] != 0 {
+			delta = (nv - oldM[p]) / oldM[p]
+		}
+		flagStr := ""
+		if delta > *tol {
+			flagStr = "  !"
+			regressed++
+		}
+		fmt.Printf("%-*s  %14.0f  %14.0f  %+7.1f%%%s\n", w, p, oldM[p], nv, 100*delta, flagStr)
+	}
+	for p := range newM {
+		if _, ok := oldM[p]; !ok {
+			fmt.Printf("%-*s  %14s  %14.0f  %8s\n", w, p, "-", newM[p], "added")
+		}
+	}
+	if regressed > 0 {
+		fmt.Printf("\n%d metric(s) slower than the +%.0f%% tolerance\n", regressed, 100**tol)
+		os.Exit(1)
+	}
+}

@@ -30,6 +30,7 @@ func main() {
 	ckpt := flag.String("ckpt", "", "checkpoint path (empty = randomly initialized)")
 	scheme := flag.String("scheme", "odq", "scheme: "+infer.SchemeHelp())
 	threshold := flag.Float64("threshold", 0.5, "ODQ sensitivity threshold")
+	packed := flag.Bool("packed", false, "run the packed-INT4 quantized-domain pipeline (odq scheme, flat sequential models e.g. vgg16)")
 	samples := flag.Int("samples", 128, "test samples")
 	seed := flag.Int64("seed", 1, "random seed")
 	dump := flag.String("dump", "", "write per-layer profiles (with ODQ masks) to this path for odq-sim")
@@ -89,12 +90,18 @@ func main() {
 	if *dump != "" {
 		opts = append(opts, infer.WithMaskRecording())
 	}
+	if *packed {
+		opts = append(opts, infer.WithPackedDomain())
+	}
 	sess, err := infer.NewSession(net, *scheme, opts...)
 	if err != nil {
 		fail("%v", err)
 	}
+	if sess.PackedDomain() {
+		fmt.Printf("packed-domain pipeline: %d fused convs\n", sess.Pipeline().FusedConvs())
+	}
 
-	acc := train.Evaluate(net, testDS, 32)
+	acc := train.EvaluateForward(sess.Forward, testDS, 32)
 	fmt.Printf("scheme=%s accuracy=%.4f\n", *scheme, acc)
 
 	// Per-family precision-mix reports.

@@ -45,6 +45,7 @@ func main() {
 	ckpt := flag.String("ckpt", "", "checkpoint path (empty = randomly initialized; also the SIGHUP reload default)")
 	scheme := flag.String("scheme", "odq", "scheme: "+infer.SchemeHelp())
 	threshold := flag.Float64("threshold", 0.5, "ODQ sensitivity threshold")
+	packed := flag.Bool("packed", false, "serve through the packed-INT4 quantized-domain pipeline (odq scheme, flat sequential models e.g. vgg16)")
 	seed := flag.Int64("seed", 1, "init seed when no checkpoint is given")
 	addr := flag.String("addr", "127.0.0.1:8080", "serving address (use :0 for an ephemeral port; the bound address is printed)")
 	maxBatch := flag.Int("max-batch", 16, "flush a batch at this many requests")
@@ -89,7 +90,11 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	sess, err := infer.NewSession(model, *scheme, infer.WithThreshold(float32(*threshold)))
+	sessOpts := []infer.Option{infer.WithThreshold(float32(*threshold))}
+	if *packed {
+		sessOpts = append(sessOpts, infer.WithPackedDomain())
+	}
+	sess, err := infer.NewSession(model, *scheme, sessOpts...)
 	if err != nil {
 		fail("%v", err)
 	}

@@ -10,10 +10,12 @@
 // The executor here is numerically exact with respect to that definition:
 // sensitive outputs equal the full INT-k convolution bit-for-bit, while
 // insensitive outputs carry only the high×high partial. The default
-// execution path is genuinely sparse — the HL/LH/LL partials are computed
-// only for masked outputs, in parallel across output channels on the
-// shared worker pool — and bit-identical to the dense-compute-then-select
-// reference (retained behind WithDenseReference for parity testing).
+// execution path runs the predictor and the sparse executor on bit-planar
+// AND+POPCNT kernels (internal/tensor.Bitplanes) — the software analogue
+// of the paper's multi-precision PE array — and stays bit-identical to the
+// legacy int-GEMM predictor (retained behind WithIntGEMMPredictor) and to
+// the dense compute-then-select reference (WithDenseReference), because
+// every integer reduction is exact and the float fusion is shared.
 package core
 
 import (
@@ -71,6 +73,9 @@ type Exec struct {
 	// dense selects the dense-compute-then-select reference path instead
 	// of the sparse executor (parity tests, benchmarks).
 	dense bool
+	// noBitplane selects the legacy int-GEMM predictor and scalar sparse
+	// executor instead of the bitplane kernels (benchmarks, ablation).
+	noBitplane bool
 	// workers caps result-generation parallelism; 0 means the full
 	// shared pool, 1 forces serial execution.
 	workers int
@@ -79,8 +84,7 @@ type Exec struct {
 
 	mu        sync.Mutex
 	cacheGen  uint64
-	wcacheHi  map[*nn.Conv2D]*tensor.IntTensor
-	wcacheLo  map[*nn.Conv2D]*tensor.IntTensor
+	wcache    map[*nn.Conv2D]*weightCodes
 	precision map[string]*PrecisionStat
 	precOrder []string
 
@@ -152,6 +156,14 @@ func WithDenseReference() Option {
 	return func(e *Exec) { e.dense = true }
 }
 
+// WithIntGEMMPredictor selects the legacy execution path — a batched
+// int-GEMM predictor followed by the scalar sparse executor — instead of
+// the default bitplane AND+POPCNT kernels. Bit-identical to the default;
+// kept for benchmarks and as an ablation baseline.
+func WithIntGEMMPredictor() Option {
+	return func(e *Exec) { e.noBitplane = true }
+}
+
 // PrecisionStat accumulates per-layer precision loss of ODQ relative to
 // the float convolution.
 type PrecisionStat struct {
@@ -178,8 +190,7 @@ func NewExec(threshold float32, opts ...Option) *Exec {
 		bits:      4,
 		predBits:  2,
 		threshold: threshold,
-		wcacheHi:  make(map[*nn.Conv2D]*tensor.IntTensor),
-		wcacheLo:  make(map[*nn.Conv2D]*tensor.IntTensor),
+		wcache:    make(map[*nn.Conv2D]*weightCodes),
 		precision: make(map[string]*PrecisionStat),
 	}
 	for _, o := range opts {
@@ -207,40 +218,62 @@ func (e *Exec) Threshold() float32 { return e.threshold }
 // lowBits returns the width of the low-order part.
 func (e *Exec) lowBits() int { return e.bits - e.predBits }
 
-// weights returns the cached high/low weight-code split for a layer.
-// Quantization runs outside the lock; the result is stored only if no
-// InvalidateCache intervened (generation check), so a retraining step can
-// never have its invalidation undone by an in-flight Conv that read the
-// old EffectiveWeight.
-func (e *Exec) weights(layer *nn.Conv2D) (hi, lo *tensor.IntTensor) {
+// weightCodes bundles a layer's cached high/low weight-code split with the
+// bit-planar forms the default kernels consume (one row per output
+// channel, InC·K·K lanes). The bitplanes are skipped on the legacy and
+// dense paths, which read the row-major int32 codes directly; the
+// high-density executor branch also reads the row-major codes, as the A
+// operand of its wide int-GEMM partials.
+type weightCodes struct {
+	hi, lo     *tensor.IntTensor
+	hiBP, loBP *tensor.Bitplanes
+}
+
+func (e *Exec) buildWeightCodes(layer *nn.Conv2D) *weightCodes {
+	q := quant.WeightCodes(layer.EffectiveWeight(), e.bits)
+	hi, lo := quant.SplitCodesRounded(q, e.lowBits(), true)
+	wc := &weightCodes{hi: hi, lo: lo}
+	if !e.dense && !e.noBitplane {
+		outC := hi.Shape[0]
+		lanes := hi.Shape[1] * hi.Shape[2] * hi.Shape[3]
+		wc.hiBP = tensor.NewBitplanes(outC, lanes, hi.Bits, true)
+		wc.hiBP.PackRows(hi.Data)
+		wc.loBP = tensor.NewBitplanes(outC, lanes, lo.Bits, true)
+		wc.loBP.PackRows(lo.Data)
+	}
+	return wc
+}
+
+// weights returns the cached weight codes for a layer. Quantization runs
+// outside the lock; the result is stored only if no InvalidateCache
+// intervened (generation check), so a retraining step can never have its
+// invalidation undone by an in-flight Conv that read the old
+// EffectiveWeight.
+func (e *Exec) weights(layer *nn.Conv2D) *weightCodes {
 	if e.noWeightCache {
-		q := quant.WeightCodes(layer.EffectiveWeight(), e.bits)
-		return quant.SplitCodesRounded(q, e.lowBits(), true)
+		return e.buildWeightCodes(layer)
 	}
 	e.mu.Lock()
-	if h, ok := e.wcacheHi[layer]; ok {
-		l := e.wcacheLo[layer]
+	if wc, ok := e.wcache[layer]; ok {
 		e.mu.Unlock()
 		mODQCacheHits.Inc()
-		return h, l
+		return wc
 	}
 	gen := e.cacheGen
 	e.mu.Unlock()
 	mODQCacheMisses.Inc()
 
-	q := quant.WeightCodes(layer.EffectiveWeight(), e.bits)
-	h, l := quant.SplitCodesRounded(q, e.lowBits(), true)
+	wc := e.buildWeightCodes(layer)
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if ch, ok := e.wcacheHi[layer]; ok {
-		return ch, e.wcacheLo[layer]
+	if cached, ok := e.wcache[layer]; ok {
+		return cached
 	}
 	if e.cacheGen == gen {
-		e.wcacheHi[layer] = h
-		e.wcacheLo[layer] = l
+		e.wcache[layer] = wc
 	}
-	return h, l
+	return wc
 }
 
 // InvalidateCache drops cached weight codes. The retraining contract:
@@ -253,8 +286,7 @@ func (e *Exec) InvalidateCache() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.cacheGen++
-	e.wcacheHi = make(map[*nn.Conv2D]*tensor.IntTensor)
-	e.wcacheLo = make(map[*nn.Conv2D]*tensor.IntTensor)
+	e.wcache = make(map[*nn.Conv2D]*weightCodes)
 }
 
 // PrecisionStats returns per-layer precision-loss records in layer order.
@@ -277,10 +309,10 @@ func (e *Exec) ResetPrecision() {
 }
 
 // fuse combines the predictor partial with the three executor partials
-// for a sensitive output. Both the sparse path and the dense reference
-// call this single function, so the float rounding (including any FMA
-// contraction the compiler chooses) is identical and the two paths stay
-// bit-exact with each other and with the original implementation.
+// for a sensitive output. Every execution path calls this single function,
+// so the float rounding (including any FMA contraction the compiler
+// chooses) is identical and the paths stay bit-exact with each other and
+// with the original implementation.
 func fuse(pred, hl, lh, ll int64, predScale, sHL, sLH, sLL float32) float32 {
 	v := float32(pred) * predScale
 	v += float32(hl)*sHL + float32(lh)*sLH + float32(ll)*sLL
@@ -290,87 +322,86 @@ func fuse(pred, hl, lh, ll int64, predScale, sHL, sLH, sLL float32) float32 {
 // Conv implements nn.ConvExecutor: sensitivity prediction over the
 // high-order parts followed by result generation for sensitive outputs.
 func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
+	qx := quant.ActCodes(x, e.bits)
+	out, _ := e.convQ(qx, layer, nil, x)
+	return out
+}
+
+// convQ is the shared conv body over integer activation codes. With a nil
+// epilogue it returns the raw float partial-sum tensor (bias is NOT
+// applied — nn.Conv2D.Forward adds it, as before). With an epilogue it
+// returns packed INT4 codes of the requantized activation instead, and no
+// float tensor is materialized on the default path. xRef, when non-nil, is
+// the original float input used for precision-loss collection.
+func (e *Exec) convQ(qx *tensor.IntTensor, layer *nn.Conv2D, epi *Epilogue, xRef *tensor.Tensor) (*tensor.Tensor, *tensor.PackedI4) {
 	spConv := telemetry.StartSpan("odq.conv")
 	defer spConv.End()
 	mODQConvs.Inc()
-	n := x.Shape[0]
-	qx := quant.ActCodes(x, e.bits)
+	n := qx.Shape[0]
 	xh, xl := quant.SplitCodesRounded(qx, e.lowBits(), false)
-	wh, wl := e.weights(layer)
+	wc := e.weights(layer)
+	wh, wl := wc.hi, wc.lo
 
-	// Stage 1 — sensitivity prediction: high × high partial only. The
-	// threshold is relative to each sample's mean |predictor output| in
-	// the layer (the paper derives its threshold from per-layer output
-	// distributions, §3); this keeps one network-wide threshold value
-	// meaningful across layers whose raw output scales differ.
-	// Normalizing per sample (not per batch) makes every sample's mask —
-	// and therefore its output — independent of whatever it happens to
-	// be batched with, so a dynamically batched serving pass is
-	// bit-identical to running each request alone.
-	spPred := telemetry.StartSpan("odq.predictor")
 	g := quant.AccumGeometry(xh, wh, layer.Stride, layer.Pad)
 	perSample := g.TotalOutputs()
 	total := n * perSample
-	predAcc := tensor.GetInt64(total)
-	quant.ConvAccumInto(predAcc, xh, wh, layer.Stride, layer.Pad)
 	predScale := xh.Scale * wh.Scale
 	th := e.threshold
 	if v, ok := e.layerThresholds[layer.Name]; ok {
 		th = v
 	}
+	sHL := xh.Scale * wl.Scale
+	sLH := xl.Scale * wh.Scale
+	sLL := xl.Scale * wl.Scale
+
 	mask := make([]bool, total)
-	for s := 0; s < n; s++ {
-		seg := predAcc[s*perSample : (s+1)*perSample]
-		var meanAbs float64
-		for _, a := range seg {
-			v := float64(a) * float64(predScale)
-			if v < 0 {
-				v = -v
-			}
-			meanAbs += v
-		}
-		if perSample > 0 {
-			meanAbs /= float64(perSample)
-		}
-		cut := float32(meanAbs) * th
-		mseg := mask[s*perSample : (s+1)*perSample]
-		for i, a := range seg {
-			v := float32(a) * predScale
-			if v < 0 {
-				v = -v
-			}
-			if v >= cut {
-				mseg[i] = true
-			}
-		}
-		if e.collectDist {
-			e.sampleDist(seg, predScale, float32(meanAbs))
-		}
+	var ev *epiEval
+	var codes []uint8
+	if epi != nil {
+		ev = epi.eval()
+		codes = tensor.GetUint8(total)
 	}
-	// One popcount for everything downstream: the profile record, the
-	// telemetry ratio and the executor cost accounting all read this value
-	// (quant.MaskDensity is the repo's single mask-density helper).
-	sensitive := quant.MaskDensity(mask)
-	spPred.End()
+	var out *tensor.Tensor
+	if epi == nil || e.dense || e.noBitplane {
+		out = tensor.New(n, g.OutC, g.OutH, g.OutW)
+	}
+
+	var sensitive int64
+	if e.dense || e.noBitplane {
+		// Legacy two-stage path: batched int-GEMM predictor, then dense
+		// or scalar-sparse result generation, then (optionally) the
+		// epilogue as a post-pass over the float tensor.
+		spPred := telemetry.StartSpan("odq.predictor")
+		predAcc := tensor.GetInt64(total)
+		quant.ConvAccumInto(predAcc, xh, wh, layer.Stride, layer.Pad)
+		for s := 0; s < n; s++ {
+			e.maskSample(predAcc[s*perSample:(s+1)*perSample], mask[s*perSample:(s+1)*perSample], predScale, th)
+		}
+		sensitive = quant.MaskDensity(mask)
+		spPred.End()
+
+		spExec := telemetry.StartSpan("odq.executor")
+		if e.dense {
+			e.resultDense(out, predAcc, mask, xh, xl, wh, wl, layer, predScale, sHL, sLH, sLL)
+		} else {
+			e.resultSparse(out, predAcc, mask, xh, xl, wh, wl, g, predScale, sHL, sLH, sLL)
+		}
+		tensor.PutInt64(predAcc)
+		spExec.End()
+		if ev != nil {
+			cols := g.ColCols()
+			for i := range out.Data {
+				codes[i] = ev.code(out.Data[i], (i/cols)%g.OutC)
+			}
+		}
+	} else {
+		sensitive = e.resultBitplane(out, codes, ev, mask, xh, xl, wc, g, predScale, th, sHL, sLH, sLL)
+	}
 	if telemetry.Enabled() {
 		macsPerOut := int64(g.ColRows())
 		mODQPredMACs.Add(int64(total) * macsPerOut)
 		mODQExecMACs.Add(3 * sensitive * macsPerOut)
 	}
-
-	// Stage 2 — result generation for the masked outputs.
-	spExec := telemetry.StartSpan("odq.executor")
-	sHL := xh.Scale * wl.Scale
-	sLH := xl.Scale * wh.Scale
-	sLL := xl.Scale * wl.Scale
-	out := tensor.New(n, g.OutC, g.OutH, g.OutW)
-	if e.dense {
-		e.resultDense(out, predAcc, mask, xh, xl, wh, wl, layer, predScale, sHL, sLH, sLL)
-	} else {
-		e.resultSparse(out, predAcc, mask, xh, xl, wh, wl, g, predScale, sHL, sLH, sLL)
-	}
-	tensor.PutInt64(predAcc)
-	spExec.End()
 
 	e.Record(&quant.LayerProfile{
 		Name:             layer.Name,
@@ -382,16 +413,200 @@ func (e *Exec) Conv(x *tensor.Tensor, layer *nn.Conv2D) *tensor.Tensor {
 		Mask:             mask,
 	})
 
-	if e.collectPrecision {
-		e.collectPrecisionLoss(x, out, layer, g)
+	if e.collectPrecision && xRef != nil && epi == nil {
+		e.collectPrecisionLoss(xRef, out, layer, g)
 	}
-	return out
+	var packed *tensor.PackedI4
+	if epi != nil {
+		packed = tensor.NewPackedI4(n, g.OutC, g.OutH, g.OutW)
+		tensor.PackI4Into(codes[:total], packed.Data)
+		tensor.PutUint8(codes)
+	}
+	return out, packed
 }
 
-// resultSparse is the production result generator: the HL/LH/LL partials
-// are computed only for sensitive outputs, as per-output dot products over
-// the transposed im2col matrix (one contiguous row per output position),
-// parallel across output channels on the shared worker pool.
+// maskSample thresholds one sample's predictor accumulators into its
+// sensitivity mask. The threshold is relative to the sample's mean
+// |predictor output| in the layer (the paper derives its threshold from
+// per-layer output distributions, §3); this keeps one network-wide
+// threshold value meaningful across layers whose raw output scales
+// differ. Normalizing per sample (not per batch) makes every sample's
+// mask — and therefore its output — independent of whatever it happens to
+// be batched with, so a dynamically batched serving pass is bit-identical
+// to running each request alone.
+func (e *Exec) maskSample(seg []int64, mseg []bool, predScale, th float32) {
+	var meanAbs float64
+	for _, a := range seg {
+		v := float64(a) * float64(predScale)
+		if v < 0 {
+			v = -v
+		}
+		meanAbs += v
+	}
+	if len(seg) > 0 {
+		meanAbs /= float64(len(seg))
+	}
+	cut := float32(meanAbs) * th
+	for i, a := range seg {
+		v := float32(a) * predScale
+		if v < 0 {
+			v = -v
+		}
+		if v >= cut {
+			mseg[i] = true
+		}
+	}
+	if e.collectDist {
+		e.sampleDist(seg, predScale, float32(meanAbs))
+	}
+}
+
+// bitplaneGEMMCutover is the realized-density point where the executor
+// switches from per-output bitplane dot products to batched int-GEMM
+// partials. Below it, skipping insensitive outputs wins; above it, the
+// blocked (AVX2 where available) GEMM's throughput beats per-output
+// scatter even though it computes everything. Both branches are exact
+// integer arithmetic into the same fuse(), so the switch is invisible in
+// the output — it only moves work.
+const bitplaneGEMMCutover = 0.45
+
+// resultBitplane is the default execution path: per sample, the high
+// activation codes are gathered receptive-field-at-a-time and bitplane-
+// packed in one pass (no transposed im2col matrix is ever materialized),
+// the sensitivity predictor runs as AND+POPCNT row products
+// (tensor.BitplaneMulRow), and the executor computes the three remaining
+// partials only as directed by the realized mask — fused per-output
+// bitplane dots (tensor.BitplaneDot3) at low density, wide int-GEMM
+// partials (weight codes × im2col, the same orientation the dense path
+// uses) above bitplaneGEMMCutover. Exact integer arithmetic end to end
+// keeps it bit-identical to the int-GEMM paths; the shared fuse() keeps
+// the float combination identical. Writes requantized codes directly
+// when ev is non-nil (fused epilogue), float partial sums into out
+// otherwise. Returns the sensitive count.
+func (e *Exec) resultBitplane(out *tensor.Tensor, codes []uint8, ev *epiEval, mask []bool,
+	xh, xl *tensor.IntTensor, wc *weightCodes, g tensor.ConvGeom,
+	predScale, th, sHL, sLH, sLL float32) int64 {
+	n := xh.Shape[0]
+	rows, cols := g.ColRows(), g.ColCols()
+	perSample := g.TotalOutputs()
+	per := g.InC * g.InH * g.InW
+	pool := tensor.DefaultPool()
+	outC := g.OutC
+	whBP, wlBP := wc.hiBP, wc.loBP
+
+	predAcc := tensor.GetInt64(perSample)
+	xhBP := &tensor.Bitplanes{R: cols, L: rows, P: xh.Bits, W: tensor.BitplaneWords(rows),
+		Data: tensor.GetUint64(tensor.BitplaneSize(cols, rows, xh.Bits))}
+
+	// Executor scratch, allocated lazily: the bitplane branch needs the
+	// packed low codes, the GEMM branch an im2col column matrix plus
+	// three accumulator planes. A forward whose samples all land on one
+	// side never pays for the other.
+	var colBuf []int32
+	var xlBP *tensor.Bitplanes
+	var hlAcc, lhAcc, llAcc []int64
+
+	var sensitive int64
+	for s := 0; s < n; s++ {
+		spPred := telemetry.StartSpan("odq.predictor")
+		tensor.Im2colIntTPack(xh.Data[s*per:(s+1)*per], g, nil, xhBP)
+		pool.ParallelLimited(e.workers, outC, func(oc int) {
+			tensor.BitplaneMulRow(predAcc[oc*cols:(oc+1)*cols], whBP, oc, xhBP)
+		})
+		mseg := mask[s*perSample : (s+1)*perSample]
+		e.maskSample(predAcc, mseg, predScale, th)
+		spPred.End()
+
+		sens := 0
+		for _, m := range mseg {
+			if m {
+				sens++
+			}
+		}
+		sensitive += int64(sens)
+
+		spExec := telemetry.StartSpan("odq.executor")
+		sampleBase := s * perSample
+		if float64(sens) >= bitplaneGEMMCutover*float64(perSample) {
+			if hlAcc == nil {
+				hlAcc = tensor.GetInt64(perSample)
+				lhAcc = tensor.GetInt64(perSample)
+				llAcc = tensor.GetInt64(perSample)
+			}
+			if colBuf == nil {
+				colBuf = tensor.GetInt32(rows * cols)
+			}
+			tensor.Im2colInt(xh.Data[s*per:(s+1)*per], g, colBuf)
+			tensor.GemmInt(wc.lo.Data, colBuf, hlAcc, outC, rows, cols)
+			tensor.Im2colInt(xl.Data[s*per:(s+1)*per], g, colBuf)
+			tensor.GemmInt(wc.hi.Data, colBuf, lhAcc, outC, rows, cols)
+			tensor.GemmInt(wc.lo.Data, colBuf, llAcc, outC, rows, cols)
+			pool.ParallelLimited(e.workers, outC, func(oc int) {
+				base := oc * cols
+				for j := 0; j < cols; j++ {
+					i := base + j
+					var v float32
+					if !mseg[i] {
+						v = float32(predAcc[i]) * predScale
+					} else {
+						v = fuse(predAcc[i], hlAcc[i], lhAcc[i], llAcc[i], predScale, sHL, sLH, sLL)
+					}
+					if ev != nil {
+						codes[sampleBase+i] = ev.code(v, oc)
+					} else {
+						out.Data[sampleBase+i] = v
+					}
+				}
+			})
+		} else {
+			if xlBP == nil {
+				xlBP = &tensor.Bitplanes{R: cols, L: rows, P: xl.Bits, W: tensor.BitplaneWords(rows), Signed: true,
+					Data: tensor.GetUint64(tensor.BitplaneSize(cols, rows, xl.Bits))}
+			}
+			tensor.Im2colIntTPack(xl.Data[s*per:(s+1)*per], g, nil, xlBP)
+			pool.ParallelLimited(e.workers, outC, func(oc int) {
+				base := oc * cols
+				for j := 0; j < cols; j++ {
+					i := base + j
+					var v float32
+					if !mseg[i] {
+						v = float32(predAcc[i]) * predScale
+					} else {
+						hl, lh, ll := tensor.BitplaneDot3(xhBP, xlBP, j, whBP, wlBP, oc)
+						v = fuse(predAcc[i], hl, lh, ll, predScale, sHL, sLH, sLL)
+					}
+					if ev != nil {
+						codes[sampleBase+i] = ev.code(v, oc)
+					} else {
+						out.Data[sampleBase+i] = v
+					}
+				}
+			})
+		}
+		spExec.End()
+	}
+
+	tensor.PutInt64(predAcc)
+	tensor.PutUint64(xhBP.Data)
+	if colBuf != nil {
+		tensor.PutInt32(colBuf)
+	}
+	if xlBP != nil {
+		tensor.PutUint64(xlBP.Data)
+	}
+	if hlAcc != nil {
+		tensor.PutInt64(hlAcc)
+		tensor.PutInt64(lhAcc)
+		tensor.PutInt64(llAcc)
+	}
+	return sensitive
+}
+
+// resultSparse is the legacy sparse result generator: the HL/LH/LL
+// partials are computed only for sensitive outputs, as per-output scalar
+// dot products over the transposed im2col matrix (one contiguous row per
+// output position), parallel across output channels on the shared worker
+// pool.
 func (e *Exec) resultSparse(out *tensor.Tensor, predAcc []int64, mask []bool,
 	xh, xl, wh, wl *tensor.IntTensor, g tensor.ConvGeom,
 	predScale, sHL, sLH, sLL float32) {
@@ -438,7 +653,7 @@ func (e *Exec) resultSparse(out *tensor.Tensor, predAcc []int64, mask []bool,
 // resultDense is the dense-compute-then-select reference: all three
 // partials are computed for every output and discarded where the mask is
 // false. Kept (behind WithDenseReference) as the parity oracle for the
-// sparse path.
+// sparse paths.
 func (e *Exec) resultDense(out *tensor.Tensor, predAcc []int64, mask []bool,
 	xh, xl, wh, wl *tensor.IntTensor, layer *nn.Conv2D,
 	predScale, sHL, sLH, sLL float32) {

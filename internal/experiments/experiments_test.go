@@ -16,7 +16,11 @@ var (
 )
 
 // testLab returns a lab shared by all tests so each model trains once.
-func testLab() *Lab {
+func testLab(t *testing.T) *Lab {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("trains the shared lab models (tens of seconds); full tier only")
+	}
 	labOnce.Do(func() {
 		sharedLab = NewLab(TestScale(), nil)
 	})
@@ -24,7 +28,7 @@ func testLab() *Lab {
 }
 
 func TestLabModelCachingAndAccuracy(t *testing.T) {
-	l := testLab()
+	l := testLab(t)
 	tm1 := l.Model("resnet20", "c10")
 	tm2 := l.Model("resnet20", "c10")
 	if tm1 != tm2 {
@@ -36,7 +40,7 @@ func TestLabModelCachingAndAccuracy(t *testing.T) {
 }
 
 func TestThresholdCachedAndPositive(t *testing.T) {
-	l := testLab()
+	l := testLab(t)
 	tm := l.Model("resnet20", "c10")
 	th1 := l.Threshold(tm)
 	th2 := l.Threshold(tm)
@@ -49,7 +53,7 @@ func TestThresholdCachedAndPositive(t *testing.T) {
 }
 
 func TestMotivationFigures(t *testing.T) {
-	l := testLab()
+	l := testLab(t)
 	// Dynamic schemes skip the first conv (DoReFa convention), so the
 	// per-layer figures cover convs-1 layers.
 	convs := len(nn.Convs(l.Model("resnet20", "c10").Net)) - 1
@@ -105,7 +109,7 @@ func TestMotivationFigures(t *testing.T) {
 }
 
 func TestFigure1Illustration(t *testing.T) {
-	l := testLab()
+	l := testLab(t)
 	r := Figure1(l)
 	if r.SensitiveTotal == 0 && r.InsensitiveTotal == 0 {
 		t.Fatal("figure1 classified no outputs")
@@ -121,7 +125,7 @@ func TestFigure1Illustration(t *testing.T) {
 }
 
 func TestFigure10Insensitivity(t *testing.T) {
-	l := testLab()
+	l := testLab(t)
 	r := Figure10(l)
 	convs := len(nn.Convs(l.Model("resnet20", "c10").Net)) - 1
 	if len(r.Layers) != convs {
@@ -135,7 +139,7 @@ func TestFigure10Insensitivity(t *testing.T) {
 }
 
 func TestFigure11StaticVsFigure20Dynamic(t *testing.T) {
-	l := testLab()
+	l := testLab(t)
 	f11 := Figure11(l)
 	f20 := Figure20(l)
 	if len(f11.Layers) == 0 || len(f20.Layers) != len(f11.Layers) {
@@ -158,7 +162,7 @@ func TestFigure11StaticVsFigure20Dynamic(t *testing.T) {
 }
 
 func TestTable1SimMatchesAnalytic(t *testing.T) {
-	l := testLab()
+	l := testLab(t)
 	r := Table1(l)
 	if len(r.Rows) != 5 {
 		t.Fatalf("table1 rows %d", len(r.Rows))
@@ -173,7 +177,7 @@ func TestTable1SimMatchesAnalytic(t *testing.T) {
 }
 
 func TestTable2Constants(t *testing.T) {
-	r := Table2(testLab())
+	r := Table2(testLab(t))
 	if len(r.Accels) != 4 {
 		t.Fatal("table2 must list four accelerators")
 	}
@@ -183,7 +187,7 @@ func TestTable2Constants(t *testing.T) {
 }
 
 func TestFigure18AccuracyShapes(t *testing.T) {
-	l := testLab()
+	l := testLab(t)
 	r := Figure18(l, []string{"resnet20"}, []string{"c10"})
 	if len(r.Rows) != len(schemeNames) {
 		t.Fatalf("figure18 rows %d", len(r.Rows))
@@ -216,7 +220,7 @@ func TestFigure18AccuracyShapes(t *testing.T) {
 }
 
 func TestFigure19Ordering(t *testing.T) {
-	l := testLab()
+	l := testLab(t)
 	r := Figure19(l, []string{"resnet20"})
 	n := r.Normalized[0]
 	// INT16 = 1.0 by construction; everything else faster; ODQ fastest.
@@ -238,7 +242,7 @@ func TestFigure19Ordering(t *testing.T) {
 }
 
 func TestFigure21EnergyShapes(t *testing.T) {
-	l := testLab()
+	l := testLab(t)
 	r := Figure21(l, []string{"resnet20"})
 	n := r.Normalized[0]
 	if !(n[3] < n[2] && n[2] < n[1] && n[1] < n[0]) {
@@ -255,7 +259,7 @@ func TestFigure21EnergyShapes(t *testing.T) {
 }
 
 func TestFigure22Monotonicity(t *testing.T) {
-	l := testLab()
+	l := testLab(t)
 	r := Figure22(l)
 	for i := 1; i < len(r.Thresholds); i++ {
 		if r.SensFrac[i] > r.SensFrac[i-1]+1e-9 {
@@ -274,7 +278,7 @@ func TestRegistryCompleteAndRuns(t *testing.T) {
 			t.Fatalf("registry missing %q", name)
 		}
 	}
-	l := testLab()
+	l := testLab(t)
 	var buf bytes.Buffer
 	// Exercise Run on a cheap, already-cached experiment.
 	if err := Run(l, "table2", &buf); err != nil {
@@ -289,7 +293,7 @@ func TestRegistryCompleteAndRuns(t *testing.T) {
 }
 
 func TestAblationThreshold(t *testing.T) {
-	l := testLab()
+	l := testLab(t)
 	r := AblationThreshold(l)
 	if r.GlobalSensFrac <= 0 || r.GlobalSensFrac > 1 {
 		t.Fatalf("global sensitivity %v out of range", r.GlobalSensFrac)
@@ -311,7 +315,7 @@ func TestAblationThreshold(t *testing.T) {
 }
 
 func TestAblationAlloc(t *testing.T) {
-	l := testLab()
+	l := testLab(t)
 	r := AblationAlloc(l)
 	if r.StaticStatic <= 0 {
 		t.Fatal("no cycles modeled")
@@ -332,7 +336,7 @@ func TestAblationAlloc(t *testing.T) {
 }
 
 func TestAblationPrecision(t *testing.T) {
-	l := testLab()
+	l := testLab(t)
 	r := AblationPrecision(l)
 	// Note: no accuracy ordering is asserted — the model is threshold-
 	// aware-retrained for the 4/2 error pattern, so the 8/4 extension
@@ -351,7 +355,7 @@ func TestAblationPrecision(t *testing.T) {
 }
 
 func TestComputeHeadlines(t *testing.T) {
-	l := testLab()
+	l := testLab(t)
 	h := ComputeHeadlines(l, []string{"resnet20"})
 	if h.SpeedupVsINT16 <= 0 || h.SpeedupVsINT16 >= 1 {
 		t.Fatalf("speedup vs INT16 %v out of range", h.SpeedupVsINT16)
@@ -370,7 +374,7 @@ func TestComputeHeadlines(t *testing.T) {
 }
 
 func TestTable3ThresholdSearch(t *testing.T) {
-	l := testLab()
+	l := testLab(t)
 	// Restrict to the cached model to keep the test fast: call the
 	// underlying search directly rather than Table3 (which trains all
 	// four models).

@@ -59,6 +59,7 @@ type options struct {
 	maskRecording bool
 	noWeightCache bool
 	workers       int
+	packedDomain  bool
 }
 
 // Option configures NewFromScheme / NewSession.
@@ -91,6 +92,13 @@ func WithoutWeightCache() Option {
 // WithWorkers caps executor parallelism on schemes that fan out (odq).
 func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
+}
+
+// WithPackedDomain makes NewSession compile the packed-INT4
+// quantized-domain pipeline (odq scheme on a flat sequential model only;
+// construction fails otherwise). NewFromScheme ignores it.
+func WithPackedDomain() Option {
+	return func(o *options) { o.packedDomain = true }
 }
 
 // Scheme describes one quantization scheme selectable by name.

@@ -1,0 +1,177 @@
+package infer
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+var mPackedForwards = telemetry.GetCounter("infer.session.packed_forwards")
+
+// Pipeline is the packed-INT4 quantized-domain execution plan for a flat
+// sequential model: conv→(batchnorm)→quantrelu groups run as single fused
+// stages whose ODQ executor emits packed 4-bit activation codes, max-pool
+// layers pool in the code domain, and only stages that genuinely need
+// float (the first image-consuming conv, the classifier head) see a
+// dequantized tensor. Activations stay packed between conv layers —
+// half the bytes of int32 codes, an eighth of float32 — and the output is
+// bit-identical to running the unfused module chain, because every fused
+// stage reproduces its modules' float operations exactly (see
+// core.Epilogue and tensor.MaxPoolPackedI4).
+type Pipeline struct {
+	stages []stage
+	fused  int
+}
+
+// packedValue threads either a float tensor or packed codes between
+// stages; exactly one side is non-nil.
+type packedValue struct {
+	f *tensor.Tensor
+	p *tensor.PackedI4
+}
+
+type stage interface {
+	forward(v packedValue) packedValue
+	// consumesPacked reports whether forward accepts packed input
+	// directly; the pipeline dequantizes before stages that do not.
+	consumesPacked() bool
+}
+
+// fusedConvStage runs conv+bn+act as one executor call with a fused
+// requantize epilogue, consuming packed codes when available.
+type fusedConvStage struct {
+	conv *nn.Conv2D
+	exec *core.Exec
+	epi  *core.Epilogue
+}
+
+func (st *fusedConvStage) consumesPacked() bool { return true }
+
+func (st *fusedConvStage) forward(v packedValue) packedValue {
+	if v.p != nil {
+		return packedValue{p: st.exec.ConvPacked(v.p, st.conv, st.epi)}
+	}
+	return packedValue{p: st.exec.ConvFused(v.f, st.conv, st.epi)}
+}
+
+// poolStage max-pools packed codes in the nibble domain, falling back to
+// the float module when handed a float tensor.
+type poolStage struct {
+	pool *nn.MaxPool2D
+}
+
+func (st *poolStage) consumesPacked() bool { return true }
+
+func (st *poolStage) forward(v packedValue) packedValue {
+	if v.p != nil {
+		return packedValue{p: tensor.MaxPoolPackedI4(v.p, st.pool.K, st.pool.S)}
+	}
+	return packedValue{f: st.pool.Forward(v.f, false)}
+}
+
+// moduleStage runs any other module on the float path.
+type moduleStage struct {
+	m nn.Module
+}
+
+func (st *moduleStage) consumesPacked() bool { return false }
+
+func (st *moduleStage) forward(v packedValue) packedValue {
+	return packedValue{f: st.m.Forward(v.f, false)}
+}
+
+// CompilePacked builds the packed-domain pipeline for a flat sequential
+// model with the given ODQ executor installed. Each conv whose Exec is
+// exec, followed by an optional BatchNorm2D and a discretizing QuantReLU
+// of the executor's bit width, becomes one fused stage; max-pools become
+// code-domain pools; everything else runs unchanged on float. Returns an
+// error when the executor or model cannot stay in the packed domain (the
+// caller should fall back to the plain module chain).
+func CompilePacked(net *nn.Sequential, exec *core.Exec) (*Pipeline, error) {
+	if exec == nil {
+		return nil, fmt.Errorf("infer: packed domain requires an ODQ executor")
+	}
+	if exec.Bits() != 4 {
+		return nil, fmt.Errorf("infer: packed domain requires 4-bit codes, executor has %d", exec.Bits())
+	}
+	pl := &Pipeline{}
+	mods := net.Modules
+	for i := 0; i < len(mods); i++ {
+		conv, ok := mods[i].(*nn.Conv2D)
+		if ok {
+			if st, consumed := fuseConvGroup(conv, mods[i+1:], exec); st != nil {
+				pl.stages = append(pl.stages, st)
+				pl.fused++
+				i += consumed
+				continue
+			}
+		}
+		if mp, ok := mods[i].(*nn.MaxPool2D); ok {
+			pl.stages = append(pl.stages, &poolStage{pool: mp})
+			continue
+		}
+		pl.stages = append(pl.stages, &moduleStage{m: mods[i]})
+	}
+	if pl.fused == 0 {
+		return nil, fmt.Errorf("infer: no fusable conv→quantrelu group found (packed domain needs the ODQ executor installed and discretizing activations)")
+	}
+	return pl, nil
+}
+
+// fuseConvGroup matches conv(+bn)+quantrelu starting at conv with the
+// rest of the module list, returning the fused stage and how many
+// trailing modules it consumed (0 when the pattern does not match).
+func fuseConvGroup(conv *nn.Conv2D, rest []nn.Module, exec *core.Exec) (stage, int) {
+	ce, ok := conv.Exec.(*core.Exec)
+	if !ok || ce != exec {
+		return nil, 0
+	}
+	consumed := 0
+	var bn *nn.BatchNorm2D
+	if len(rest) > consumed {
+		if b, ok := rest[consumed].(*nn.BatchNorm2D); ok {
+			bn = b
+			consumed++
+		}
+	}
+	if len(rest) <= consumed {
+		return nil, 0
+	}
+	act, ok := rest[consumed].(*quant.QuantReLU)
+	if !ok || act.Bits != exec.Bits() {
+		return nil, 0
+	}
+	rq, ok := quant.RequantOf(act)
+	if !ok {
+		return nil, 0
+	}
+	consumed++
+	return &fusedConvStage{
+		conv: conv,
+		exec: exec,
+		epi:  &core.Epilogue{Conv: conv, BN: bn, Act: rq},
+	}, consumed
+}
+
+// FusedConvs returns how many conv groups run fused in the packed domain.
+func (pl *Pipeline) FusedConvs() int { return pl.fused }
+
+// Forward runs one eval-mode pass, keeping activations packed between
+// stages that can consume them and dequantizing only at float boundaries.
+func (pl *Pipeline) Forward(x *tensor.Tensor) *tensor.Tensor {
+	v := packedValue{f: x}
+	for _, st := range pl.stages {
+		if v.p != nil && !st.consumesPacked() {
+			v = packedValue{f: v.p.Dequantize()}
+		}
+		v = st.forward(v)
+	}
+	if v.p != nil {
+		return v.p.Dequantize()
+	}
+	return v.f
+}

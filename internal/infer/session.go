@@ -6,6 +6,7 @@ import (
 	"os"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/nn"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
@@ -35,6 +36,10 @@ type Session struct {
 	scheme *Scheme
 	exec   Executor // nil for the float scheme
 
+	// pipeline, when non-nil, replaces the module-chain forward with the
+	// packed-INT4 quantized-domain plan (see EnablePackedDomain).
+	pipeline *Pipeline
+
 	gen           atomic.Uint64
 	invalidations atomic.Uint64
 }
@@ -51,7 +56,17 @@ func NewSession(net nn.Module, scheme string, opts ...Option) (*Session, error) 
 		return nil, err
 	}
 	Install(net, s, exec)
-	return &Session{net: net, scheme: s, exec: exec}, nil
+	sess := &Session{net: net, scheme: s, exec: exec}
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.packedDomain {
+		if err := sess.EnablePackedDomain(); err != nil {
+			return nil, err
+		}
+	}
+	return sess, nil
 }
 
 // NewSessionFromExecutor wraps an already-constructed executor (custom
@@ -83,11 +98,43 @@ func (s *Session) Generation() uint64 { return s.gen.Load() }
 // always — pinned by the serve reload regression test.
 func (s *Session) Invalidations() uint64 { return s.invalidations.Load() }
 
+// EnablePackedDomain compiles the packed-INT4 quantized-domain pipeline
+// for the session and routes Forward through it. Requires the odq scheme
+// at 4-bit codes and a flat sequential model whose conv groups end in
+// discretizing QuantReLU layers; the output stays bit-identical to the
+// module-chain forward.
+func (s *Session) EnablePackedDomain() error {
+	exec, ok := s.exec.(*core.Exec)
+	if !ok {
+		return fmt.Errorf("infer: packed domain requires the odq scheme (session scheme is %q)", s.scheme.Name)
+	}
+	seq, ok := s.net.(*nn.Sequential)
+	if !ok {
+		return fmt.Errorf("infer: packed domain requires a flat sequential model, have %T", s.net)
+	}
+	pl, err := CompilePacked(seq, exec)
+	if err != nil {
+		return err
+	}
+	s.pipeline = pl
+	return nil
+}
+
+// PackedDomain reports whether Forward runs the packed-domain pipeline.
+func (s *Session) PackedDomain() bool { return s.pipeline != nil }
+
+// Pipeline returns the compiled packed-domain plan (nil when disabled).
+func (s *Session) Pipeline() *Pipeline { return s.pipeline }
+
 // Forward runs one inference pass (eval mode) over a batch.
 func (s *Session) Forward(x *tensor.Tensor) *tensor.Tensor {
 	sp := telemetry.StartSpan("infer.session.forward")
 	defer sp.End()
 	mSessionForwards.Inc()
+	if s.pipeline != nil {
+		mPackedForwards.Inc()
+		return s.pipeline.Forward(x)
+	}
 	return s.net.Forward(x, false)
 }
 
@@ -141,5 +188,6 @@ func (s *Session) Warmup(c, h, w int) {
 // Close uninstalls the executor, restoring the model's plain float path.
 // The session must not be used afterwards.
 func (s *Session) Close() {
+	s.pipeline = nil
 	nn.SetConvExec(s.net, nil)
 }

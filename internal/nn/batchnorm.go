@@ -195,6 +195,23 @@ func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
 // Visit implements Module.
 func (b *BatchNorm2D) Visit(f func(Module)) { f(b) }
 
+// EvalAffine returns the per-channel affine (scale, shift) the inference
+// forward applies: out = x*scale + shift with scale = gamma/sqrt(var+eps)
+// and shift = beta - mean*scale, computed with the exact float operations
+// of the eval branch of Forward. Fused conv epilogues use this to apply
+// batch-norm in the quantized domain bit-identically to the float path.
+func (b *BatchNorm2D) EvalAffine() (scale, shift []float32) {
+	scale = make([]float32, b.C)
+	shift = make([]float32, b.C)
+	for ch := 0; ch < b.C; ch++ {
+		sd := float32(math.Sqrt(float64(b.RunningVar.Data[ch]) + float64(b.Eps)))
+		sc := b.Gamma.W.Data[ch] / sd
+		scale[ch] = sc
+		shift[ch] = b.Beta.W.Data[ch] - b.RunningMean.Data[ch]*sc
+	}
+	return scale, shift
+}
+
 // FoldInto folds this batch-norm's inference transform into the preceding
 // convolution, so quantized executors see a single conv with adjusted
 // weights and bias. After folding the BN becomes an identity (gamma=1,

@@ -1,0 +1,212 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+// scalarDot is the reference the bitplane kernels must match exactly.
+func scalarDot(a, b []int32) int64 {
+	var s int64
+	for i := range a {
+		s += int64(a[i]) * int64(b[i])
+	}
+	return s
+}
+
+// randCodes fills a slice with codes valid for the given plane count and
+// signedness.
+func randCodes(rng *RNG, n, planes int, signed bool) []int32 {
+	out := make([]int32, n)
+	span := 1 << uint(planes)
+	for i := range out {
+		v := int32(rng.Intn(span))
+		if signed {
+			v -= int32(span / 2)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestBitplaneDotParity checks BitplaneDot against the scalar dot for
+// every plane-count/signedness combination the ODQ splits produce, at
+// lane counts covering sub-word, exact-word and tail-word geometries.
+func TestBitplaneDotParity(t *testing.T) {
+	rng := NewRNG(11)
+	lanes := []int{1, 3, 45, 63, 64, 65, 127, 128, 144, 200, 576}
+	type side struct {
+		planes int
+		signed bool
+	}
+	sides := []side{{1, false}, {2, false}, {2, true}, {3, true}, {4, false}, {4, true}, {5, true}}
+	for _, l := range lanes {
+		for _, sa := range sides {
+			for _, sb := range sides {
+				a := randCodes(rng, l, sa.planes, sa.signed)
+				b := randCodes(rng, l, sb.planes, sb.signed)
+				bpa := NewBitplanes(1, l, sa.planes, sa.signed)
+				bpb := NewBitplanes(1, l, sb.planes, sb.signed)
+				bpa.PackRow(0, a)
+				bpb.PackRow(0, b)
+				want := scalarDot(a, b)
+				if got := BitplaneDot(bpa, 0, bpb, 0); got != want {
+					t.Fatalf("lanes=%d a=%+v b=%+v: BitplaneDot=%d want %d", l, sa, sb, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBitplaneDotExtremes pins the two's-complement corner codes (most
+// negative value, all-ones) that a random draw can miss.
+func TestBitplaneDotExtremes(t *testing.T) {
+	a := []int32{3, 3, 0, 1, 2, 3}     // unsigned 2-plane max values
+	b := []int32{-2, 1, -2, -1, 0, -2} // signed 2-plane extremes
+	bpa := NewBitplanes(1, len(a), 2, false)
+	bpb := NewBitplanes(1, len(b), 2, true)
+	bpa.PackRow(0, a)
+	bpb.PackRow(0, b)
+	if got, want := BitplaneDot(bpa, 0, bpb, 0), scalarDot(a, b); got != want {
+		t.Fatalf("extremes: got %d want %d", got, want)
+	}
+}
+
+// TestBitplaneMulRowParity checks the row-times-matrix kernel on a
+// predictor-shaped product (OutC rows x cols positions) with a tail word.
+func TestBitplaneMulRowParity(t *testing.T) {
+	rng := NewRNG(12)
+	const lanes, outC, cols = 99, 7, 23
+	w := randCodes(rng, outC*lanes, 2, true)
+	x := randCodes(rng, cols*lanes, 2, false)
+	wbp := NewBitplanes(outC, lanes, 2, true)
+	xbp := NewBitplanes(cols, lanes, 2, false)
+	wbp.PackRows(w)
+	xbp.PackRows(x)
+	dst := make([]int64, cols)
+	for oc := 0; oc < outC; oc++ {
+		BitplaneMulRow(dst, wbp, oc, xbp)
+		for j := 0; j < cols; j++ {
+			want := scalarDot(w[oc*lanes:(oc+1)*lanes], x[j*lanes:(j+1)*lanes])
+			if dst[j] != want {
+				t.Fatalf("oc=%d j=%d: got %d want %d", oc, j, dst[j], want)
+			}
+		}
+	}
+}
+
+// TestBitplanePackRowOverwrite checks that PackRow fully overwrites dirty
+// pooled scratch, including tail-word garbage beyond the last lane.
+func TestBitplanePackRowOverwrite(t *testing.T) {
+	const lanes = 70 // two words, second mostly tail
+	bp := &Bitplanes{R: 1, L: lanes, P: 2, W: BitplaneWords(lanes), Data: GetUint64(BitplaneSize(1, lanes, 2))}
+	for i := range bp.Data {
+		bp.Data[i] = ^uint64(0) // poison
+	}
+	src := make([]int32, lanes) // all zero codes
+	bp.PackRow(0, src)
+	for i, w := range bp.Data {
+		if w != 0 {
+			t.Fatalf("word %d not cleared: %x", i, w)
+		}
+	}
+	PutUint64(bp.Data)
+}
+
+// TestBitplaneDotConcurrent exercises read-shared bitplanes from many
+// goroutines (the executor's per-output-channel fan-out) under -race.
+func TestBitplaneDotConcurrent(t *testing.T) {
+	rng := NewRNG(13)
+	const lanes, rows = 144, 32
+	codes := randCodes(rng, rows*lanes, 3, true)
+	bp := NewBitplanes(rows, lanes, 3, true)
+	bp.PackRows(codes)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rows; r++ {
+				want := scalarDot(codes[r*lanes:(r+1)*lanes], codes[r*lanes:(r+1)*lanes])
+				if got := BitplaneDot(bp, r, bp, r); got != want {
+					t.Errorf("row %d: got %d want %d", r, got, want)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBitplaneDot3Parity checks the fused three-partial executor kernel
+// against scalar dots, on the paper-default plane geometry (fused path)
+// and on the INT8-extension geometry (fallback path), across tail-word
+// lane counts.
+func TestBitplaneDot3Parity(t *testing.T) {
+	rng := NewRNG(16)
+	type geom struct {
+		xhP, xlP int
+	}
+	for _, g := range []geom{{2, 3}, {4, 5}} {
+		for _, lanes := range []int{1, 63, 64, 65, 144, 200} {
+			const cols, outC = 5, 4
+			xhC := randCodes(rng, cols*lanes, g.xhP, false)
+			xlC := randCodes(rng, cols*lanes, g.xlP, true)
+			whC := randCodes(rng, outC*lanes, g.xhP, true)
+			wlC := randCodes(rng, outC*lanes, g.xlP, true)
+			xh := NewBitplanes(cols, lanes, g.xhP, false)
+			xl := NewBitplanes(cols, lanes, g.xlP, true)
+			wh := NewBitplanes(outC, lanes, g.xhP, true)
+			wl := NewBitplanes(outC, lanes, g.xlP, true)
+			xh.PackRows(xhC)
+			xl.PackRows(xlC)
+			wh.PackRows(whC)
+			wl.PackRows(wlC)
+			for j := 0; j < cols; j++ {
+				for oc := 0; oc < outC; oc++ {
+					hl, lh, ll := BitplaneDot3(xh, xl, j, wh, wl, oc)
+					xhRow := xhC[j*lanes : (j+1)*lanes]
+					xlRow := xlC[j*lanes : (j+1)*lanes]
+					whRow := whC[oc*lanes : (oc+1)*lanes]
+					wlRow := wlC[oc*lanes : (oc+1)*lanes]
+					if want := scalarDot(xhRow, wlRow); hl != want {
+						t.Fatalf("planes=%v lanes=%d j=%d oc=%d: hl=%d want %d", g, lanes, j, oc, hl, want)
+					}
+					if want := scalarDot(xlRow, whRow); lh != want {
+						t.Fatalf("planes=%v lanes=%d j=%d oc=%d: lh=%d want %d", g, lanes, j, oc, lh, want)
+					}
+					if want := scalarDot(xlRow, wlRow); ll != want {
+						t.Fatalf("planes=%v lanes=%d j=%d oc=%d: ll=%d want %d", g, lanes, j, oc, ll, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkBitplaneDot2x2(b *testing.B) {
+	rng := NewRNG(14)
+	const lanes = 576
+	a := randCodes(rng, lanes, 2, false)
+	w := randCodes(rng, lanes, 2, true)
+	bpa := NewBitplanes(1, lanes, 2, false)
+	bpw := NewBitplanes(1, lanes, 2, true)
+	bpa.PackRow(0, a)
+	bpw.PackRow(0, w)
+	b.SetBytes(int64(lanes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BitplaneDot(bpa, 0, bpw, 0)
+	}
+}
+
+func BenchmarkScalarDotInt(b *testing.B) {
+	rng := NewRNG(15)
+	const lanes = 576
+	a := randCodes(rng, lanes, 2, false)
+	w := randCodes(rng, lanes, 2, true)
+	b.SetBytes(int64(lanes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scalarDot(a, w)
+	}
+}

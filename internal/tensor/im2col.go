@@ -121,8 +121,28 @@ func Im2colInt(src []int32, g ConvGeom, dst []int32) {
 // weight-code row [O][C,K,K]. The sparse ODQ executor uses this to turn a
 // masked output into a single contiguous dot product.
 func Im2colIntT(src []int32, g ConvGeom, dst []int32) {
+	Im2colIntTPack(src, g, dst, nil)
+}
+
+// Im2colIntTPack is Im2colIntT with an optional fused bitplane pack: when
+// bp is non-nil, every gathered output row is packed into bp while still
+// hot in cache, saving the second full sweep over the (large) transposed
+// matrix that a separate PackRows pass would cost. bp must have R =
+// ColCols() rows of L = ColRows() lanes. dst may be nil when bp is
+// non-nil: the gather then runs through a single pooled row buffer and
+// never materializes the rows×cols matrix at all, which keeps the
+// working set at one receptive field instead of the whole transpose —
+// the packed planes are the only output.
+func Im2colIntTPack(src []int32, g ConvGeom, dst []int32, bp *Bitplanes) {
 	rows, cols := g.ColRows(), g.ColCols()
-	if len(dst) < rows*cols {
+	var rowBuf []int32
+	if dst == nil {
+		if bp == nil {
+			panic("tensor: Im2colIntTPack needs dst or bp")
+		}
+		rowBuf = GetInt32(rows)
+		defer PutInt32(rowBuf)
+	} else if len(dst) < rows*cols {
 		panic("tensor: Im2colIntT dst too small")
 	}
 	kk := g.K * g.K
@@ -131,8 +151,13 @@ func Im2colIntT(src []int32, g ConvGeom, dst []int32) {
 		ihBase := oh*g.Stride - g.Pad
 		for ow := 0; ow < g.OutW; ow++ {
 			iwBase := ow*g.Stride - g.Pad
-			dstRow := dst[pos*rows : (pos+1)*rows]
-			pos++
+			var dstRow []int32
+			if dst != nil {
+				dstRow = dst[pos*rows : (pos+1)*rows]
+			} else {
+				dstRow = rowBuf[:rows]
+			}
+			interior := iwBase >= 0 && iwBase+g.K <= g.InW
 			for c := 0; c < g.InC; c++ {
 				chanBase := c * g.InH * g.InW
 				out := dstRow[c*kk : (c+1)*kk]
@@ -147,6 +172,11 @@ func Im2colIntT(src []int32, g ConvGeom, dst []int32) {
 						continue
 					}
 					rowBase := chanBase + ih*g.InW
+					if interior {
+						copy(out[idx:idx+g.K], src[rowBase+iwBase:rowBase+iwBase+g.K])
+						idx += g.K
+						continue
+					}
 					for kw := 0; kw < g.K; kw++ {
 						iw := iwBase + kw
 						if iw < 0 || iw >= g.InW {
@@ -158,6 +188,10 @@ func Im2colIntT(src []int32, g ConvGeom, dst []int32) {
 					}
 				}
 			}
+			if bp != nil {
+				bp.PackRow(pos, dstRow)
+			}
+			pos++
 		}
 	}
 }

@@ -131,6 +131,8 @@ var (
 	i32Pool = sync.Pool{}
 	i64Pool = sync.Pool{}
 	f32Pool = sync.Pool{}
+	u64Pool = sync.Pool{}
+	u8Pool  = sync.Pool{}
 )
 
 // GetInt32 returns a length-n int32 scratch buffer with arbitrary contents.
@@ -198,4 +200,50 @@ func PutFloat32(s []float32) {
 	}
 	s = s[:cap(s)]
 	f32Pool.Put(&s)
+}
+
+// GetUint64 returns a length-n uint64 scratch buffer with arbitrary
+// contents (bitplane word storage; Bitplanes.PackRow fully overwrites).
+func GetUint64(n int) []uint64 {
+	if v := u64Pool.Get(); v != nil {
+		s := *(v.(*[]uint64))
+		if cap(s) >= n {
+			mScratchHits.Inc()
+			return s[:n]
+		}
+	}
+	mScratchMisses.Inc()
+	return make([]uint64, n)
+}
+
+// PutUint64 recycles a buffer obtained from GetUint64.
+func PutUint64(s []uint64) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	u64Pool.Put(&s)
+}
+
+// GetUint8 returns a length-n uint8 scratch buffer with arbitrary
+// contents (per-element activation codes before nibble packing).
+func GetUint8(n int) []uint8 {
+	if v := u8Pool.Get(); v != nil {
+		s := *(v.(*[]uint8))
+		if cap(s) >= n {
+			mScratchHits.Inc()
+			return s[:n]
+		}
+	}
+	mScratchMisses.Inc()
+	return make([]uint8, n)
+}
+
+// PutUint8 recycles a buffer obtained from GetUint8.
+func PutUint8(s []uint8) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	u8Pool.Put(&s)
 }

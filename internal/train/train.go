@@ -591,13 +591,22 @@ func MustFit(net nn.Module, ds *dataset.Dataset, opts Options) *History {
 // evaluates to 0 and a non-positive batch size falls back to the
 // default.
 func Evaluate(net nn.Module, ds *dataset.Dataset, batchSize int) float64 {
+	return EvaluateForward(func(x *tensor.Tensor) *tensor.Tensor {
+		return net.Forward(x, false)
+	}, ds, batchSize)
+}
+
+// EvaluateForward is Evaluate over an arbitrary eval-mode forward function
+// — e.g. a packed-domain infer.Session — for callers whose inference path
+// bypasses Module.Forward.
+func EvaluateForward(forward func(*tensor.Tensor) *tensor.Tensor, ds *dataset.Dataset, batchSize int) float64 {
 	if batchSize <= 0 {
 		batchSize = 64
 	}
 	var correct, seen int
 	for _, idx := range ds.Batches(batchSize, false, 0) {
 		x, y := ds.Batch(idx)
-		logits := net.Forward(x, false)
+		logits := forward(x)
 		pred := logits.ArgmaxRows()
 		for i, p := range pred {
 			if p == y[i] {

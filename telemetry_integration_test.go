@@ -187,9 +187,23 @@ func TestTelemetryODQConvCounters(t *testing.T) {
 	for _, ev := range r.TraceEvents() {
 		names[ev.Name] = true
 	}
-	for _, want := range []string{"odq.conv", "odq.predictor", "odq.executor", "gemm.pack", "gemm.kernel", "nn.conv.forward"} {
+	for _, want := range []string{"odq.conv", "odq.predictor", "odq.executor", "nn.conv.forward"} {
 		if !names[want] {
 			t.Fatalf("trace missing span %q (have %v)", want, names)
+		}
+	}
+
+	// The legacy int-GEMM predictor path still routes through the batched
+	// GEMM kernels and must keep emitting their spans.
+	conv.Exec = core.NewExec(0.5, core.WithIntGEMMPredictor())
+	conv.Forward(x, false)
+	names = map[string]bool{}
+	for _, ev := range r.TraceEvents() {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"gemm.pack", "gemm.kernel"} {
+		if !names[want] {
+			t.Fatalf("legacy path trace missing span %q (have %v)", want, names)
 		}
 	}
 }
