@@ -1,4 +1,4 @@
-.PHONY: all build test vet race verify verify-quick bench snapshot bench-train bench-telemetry bench-bitplane bench-compare profile
+.PHONY: all build test vet race verify verify-quick bench snapshot bench-train bench-telemetry bench-bitplane bench-dist bench-compare profile
 
 all: build
 
@@ -50,6 +50,13 @@ bench-telemetry:
 # float round-trip path.
 bench-bitplane:
 	BITPLANE_BENCH_SNAPSHOT=1 go test -run TestBitplaneBenchSnapshot -timeout 60m -v .
+
+# Regenerate the committed scale-out snapshot (BENCH_dist.json):
+# group-synchronous QAT at 1/2/4 loopback workers and the replica pool at
+# 1/2/4 sessions — measured walls plus the critical-path projection for
+# multi-core hosts, interleaved min-of-trials.
+bench-dist:
+	DIST_BENCH_SNAPSHOT=1 go test -run TestDistBenchSnapshot -timeout 60m -v .
 
 # Compare fresh benchmark snapshot runs against the committed BENCH_*.json
 # files (informational; see scripts/bench_compare.sh).

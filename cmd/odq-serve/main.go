@@ -1,8 +1,9 @@
 // Command odq-serve is the production inference service: it loads a
-// checkpoint into a resident infer.Session and serves an HTTP/JSON API
-// with cross-request dynamic batching, bounded-queue admission control,
-// hot weight reload (POST /v1/reload or SIGHUP) and graceful drain on
-// SIGTERM/SIGINT.
+// checkpoint into a pool of resident infer.Sessions (-replicas) and
+// serves an HTTP/JSON API with cross-request dynamic batching,
+// bounded-queue admission control, round-robin batch dispatch across
+// replicas, hot weight reload (POST /v1/reload or SIGHUP, applied to
+// every replica) and graceful drain on SIGTERM/SIGINT.
 //
 // Usage:
 //
@@ -52,6 +53,7 @@ func main() {
 	batchDeadline := flag.Duration("batch-deadline", 2*time.Millisecond, "flush a non-empty batch this long after its first request")
 	queueDepth := flag.Int("queue-depth", 256, "admission queue bound; overflow gets HTTP 429")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish accepted requests on shutdown")
+	replicas := flag.Int("replicas", 1, "resident session replicas; batches are dispatched round-robin across them")
 	tf := telemetryflag.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -66,6 +68,9 @@ func main() {
 	}
 	if _, err := infer.SchemeByName(*scheme); err != nil {
 		fail("%v", err)
+	}
+	if *replicas < 1 {
+		fail("-replicas must be >= 1 (got %d)", *replicas)
 	}
 
 	classes, c, h, w := 10, 3, 32, 32
@@ -84,22 +89,28 @@ func main() {
 		fail("%v", err)
 	}
 
-	model, err := infer.LoadModel(*modelName, models.Config{
-		Classes: classes, Scale: *scale, QATBits: *qatBits, Seed: *seed,
-	}, *ckpt)
-	if err != nil {
-		fail("%v", err)
-	}
 	sessOpts := []infer.Option{infer.WithThreshold(float32(*threshold))}
 	if *packed {
 		sessOpts = append(sessOpts, infer.WithPackedDomain())
 	}
-	sess, err := infer.NewSession(model, *scheme, sessOpts...)
-	if err != nil {
-		fail("%v", err)
+	// Every replica owns a full model instance loaded from the same
+	// checkpoint (or built from the same seed): replica invariance —
+	// identical weights, bit-identical answers — is what makes the
+	// round-robin dispatch invisible to clients.
+	sessions := make([]*infer.Session, *replicas)
+	for i := range sessions {
+		model, err := infer.LoadModel(*modelName, models.Config{
+			Classes: classes, Scale: *scale, QATBits: *qatBits, Seed: *seed,
+		}, *ckpt)
+		if err != nil {
+			fail("%v", err)
+		}
+		if sessions[i], err = infer.NewSession(model, *scheme, sessOpts...); err != nil {
+			fail("%v", err)
+		}
 	}
 
-	srv, err := serve.New(sess, serve.Config{
+	srv, err := serve.NewReplicated(sessions, serve.Config{
 		ModelName: *modelName,
 		InputC:    c, InputH: h, InputW: w,
 		MaxBatch:      *maxBatch,
@@ -118,8 +129,8 @@ func main() {
 	}
 	// The bound address line is load-bearing: scripts/serve_smoke.sh
 	// parses it to find the ephemeral port behind -addr :0.
-	fmt.Fprintf(os.Stderr, "odq-serve: listening on http://%s (model=%s scheme=%s input=%dx%dx%d max-batch=%d deadline=%v)\n",
-		ln.Addr(), *modelName, *scheme, c, h, w, *maxBatch, *batchDeadline)
+	fmt.Fprintf(os.Stderr, "odq-serve: listening on http://%s (model=%s scheme=%s input=%dx%dx%d max-batch=%d deadline=%v replicas=%d)\n",
+		ln.Addr(), *modelName, *scheme, c, h, w, *maxBatch, *batchDeadline, srv.Replicas())
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)

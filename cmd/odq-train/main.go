@@ -10,6 +10,17 @@
 //	odq-train -model resnet20 -dataset c10 -epochs 14 -o resnet20.ckpt
 //	odq-train -epochs 14 -ckpt-every 1 -o run.ckpt          # durable run
 //	odq-train -epochs 14 -ckpt-every 1 -o run.ckpt -resume  # after a crash
+//
+// Data-parallel scale-out (-workers) runs the same trajectory across W
+// workers: each step folds one sync group of -group batches, workers
+// own a rank-strided share, and gradients are reduced deterministically
+// before the optimizer steps. Runs with equal -group are bit-identical
+// for ANY worker count, so a checkpoint from a 2-worker run resumes as
+// 1 or 4 workers without changing the result:
+//
+//	odq-train -workers 2 -group 2 -o run.ckpt              # in-process
+//	odq-train -workers 2 -rank 0 -coord :7000 -o run.ckpt  # coordinator
+//	odq-train -workers 2 -rank 1 -coord host:7000          # joiner
 package main
 
 import (
@@ -17,14 +28,21 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/dist"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/telemetry/telemetryflag"
 	"repro/internal/train"
 )
+
+// joinTimeout bounds how long a coordinator or joiner waits for the
+// rest of the fleet before giving up with an error.
+const joinTimeout = 60 * time.Second
 
 // fail prints a one-line actionable message and exits 1 (2 for usage
 // errors is reserved by flag itself).
@@ -49,6 +67,10 @@ func main() {
 	nanPolicy := flag.String("nan-policy", "abort", "reaction to NaN/Inf loss or gradients: abort, skip, rollback, ignore")
 	clipNorm := flag.Float64("clip-norm", 0, "clip gradients to this global L2 norm (0 = off)")
 	killAfter := flag.Int("kill-after", 0, "SIGKILL self after N completed epochs (crash-safety testing; 0 = off)")
+	workers := flag.Int("workers", 1, "data-parallel worker count (world size)")
+	rank := flag.Int("rank", 0, "this process's rank in [0,workers) when -coord is set")
+	coord := flag.String("coord", "", "coordinator TCP address; rank 0 listens there, other ranks dial it (empty with -workers > 1 = all workers in-process)")
+	group := flag.Int("group", 0, "sync group size: global batches folded per optimizer step (0 = workers, or the checkpoint's group on resume; equal -group means bit-identical runs at any worker count)")
 	tf := telemetryflag.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -84,6 +106,21 @@ func main() {
 	if *killAfter > 0 && *ckptEvery == 0 {
 		fail("-kill-after without -ckpt-every would lose all progress: pass -ckpt-every")
 	}
+	if *workers < 1 {
+		fail("-workers must be >= 1 (got %d)", *workers)
+	}
+	if *rank < 0 || *rank >= *workers {
+		fail("-rank must be in [0,%d) (got %d)", *workers, *rank)
+	}
+	if *coord != "" && *workers < 2 {
+		fail("-coord needs a fleet: pass -workers >= 2 (got %d)", *workers)
+	}
+	if *rank != 0 && *coord == "" {
+		fail("-rank %d without -coord: non-zero ranks must dial a coordinator", *rank)
+	}
+	if *group < 0 {
+		fail("-group must be >= 0 (got %d)", *group)
+	}
 	policy, err := train.ParseNaNPolicy(*nanPolicy)
 	if err != nil {
 		fail("%v", err)
@@ -110,18 +147,14 @@ func main() {
 		fail("unknown dataset %q (want c10, c100 or mnist)", *dsName)
 	}
 
-	net, err := models.Build(*modelName, models.Config{
-		Classes: classes, Scale: *scale, QATBits: *qatBits, Seed: *seed,
-	})
-	if err != nil {
-		fail("%v", err)
-	}
+	mcfg := models.Config{Classes: classes, Scale: *scale, QATBits: *qatBits, Seed: *seed}
 
 	opts := train.Options{
 		Epochs: *epochs, BatchSize: *batch, LR: float32(*lr),
 		Momentum: 0.9, Decay: 1e-4, Seed: *seed,
 		LRDropEvery: *epochs * 2 / 3, Log: os.Stderr,
 		NaNPolicy: policy, ClipNorm: float32(*clipNorm),
+		GroupSize: *group,
 	}
 	if *ckptEvery > 0 {
 		opts.CkptPath = *out
@@ -135,11 +168,93 @@ func main() {
 		opts.Log = &killWatcher{out: os.Stderr, after: *killAfter}
 	}
 
-	if _, err := train.Fit(net, trainDS, opts); err != nil {
-		if strings.Contains(err.Error(), "resume") {
-			fail("%v (was the checkpoint written by a run with different -model/-width/-qat or -seed?)", err)
+	var net *nn.Sequential
+	switch {
+	case *workers == 1:
+		// Single worker. -group > 1 (or a resumed group checkpoint) still
+		// selects the group-synchronous loop, which is bit-compatible
+		// with any worker count at the same group size; Fit resolves
+		// that from GroupSize and the checkpoint on its own.
+		n, err := models.Build(*modelName, mcfg)
+		if err != nil {
+			fail("%v", err)
 		}
-		fail("%v", err)
+		if _, err := train.Fit(n, trainDS, opts); err != nil {
+			failFit(err)
+		}
+		net = n
+
+	case *coord == "":
+		// Local fleet: every rank is a goroutine in this process over an
+		// in-process loopback transport. Exercises the full reduce path
+		// (sharding, deterministic fold, group barrier) without sockets.
+		groups, err := dist.Loopback(*workers)
+		if err != nil {
+			fail("%v", err)
+		}
+		nets := make([]*nn.Sequential, *workers)
+		for r := range nets {
+			if nets[r], err = models.Build(*modelName, mcfg); err != nil {
+				fail("%v", err)
+			}
+		}
+		errs := make([]error, *workers)
+		var wg sync.WaitGroup
+		for r := 0; r < *workers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				o := opts
+				o.Reducer = dist.NewReducer(groups[r])
+				if r != 0 {
+					o.Log = nil // one progress stream, not W interleaved ones
+				}
+				_, errs[r] = train.Fit(nets[r], trainDS, o)
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				failFit(fmt.Errorf("worker %d: %w", r, err))
+			}
+		}
+		net = nets[0] // all ranks hold bit-identical weights
+
+	default:
+		// Distributed fleet: this process is one rank; rank 0 is also the
+		// coordinator every other rank dials. Checkpoint paths must be on
+		// a filesystem all ranks can read (rank 0 alone writes).
+		var g *dist.Group
+		var err error
+		if *rank == 0 {
+			fmt.Fprintf(os.Stderr, "odq-train: rank 0 waiting for %d workers on %s\n", *workers-1, *coord)
+			g, err = dist.Listen(*coord, *workers, joinTimeout)
+		} else {
+			g, err = dist.Dial(*coord, *rank, *workers, joinTimeout)
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+		defer g.Close() //nolint:errcheck // process exit follows
+		n, err := models.Build(*modelName, mcfg)
+		if err != nil {
+			fail("%v", err)
+		}
+		opts.Reducer = dist.NewReducer(g)
+		if _, err := train.Fit(n, trainDS, opts); err != nil {
+			failFit(err)
+		}
+		net = n
+	}
+
+	// Evaluation and the final model write are rank 0's job; a joiner
+	// rank's weights are bit-identical copies, so reporting them twice
+	// would only be noise.
+	if *rank != 0 {
+		if err := flushTelemetry(); err != nil {
+			fail("%v", err)
+		}
+		return
 	}
 	acc := train.Evaluate(net, testDS, 64)
 	fmt.Printf("test accuracy: %.4f\n", acc)
@@ -165,6 +280,14 @@ func main() {
 	if err := flushTelemetry(); err != nil {
 		fail("%v", err)
 	}
+}
+
+// failFit exits with resume-mismatch guidance when the error calls for it.
+func failFit(err error) {
+	if strings.Contains(err.Error(), "resume") {
+		fail("%v (was the checkpoint written by a run with different -model/-width/-qat, -seed or -group?)", err)
+	}
+	fail("%v", err)
 }
 
 // killWatcher tees training-progress lines and SIGKILLs the process

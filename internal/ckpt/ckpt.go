@@ -103,6 +103,14 @@ type Progress struct {
 	// Loss and TrainAcc mirror train.History for the completed epochs.
 	Loss     []float32
 	TrainAcc []float64
+	// GroupSize is the number of global batches folded into each
+	// optimizer step (the sync-group size of data-parallel training).
+	// 0 in files written before scale-out and means 1. Deliberately the
+	// ONLY scale-out field here: worldSize and rank describe the run's
+	// topology, not its trajectory, and recording them would break the
+	// invariant that an N-worker and an M-worker run of the same group
+	// size produce byte-equal checkpoints (the elastic-resume contract).
+	GroupSize int
 }
 
 // Checkpoint is the in-memory form of a v2 file. Model is always
@@ -260,6 +268,9 @@ func encodeProgress(p *Progress) ([]byte, error) {
 	for _, v := range p.TrainAcc {
 		writeU64(&buf, math.Float64bits(v))
 	}
+	// GroupSize rides at the end so pre-scale-out files (which simply
+	// stop after the accuracy list) still decode; see decodeProgress.
+	writeU32(&buf, uint32(p.GroupSize))
 	return buf.Bytes(), nil
 }
 
@@ -303,6 +314,15 @@ func decodeProgress(b []byte) (*Progress, error) {
 			return nil, fmt.Errorf("ckpt: progress acc[%d]: %w", i, err)
 		}
 		p.TrainAcc = append(p.TrainAcc, math.Float64frombits(bits))
+	}
+	// Optional trailing field: files written before scale-out end here
+	// and load with GroupSize 0 (meaning 1).
+	if r.Len() > 0 {
+		var gs uint32
+		if err := binary.Read(r, binary.LittleEndian, &gs); err != nil {
+			return nil, fmt.Errorf("ckpt: progress group size: %w", err)
+		}
+		p.GroupSize = int(gs)
 	}
 	if r.Len() != 0 {
 		return nil, fmt.Errorf("ckpt: %d trailing bytes after progress section", r.Len())

@@ -239,3 +239,41 @@ func TestWriteRequiresModel(t *testing.T) {
 		t.Fatal("checkpoint without a model section must be rejected")
 	}
 }
+
+// TestProgressGroupSizeRoundTrip: the sync-group size rides at the end
+// of the progress section and survives a round trip.
+func TestProgressGroupSizeRoundTrip(t *testing.T) {
+	ck := sampleCheckpoint()
+	ck.Progress.GroupSize = 4
+	got, err := Read(bytes.NewReader(encode(t, ck)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Progress.GroupSize != 4 {
+		t.Fatalf("GroupSize = %d, want 4", got.Progress.GroupSize)
+	}
+}
+
+// TestProgressLegacyDecode: progress sections written before the
+// scale-out work end right after the accuracy list; they must decode
+// with GroupSize 0 (which train.Fit maps to the per-batch loop's group
+// of 1), not error.
+func TestProgressLegacyDecode(t *testing.T) {
+	p := sampleCheckpoint().Progress
+	p.GroupSize = 3
+	enc, err := encodeProgress(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := enc[:len(enc)-4] // strip the trailing group-size field
+	got, err := decodeProgress(legacy)
+	if err != nil {
+		t.Fatalf("legacy progress section must decode: %v", err)
+	}
+	if got.GroupSize != 0 {
+		t.Fatalf("legacy GroupSize = %d, want 0", got.GroupSize)
+	}
+	if got.Epoch != p.Epoch || got.Step != p.Step {
+		t.Fatalf("legacy decode mangled fields: %+v", got)
+	}
+}

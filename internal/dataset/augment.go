@@ -33,6 +33,18 @@ func (a *Augmenter) SeedEpoch(epoch int) {
 	a.rng = tensor.NewRNG(a.seed + int64(epoch)*0x9E3779B9)
 }
 
+// SeedBatch rewinds the stream to a position derived from (base seed,
+// epoch, batch). Group-synchronous data-parallel training reseeds before
+// every batch so the augmentations a batch receives depend only on its
+// global position — not on which worker ran it or what that worker
+// augmented earlier — which is what keeps N-worker runs bit-identical
+// to 1-worker runs.
+func (a *Augmenter) SeedBatch(epoch, batch int) {
+	// A second mixing constant decorrelates the per-batch streams from
+	// each other and from the per-epoch stream SeedEpoch produces.
+	a.rng = tensor.NewRNG(a.seed + int64(epoch)*0x9E3779B9 + (int64(batch)+1)*0x85EBCA6B)
+}
+
 // Apply augments a batch [N,C,H,W] in place-ish (returns a new tensor;
 // the input is untouched).
 func (a *Augmenter) Apply(x *tensor.Tensor) *tensor.Tensor {

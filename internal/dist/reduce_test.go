@@ -1,0 +1,321 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// refFold is the canonical result the reducer must match bit-for-bit:
+// a left fold of the good per-batch gradients in batch-index order.
+func refFold(grads [][]float32, bad []bool, n int) []float32 {
+	sum := make([]float32, n)
+	first := true
+	for j := range grads {
+		if bad != nil && bad[j] {
+			continue
+		}
+		if first {
+			copy(sum, grads[j])
+			first = false
+			continue
+		}
+		for i, g := range grads[j] {
+			sum[i] += g
+		}
+	}
+	return sum
+}
+
+func randGrad(rng *rand.Rand, n int) []float32 {
+	g := make([]float32, n)
+	for i := range g {
+		g[i] = float32(rng.NormFloat64())
+	}
+	return g
+}
+
+// runReduce fans a group of per-batch gradients out over world loopback
+// workers (index j owned by rank j%world), runs the reduce on every rank
+// concurrently with jittered start times, and returns each rank's sum
+// and metas.
+func runReduce(t *testing.T, world, groupSize, gradLen int, grads [][]float32, bad []bool,
+	jitter bool) ([][]float32, [][]BatchGrad) {
+	t.Helper()
+	groups, err := Loopback(world)
+	if err != nil {
+		t.Fatalf("Loopback: %v", err)
+	}
+	sums := make([][]float32, world)
+	metas := make([][]BatchGrad, world)
+	errs := make([]error, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			red := NewReducer(groups[r])
+			defer red.Close()
+			if jitter {
+				time.Sleep(time.Duration(r*3) * time.Millisecond)
+			}
+			var local []BatchGrad
+			for j := r; j < groupSize; j += world {
+				bg := BatchGrad{Index: j, Loss: float32(j), Correct: int32(j), Seen: 4,
+					Stats: []float32{float32(j), -float32(j)}}
+				if bad != nil && bad[j] {
+					bg.Bad = true
+				} else {
+					bg.Grad = grads[j]
+				}
+				local = append(local, bg)
+			}
+			sums[r] = make([]float32, gradLen)
+			metas[r], errs[r] = red.Reduce(0, groupSize, local, sums[r])
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: Reduce: %v", r, err)
+		}
+	}
+	return sums, metas
+}
+
+func f32Equal(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReduceBitIdenticalAcrossWorlds checks the core determinism claim:
+// for a fixed group of batches, the reduced gradient is bit-identical
+// for every world size (including the transportless Local reducer) and
+// on every rank, regardless of start-time jitter.
+func TestReduceBitIdenticalAcrossWorlds(t *testing.T) {
+	const groupSize, gradLen = 7, 513
+	rng := rand.New(rand.NewSource(42))
+	grads := make([][]float32, groupSize)
+	for j := range grads {
+		grads[j] = randGrad(rng, gradLen)
+	}
+	want := refFold(grads, nil, gradLen)
+
+	// Local reducer (world 1).
+	localSum := make([]float32, gradLen)
+	var local []BatchGrad
+	for j := 0; j < groupSize; j++ {
+		local = append(local, BatchGrad{Index: j, Grad: grads[j], Seen: 4})
+	}
+	if _, err := (Local{}).Reduce(0, groupSize, local, localSum); err != nil {
+		t.Fatalf("Local.Reduce: %v", err)
+	}
+	if !f32Equal(localSum, want) {
+		t.Fatal("Local reduce differs from the reference fold")
+	}
+
+	for _, world := range []int{2, 3, 4, 8} {
+		sums, metas := runReduce(t, world, groupSize, gradLen, grads, nil, true)
+		for r := range sums {
+			if !f32Equal(sums[r], want) {
+				t.Fatalf("world %d rank %d: sum differs from reference fold", world, r)
+			}
+			if len(metas[r]) != groupSize {
+				t.Fatalf("world %d rank %d: %d metas, want %d", world, r, len(metas[r]), groupSize)
+			}
+			for j, m := range metas[r] {
+				if m.Index != j || m.Loss != float32(j) || m.Correct != int32(j) || m.Seen != 4 {
+					t.Fatalf("world %d rank %d: meta %d = %+v", world, r, j, m)
+				}
+				if len(m.Stats) != 2 || m.Stats[0] != float32(j) || m.Stats[1] != -float32(j) {
+					t.Fatalf("world %d rank %d: meta %d stats %v", world, r, j, m.Stats)
+				}
+				if m.Grad != nil {
+					t.Fatalf("world %d rank %d: meta %d carries a gradient", world, r, j)
+				}
+			}
+		}
+	}
+}
+
+// TestReduceWithBadBatches: Bad contributions are excluded from the fold
+// but their metadata (and Bad flag) reaches every rank.
+func TestReduceWithBadBatches(t *testing.T) {
+	const groupSize, gradLen = 5, 64
+	rng := rand.New(rand.NewSource(7))
+	grads := make([][]float32, groupSize)
+	for j := range grads {
+		grads[j] = randGrad(rng, gradLen)
+	}
+	bad := []bool{false, true, false, true, false}
+	want := refFold(grads, bad, gradLen)
+	sums, metas := runReduce(t, 3, groupSize, gradLen, grads, bad, false)
+	for r := range sums {
+		if !f32Equal(sums[r], want) {
+			t.Fatalf("rank %d: sum with bad batches differs from reference", r)
+		}
+		for j, m := range metas[r] {
+			if m.Bad != bad[j] {
+				t.Fatalf("rank %d: meta %d bad=%v, want %v", r, j, m.Bad, bad[j])
+			}
+		}
+	}
+}
+
+// TestReduceAllBad: a fully-poisoned group folds to a zero gradient.
+func TestReduceAllBad(t *testing.T) {
+	sums, _ := runReduce(t, 2, 3, 16, make([][]float32, 3), []bool{true, true, true}, false)
+	for r := range sums {
+		for i, v := range sums[r] {
+			if v != 0 {
+				t.Fatalf("rank %d: all-bad sum[%d] = %v, want 0", r, i, v)
+			}
+		}
+	}
+}
+
+// reduceErr runs a 2-worker reduce where the non-root rank sends the
+// given contributions, returning the root's error.
+func reduceErr(t *testing.T, groupSize int, rootLocal, peerLocal []BatchGrad) error {
+	t.Helper()
+	groups, err := Loopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		red := NewReducer(groups[1])
+		defer red.Close()
+		sum := make([]float32, 4)
+		red.Reduce(0, groupSize, peerLocal, sum) //nolint:errcheck // root's error is under test
+	}()
+	root := NewReducer(groups[0])
+	defer root.Close()
+	sum := make([]float32, 4)
+	_, rootErr := root.Reduce(0, groupSize, rootLocal, sum)
+	wg.Wait()
+	return rootErr
+}
+
+func TestReduceValidation(t *testing.T) {
+	g := []float32{1, 2, 3, 4}
+	cases := []struct {
+		name      string
+		groupSize int
+		root      []BatchGrad
+		peer      []BatchGrad
+	}{
+		{"missing contribution", 4,
+			[]BatchGrad{{Index: 0, Grad: g}, {Index: 2, Grad: g}},
+			[]BatchGrad{{Index: 1, Grad: g}}}, // batch 3 never sent
+		{"foreign index", 2,
+			[]BatchGrad{{Index: 0, Grad: g}},
+			[]BatchGrad{{Index: 0, Grad: g}}}, // peer claims root's batch
+		{"out of range", 2,
+			[]BatchGrad{{Index: 0, Grad: g}},
+			[]BatchGrad{{Index: 5, Grad: g}}},
+		{"duplicate", 4,
+			[]BatchGrad{{Index: 0, Grad: g}, {Index: 2, Grad: g}},
+			[]BatchGrad{{Index: 1, Grad: g}, {Index: 1, Grad: g}, {Index: 3, Grad: g}}},
+		{"gradient length mismatch", 2,
+			[]BatchGrad{{Index: 0, Grad: g}},
+			[]BatchGrad{{Index: 1, Grad: []float32{1, 2}}}},
+	}
+	for _, tc := range cases {
+		if err := reduceErr(t, tc.groupSize, tc.root, tc.peer); err == nil {
+			t.Errorf("%s: reduce completed cleanly, want loud failure", tc.name)
+		}
+	}
+}
+
+// TestLocalValidation mirrors the strictness of the transport path.
+func TestLocalValidation(t *testing.T) {
+	sum := make([]float32, 4)
+	g := []float32{1, 2, 3, 4}
+	if _, err := (Local{}).Reduce(0, 2, []BatchGrad{{Index: 0, Grad: g}}, sum); err == nil {
+		t.Error("missing batch folded cleanly")
+	}
+	if _, err := (Local{}).Reduce(0, 1, []BatchGrad{{Index: 0, Grad: g}, {Index: 0, Grad: g}}, sum); err == nil {
+		t.Error("duplicate batch folded cleanly")
+	}
+	if _, err := (Local{}).Reduce(0, 1, []BatchGrad{{Index: 0, Grad: []float32{1}}}, sum); err == nil {
+		t.Error("length mismatch folded cleanly")
+	}
+}
+
+// TestReduceStepMismatch: a desynchronized worker (wrong step id) must
+// abort the reduce, not silently mix steps.
+func TestReduceStepMismatch(t *testing.T) {
+	groups, err := Loopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := []float32{1, 2, 3, 4}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		red := NewReducer(groups[1])
+		defer red.Close()
+		sum := make([]float32, 4)
+		red.Reduce(9, 2, []BatchGrad{{Index: 1, Grad: g}}, sum) //nolint:errcheck // desync under test
+	}()
+	root := NewReducer(groups[0])
+	defer root.Close()
+	sum := make([]float32, 4)
+	_, rootErr := root.Reduce(0, 2, []BatchGrad{{Index: 0, Grad: g}}, sum)
+	wg.Wait()
+	if rootErr == nil {
+		t.Fatal("step-desynchronized reduce completed cleanly")
+	}
+}
+
+// TestReduceMultiStep reuses one group for several steps (buffer and
+// sequence-number reuse across Reduce calls).
+func TestReduceMultiStep(t *testing.T) {
+	const gradLen = 33
+	rng := rand.New(rand.NewSource(3))
+	groups, err := Loopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 5
+	gradsPerStep := make([][][]float32, steps)
+	for s := range gradsPerStep {
+		gradsPerStep[s] = [][]float32{randGrad(rng, gradLen), randGrad(rng, gradLen)}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		red := NewReducer(groups[1])
+		defer red.Close()
+		for s := 0; s < steps; s++ {
+			sum := make([]float32, gradLen)
+			red.Reduce(int64(s), 2, []BatchGrad{{Index: 1, Grad: gradsPerStep[s][1], Seen: 1}}, sum) //nolint:errcheck
+		}
+	}()
+	root := NewReducer(groups[0])
+	defer root.Close()
+	for s := 0; s < steps; s++ {
+		sum := make([]float32, gradLen)
+		if _, err := root.Reduce(int64(s), 2, []BatchGrad{{Index: 0, Grad: gradsPerStep[s][0], Seen: 1}}, sum); err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+		if want := refFold(gradsPerStep[s], nil, gradLen); !f32Equal(sum, want) {
+			t.Fatalf("step %d: sum differs from reference", s)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+)
+
+// protoVersion guards against mixed binaries joining one run; bump it
+// whenever the wire protocol changes incompatibly.
+const protoVersion = 1
+
+// helloLen is the FrameHello payload: u32 proto, u32 world, u32 rank.
+const helloLen = 12
+
+// Coordinator is the listening side of a TCP join: rank 0 binds an
+// address, then Accept gathers one hello per non-root rank.
+type Coordinator struct {
+	ln net.Listener
+}
+
+// NewCoordinator binds the coordinator address. Use ":0" in tests to get
+// an ephemeral port via Addr.
+func NewCoordinator(addr string) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: coordinator listen: %w", err)
+	}
+	return &Coordinator{ln: ln}, nil
+}
+
+// Addr returns the bound listen address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close stops listening; joined connections stay open.
+func (c *Coordinator) Close() error { return c.ln.Close() }
+
+// Accept waits until every non-root rank has connected and announced
+// itself with a hello frame, then returns rank 0's group. A wrong
+// protocol version, a world-size mismatch, an out-of-range or duplicate
+// rank, or fewer than world-1 joins before the timeout all abort the
+// whole join: a misconfigured fleet must not start training.
+func (c *Coordinator) Accept(world int, timeout time.Duration) (*Group, error) {
+	if world < 2 {
+		return nil, fmt.Errorf("dist: TCP join needs world >= 2 (got %d); use Loopback for single-process runs", world)
+	}
+	deadline := time.Now().Add(timeout)
+	g := &Group{rank: 0, world: world, conns: make([]Conn, world)}
+	cleanup := func() {
+		for _, conn := range g.conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	}
+	for joined := 0; joined < world-1; joined++ {
+		if tl, ok := c.ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline) //nolint:errcheck // best-effort timeout
+		}
+		raw, err := c.ln.Accept()
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("dist: %d of %d workers joined before error: %w", joined, world-1, err)
+		}
+		// The join deadline must also bound the hello read: a joiner that
+		// connects and then stalls (or speaks a non-frame protocol short
+		// of one header) would otherwise hang the whole fleet.
+		raw.SetReadDeadline(deadline) //nolint:errcheck // best-effort timeout
+		conn := NewStreamConn(raw)
+		rank, err := readHello(conn, world)
+		if err != nil {
+			conn.Close()
+			cleanup()
+			return nil, err
+		}
+		raw.SetReadDeadline(time.Time{}) //nolint:errcheck // joined: back to blocking reads
+		if g.conns[rank] != nil {
+			conn.Close()
+			cleanup()
+			return nil, fmt.Errorf("dist: rank %d joined twice (duplicate -rank on two workers?)", rank)
+		}
+		g.conns[rank] = conn
+	}
+	c.ln.Close()
+	return g, nil
+}
+
+func readHello(conn Conn, world int) (int, error) {
+	t, payload, err := conn.Recv()
+	if err != nil {
+		return 0, fmt.Errorf("dist: reading join hello: %w", err)
+	}
+	if t != FrameHello {
+		return 0, fmt.Errorf("dist: first frame from joining worker is %s, want hello", t)
+	}
+	if len(payload) != helloLen {
+		return 0, fmt.Errorf("dist: hello payload is %d bytes, want %d", len(payload), helloLen)
+	}
+	proto := binary.LittleEndian.Uint32(payload[0:])
+	peerWorld := binary.LittleEndian.Uint32(payload[4:])
+	rank := binary.LittleEndian.Uint32(payload[8:])
+	if proto != protoVersion {
+		return 0, fmt.Errorf("dist: worker speaks protocol %d, coordinator speaks %d (mixed binaries?)", proto, protoVersion)
+	}
+	if int(peerWorld) != world {
+		return 0, fmt.Errorf("dist: worker configured for world size %d, coordinator for %d", peerWorld, world)
+	}
+	if rank == 0 || int(rank) >= world {
+		return 0, fmt.Errorf("dist: joining worker announced rank %d, want 1..%d", rank, world-1)
+	}
+	return int(rank), nil
+}
+
+// Listen is the one-shot coordinator entry point for CLIs with a fixed
+// address: bind, gather the fleet, return rank 0's group.
+func Listen(addr string, world int, timeout time.Duration) (*Group, error) {
+	c, err := NewCoordinator(addr)
+	if err != nil {
+		return nil, err
+	}
+	g, err := c.Accept(world, timeout)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return g, nil
+}
+
+// Dial connects a non-root worker to the coordinator, retrying while the
+// coordinator is still coming up, and announces (rank, world) with a
+// hello frame.
+func Dial(addr string, rank, world int, timeout time.Duration) (*Group, error) {
+	if world < 2 || rank < 1 || rank >= world {
+		return nil, fmt.Errorf("dist: dialing rank must be in 1..%d (got rank %d, world %d)", world-1, rank, world)
+	}
+	deadline := time.Now().Add(timeout)
+	var raw net.Conn
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("dist: rank %d could not reach coordinator %s within %v", rank, addr, timeout)
+		}
+		var err error
+		raw, err = net.DialTimeout("tcp", addr, remain)
+		if err == nil {
+			break
+		}
+		// The coordinator may simply not be listening yet (workers race
+		// to start); retry until the join timeout says otherwise.
+		time.Sleep(50 * time.Millisecond)
+	}
+	conn := NewStreamConn(raw)
+	hello := make([]byte, helloLen)
+	binary.LittleEndian.PutUint32(hello[0:], protoVersion)
+	binary.LittleEndian.PutUint32(hello[4:], uint32(world))
+	binary.LittleEndian.PutUint32(hello[8:], uint32(rank))
+	if err := conn.Send(FrameHello, hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dist: sending join hello: %w", err)
+	}
+	conns := make([]Conn, world)
+	conns[0] = conn
+	return &Group{rank: rank, world: world, conns: conns}, nil
+}

@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+var (
+	mFramesSent = telemetry.GetCounter("dist.frames_sent")
+	mFramesRecv = telemetry.GetCounter("dist.frames_recv")
+	mBytesSent  = telemetry.GetCounter("dist.bytes_sent")
+	mFrameErrs  = telemetry.GetCounter("dist.frame_errors")
+)
+
+// Conn is one reliable, ordered frame link to a peer worker. Send is
+// safe for concurrent use; Recv must have a single consumer (the reduce
+// protocol has exactly one per link).
+type Conn interface {
+	Send(t FrameType, payload []byte) error
+	Recv() (FrameType, []byte, error)
+	Close() error
+}
+
+// streamConn frames an underlying byte stream — a TCP connection in
+// production, a net.Pipe end for the in-process loopback — with
+// per-direction sequence numbers so duplicated, dropped or reordered
+// frames are detected at Recv.
+type streamConn struct {
+	rwc io.ReadWriteCloser
+	br  *bufio.Reader
+
+	sendMu  sync.Mutex
+	sendSeq uint64
+	recvSeq uint64
+}
+
+// NewStreamConn wraps a byte stream in the frame codec.
+func NewStreamConn(rwc io.ReadWriteCloser) Conn {
+	return &streamConn{rwc: rwc, br: bufio.NewReader(rwc)}
+}
+
+func (c *streamConn) Send(t FrameType, payload []byte) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if err := WriteFrame(c.rwc, t, c.sendSeq, payload); err != nil {
+		mFrameErrs.Inc()
+		return err
+	}
+	c.sendSeq++
+	if telemetry.Enabled() {
+		mFramesSent.Inc()
+		mBytesSent.Add(int64(frameHeaderLen + len(payload)))
+	}
+	return nil
+}
+
+func (c *streamConn) Recv() (FrameType, []byte, error) {
+	t, payload, err := ReadFrame(c.br, c.recvSeq)
+	if err != nil {
+		if err != io.EOF {
+			mFrameErrs.Inc()
+		}
+		return 0, nil, err
+	}
+	c.recvSeq++
+	if telemetry.Enabled() {
+		mFramesRecv.Inc()
+	}
+	return t, payload, nil
+}
+
+func (c *streamConn) Close() error { return c.rwc.Close() }
+
+// Group is one worker's membership in a reduce group: its rank, the
+// world size, and its frame links in a star topology — the root (rank 0)
+// holds one conn per peer, every other rank holds a single conn to the
+// root.
+type Group struct {
+	rank  int
+	world int
+	conns []Conn // indexed by peer rank; nil where no link exists
+}
+
+// NewGroup assembles a group from pre-established links. conns is
+// indexed by peer rank: the root passes one conn per non-root rank, a
+// non-root rank passes only conns[0]. Exposed so tests can splice
+// fault-injecting links into the topology.
+func NewGroup(rank, world int, conns []Conn) (*Group, error) {
+	if world < 1 || rank < 0 || rank >= world {
+		return nil, fmt.Errorf("dist: invalid rank %d for world size %d", rank, world)
+	}
+	if len(conns) != world {
+		return nil, fmt.Errorf("dist: got %d conn slots, want %d (one per rank)", len(conns), world)
+	}
+	return &Group{rank: rank, world: world, conns: conns}, nil
+}
+
+// Rank returns this worker's rank in [0, World).
+func (g *Group) Rank() int { return g.rank }
+
+// World returns the number of workers in the group.
+func (g *Group) World() int { return g.world }
+
+// conn returns the link to peer, which must exist in this topology.
+func (g *Group) conn(peer int) Conn {
+	c := g.conns[peer]
+	if c == nil {
+		panic(fmt.Sprintf("dist: rank %d has no link to rank %d", g.rank, peer))
+	}
+	return c
+}
+
+// Close closes every link of this group member.
+func (g *Group) Close() error {
+	var first error
+	for _, c := range g.conns {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Loopback wires a world of in-process workers into a star topology over
+// synchronous in-memory pipes. The pipes run the exact frame codec the
+// TCP transport uses, so local multi-worker runs and tests exercise the
+// production framing, checksumming and sequence tracking.
+func Loopback(world int) ([]*Group, error) {
+	if world < 1 {
+		return nil, fmt.Errorf("dist: world size %d, want >= 1", world)
+	}
+	groups := make([]*Group, world)
+	root := &Group{rank: 0, world: world, conns: make([]Conn, world)}
+	groups[0] = root
+	for r := 1; r < world; r++ {
+		a, b := net.Pipe()
+		root.conns[r] = NewStreamConn(a)
+		g := &Group{rank: r, world: world, conns: make([]Conn, world)}
+		g.conns[0] = NewStreamConn(b)
+		groups[r] = g
+	}
+	return groups, nil
+}

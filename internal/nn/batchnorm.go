@@ -27,6 +27,21 @@ type BatchNorm2D struct {
 	// batch statistics of approximated activations would drift.
 	Frozen bool
 
+	// DeferStats makes training-mode forward record the batch statistics
+	// in LastMean/LastVar INSTEAD of folding them into the running
+	// estimates. Group-synchronous data-parallel training sets this so
+	// the per-batch EMA updates — the one piece of forward-pass state a
+	// checkpoint carries — can be broadcast and replayed in global batch
+	// order on every rank via ApplyStats, keeping running statistics
+	// bit-identical across worker counts. Normalization itself always
+	// uses the batch statistics, so the training trajectory is unchanged.
+	DeferStats bool
+
+	// LastMean/LastVar are the most recent deferred batch statistics
+	// (valid only after a training forward with DeferStats set).
+	LastMean []float32
+	LastVar  []float32
+
 	// Cached forward state.
 	inX     *tensor.Tensor
 	xHat    *tensor.Tensor
@@ -84,6 +99,10 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		mu := make([]float32, c)
 		sd := make([]float32, c)
+		if b.DeferStats && len(b.LastMean) != c {
+			b.LastMean = make([]float32, c)
+			b.LastVar = make([]float32, c)
+		}
 		cnt := float64(n * hw)
 		for ch := 0; ch < c; ch++ {
 			var sum float64
@@ -105,8 +124,15 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			vr /= cnt
 			mu[ch] = float32(m)
 			sd[ch] = float32(math.Sqrt(vr + float64(b.Eps)))
-			b.RunningMean.Data[ch] = (1-b.Momentum)*b.RunningMean.Data[ch] + b.Momentum*float32(m)
-			b.RunningVar.Data[ch] = (1-b.Momentum)*b.RunningVar.Data[ch] + b.Momentum*float32(vr)
+			if b.DeferStats {
+				// Record the exact float32 values the EMA would have
+				// consumed; ApplyStats replays the identical expression.
+				b.LastMean[ch] = float32(m)
+				b.LastVar[ch] = float32(vr)
+			} else {
+				b.RunningMean.Data[ch] = (1-b.Momentum)*b.RunningMean.Data[ch] + b.Momentum*float32(m)
+				b.RunningVar.Data[ch] = (1-b.Momentum)*b.RunningVar.Data[ch] + b.Momentum*float32(vr)
+			}
 		}
 		xHat := tensor.New(x.Shape...)
 		for ch := 0; ch < c; ch++ {
@@ -194,6 +220,20 @@ func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
 
 // Visit implements Module.
 func (b *BatchNorm2D) Visit(f func(Module)) { f(b) }
+
+// ApplyStats folds one batch's deferred statistics into the running
+// estimates with the exact float expression the inline EMA uses, so
+// replaying deferred batches in their global order produces running
+// statistics bit-identical to a sequential single-worker run.
+func (b *BatchNorm2D) ApplyStats(mean, variance []float32) {
+	if len(mean) != b.C || len(variance) != b.C {
+		panic("nn: ApplyStats channel mismatch")
+	}
+	for ch := 0; ch < b.C; ch++ {
+		b.RunningMean.Data[ch] = (1-b.Momentum)*b.RunningMean.Data[ch] + b.Momentum*mean[ch]
+		b.RunningVar.Data[ch] = (1-b.Momentum)*b.RunningVar.Data[ch] + b.Momentum*variance[ch]
+	}
+}
 
 // EvalAffine returns the per-channel affine (scale, shift) the inference
 // forward applies: out = x*scale + shift with scale = gamma/sqrt(var+eps)

@@ -35,22 +35,32 @@ type ReloadResponse struct {
 	Generation uint64 `json:"generation"`
 }
 
+// ReplicaStatus is one replica's share of the pool counters.
+type ReplicaStatus struct {
+	Replica    int    `json:"replica"`
+	Served     int64  `json:"served"`
+	Batches    int64  `json:"batches"`
+	Generation uint64 `json:"generation"`
+}
+
 // StatusResponse is the GET /v1/status body.
 type StatusResponse struct {
-	Model           string  `json:"model"`
-	Scheme          string  `json:"scheme"`
-	InputShape      [3]int  `json:"input_shape"`
-	Classes         int     `json:"classes"`
-	Generation      uint64  `json:"generation"`
-	Served          int64   `json:"served"`
-	Rejected        int64   `json:"rejected"`
-	Batches         int64   `json:"batches"`
-	MeanBatch       float64 `json:"mean_batch"`
-	QueueDepth      int     `json:"queue_depth"`
-	QueueCap        int     `json:"queue_cap"`
-	MaxBatch        int     `json:"max_batch"`
-	BatchDeadlineMS float64 `json:"batch_deadline_ms"`
-	Draining        bool    `json:"draining"`
+	Model           string          `json:"model"`
+	Scheme          string          `json:"scheme"`
+	InputShape      [3]int          `json:"input_shape"`
+	Classes         int             `json:"classes"`
+	Generation      uint64          `json:"generation"`
+	Served          int64           `json:"served"`
+	Rejected        int64           `json:"rejected"`
+	Batches         int64           `json:"batches"`
+	MeanBatch       float64         `json:"mean_batch"`
+	QueueDepth      int             `json:"queue_depth"`
+	QueueCap        int             `json:"queue_cap"`
+	MaxBatch        int             `json:"max_batch"`
+	BatchDeadlineMS float64         `json:"batch_deadline_ms"`
+	Replicas        int             `json:"replicas"`
+	PerReplica      []ReplicaStatus `json:"per_replica"`
+	Draining        bool            `json:"draining"`
 }
 
 type errorResponse struct {
@@ -150,12 +160,16 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	st := s.Stats()
+	per := make([]ReplicaStatus, len(st.PerReplica))
+	for i, r := range st.PerReplica {
+		per[i] = ReplicaStatus{Replica: i, Served: r.Served, Batches: r.Batches, Generation: r.Generation}
+	}
 	writeJSON(w, http.StatusOK, StatusResponse{
 		Model:           s.cfg.ModelName,
-		Scheme:          s.sess.Scheme(),
+		Scheme:          s.Session().Scheme(),
 		InputShape:      [3]int{s.cfg.InputC, s.cfg.InputH, s.cfg.InputW},
 		Classes:         s.classes,
-		Generation:      s.sess.Generation(),
+		Generation:      s.Session().Generation(),
 		Served:          st.Served,
 		Rejected:        st.Rejected,
 		Batches:         st.Batches,
@@ -164,6 +178,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		QueueCap:        st.QueueCap,
 		MaxBatch:        s.cfg.MaxBatch,
 		BatchDeadlineMS: float64(s.cfg.BatchDeadline) / float64(time.Millisecond),
+		Replicas:        st.Replicas,
+		PerReplica:      per,
 		Draining:        s.Draining(),
 	})
 }

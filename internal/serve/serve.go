@@ -1,19 +1,27 @@
-// Package serve is the production inference service over a resident
-// infer.Session: cross-request dynamic batching (collect requests up to a
-// deadline or a max batch, run ONE batched executor pass, scatter the
-// per-request results), admission control with a bounded queue and
+// Package serve is the production inference service over a pool of
+// resident infer.Sessions: cross-request dynamic batching (collect
+// requests up to a deadline or a max batch, run ONE batched executor
+// pass, scatter the per-request results), round-robin dispatch of
+// batches across replicas, admission control with a bounded queue and
 // backpressure, graceful drain, and hot model reload built on the
 // executors' generation-checked weight-cache invalidation.
 //
-// Correctness rests on a property pinned in package infer: inference is
-// batch-invariant (the ODQ predictor and the DRQ region threshold
-// normalize per sample), so a batched pass is bit-identical to running
-// every request alone — batching changes latency and throughput, never
-// answers.
+// Correctness rests on two invariances pinned by tests. Batch
+// invariance (package infer): the ODQ predictor and the DRQ region
+// threshold normalize per sample, so a batched pass is bit-identical to
+// running every request alone. Replica invariance: every replica loads
+// the identical checkpoint, so which replica answers a request is an
+// execution detail — batching and replication change latency and
+// throughput, never answers.
 //
-// Concurrency model: HTTP handlers only enqueue; one batcher goroutine
-// owns the session and performs every Forward and every reload, so
-// weight swaps never race an in-flight pass.
+// Concurrency model: HTTP handlers only enqueue; one collector
+// goroutine owns batch formation and round-robin dispatch, and each
+// replica goroutine exclusively owns one session — every Forward and
+// every reload of a session happens on its replica goroutine, so weight
+// swaps never race an in-flight pass. The per-replica work channels
+// have capacity 1: when every replica is mid-pass the collector blocks,
+// which is the backpressure that keeps the bounded admission queue
+// honest.
 package serve
 
 import (
@@ -85,6 +93,8 @@ type Result struct {
 	Logits []float32
 	// BatchSize is how many requests shared the executor pass.
 	BatchSize int
+	// Replica is the index of the replica that executed the pass.
+	Replica int
 	// Generation is the weight generation that produced the answer.
 	Generation uint64
 	// Latency is enqueue-to-scatter time.
@@ -103,18 +113,44 @@ type reloadReq struct {
 	err  chan error
 }
 
-// Server owns a resident session and batches requests onto it.
+// replicaReload is the reload order the collector routes through a
+// replica's work channel, so the swap is ordered after every batch
+// dispatched before it.
+type replicaReload struct {
+	path string
+	ack  chan error
+}
+
+// workItem is one unit dispatched to a replica: a batch to execute, or
+// a weight reload to apply.
+type workItem struct {
+	batch  []*pending
+	reload *replicaReload
+}
+
+// replica is one resident session plus the goroutine state that owns it.
+type replica struct {
+	id   int
+	sess *infer.Session
+	work chan workItem
+
+	served  atomic.Int64
+	batches atomic.Int64
+}
+
+// Server owns a pool of resident sessions and batches requests onto it.
 type Server struct {
-	cfg     Config
-	sess    *infer.Session
-	classes int
+	cfg      Config
+	replicas []*replica
+	classes  int
 
 	mu       sync.RWMutex // guards draining vs. enqueue/close ordering
 	draining bool
 
 	queue   chan *pending
 	reloads chan reloadReq
-	done    chan struct{} // closed when the batcher exits
+	done    chan struct{} // closed when the collector and all replicas exit
+	wg      sync.WaitGroup
 
 	// Plain stats, live regardless of telemetry enablement (Status and
 	// the tests read these; telemetry mirrors them when enabled).
@@ -135,25 +171,49 @@ type Server struct {
 	gQPS       *telemetry.Gauge
 }
 
-// New builds a server over a resident session and warms it up: one
-// batch-1 forward packs every layer's weight codes and tells the server
-// the classifier width. Call Start to begin serving.
+// New builds a single-replica server over a resident session. Call
+// Start to begin serving.
 func New(sess *infer.Session, cfg Config) (*Server, error) {
+	return NewReplicated([]*infer.Session{sess}, cfg)
+}
+
+// NewReplicated builds a server over a pool of resident sessions — one
+// replica per session — and warms every replica up: one batch-1 forward
+// packs each session's weight codes and tells the server the classifier
+// width. The sessions must host the same model loaded from the same
+// checkpoint (replica invariance is what makes round-robin dispatch
+// transparent); a classifier-width disagreement is rejected here. Call
+// Start to begin serving.
+func NewReplicated(sessions []*infer.Session, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if len(sessions) == 0 {
+		return nil, errors.New("serve: need at least one session")
+	}
 	if cfg.InputC <= 0 || cfg.InputH <= 0 || cfg.InputW <= 0 {
 		return nil, fmt.Errorf("serve: input shape %dx%dx%d invalid", cfg.InputC, cfg.InputH, cfg.InputW)
 	}
-	probe := sess.Forward(tensor.New(1, cfg.InputC, cfg.InputH, cfg.InputW))
-	if probe.Rank() != 2 {
-		return nil, fmt.Errorf("serve: model output rank %d, want 2 (logits)", probe.Rank())
+	classes := 0
+	replicas := make([]*replica, len(sessions))
+	for i, sess := range sessions {
+		probe := sess.Forward(tensor.New(1, cfg.InputC, cfg.InputH, cfg.InputW))
+		if probe.Rank() != 2 {
+			return nil, fmt.Errorf("serve: replica %d model output rank %d, want 2 (logits)", i, probe.Rank())
+		}
+		if i == 0 {
+			classes = probe.Shape[1]
+		} else if probe.Shape[1] != classes {
+			return nil, fmt.Errorf("serve: replica %d has %d classes, replica 0 has %d (pools must host one model)",
+				i, probe.Shape[1], classes)
+		}
+		replicas[i] = &replica{id: i, sess: sess, work: make(chan workItem, 1)}
 	}
 	s := &Server{
-		cfg:     cfg,
-		sess:    sess,
-		classes: probe.Shape[1],
-		queue:   make(chan *pending, cfg.QueueDepth),
-		reloads: make(chan reloadReq),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		replicas: replicas,
+		classes:  classes,
+		queue:    make(chan *pending, cfg.QueueDepth),
+		reloads:  make(chan reloadReq),
+		done:     make(chan struct{}),
 
 		mRequests:  telemetry.GetCounter("serve.requests"),
 		mRejected:  telemetry.GetCounter("serve.rejected"),
@@ -167,14 +227,22 @@ func New(sess *infer.Session, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Session returns the underlying resident session.
-func (s *Server) Session() *infer.Session { return s.sess }
+// Session returns replica 0's resident session.
+func (s *Server) Session() *infer.Session { return s.replicas[0].sess }
+
+// Replicas returns the pool size.
+func (s *Server) Replicas() int { return len(s.replicas) }
 
 // Classes returns the classifier width discovered at warmup.
 func (s *Server) Classes() int { return s.classes }
 
-// Start launches the batcher and the QPS sampler.
+// Start launches the collector, the replica executors and the QPS
+// sampler.
 func (s *Server) Start() {
+	for _, r := range s.replicas {
+		s.wg.Add(1)
+		go s.replicaLoop(r)
+	}
 	go s.run()
 	go s.sampleQPS()
 }
@@ -208,9 +276,14 @@ func (s *Server) Submit(x []float32) (<-chan Result, error) {
 	}
 }
 
-// Reload asks the batcher to hot-swap weights from the checkpoint at
-// path (empty = the configured default) between batches, so a swap never
-// races an executor pass. Returns the new weight generation.
+// Reload hot-swaps weights from the checkpoint at path (empty = the
+// configured default) on EVERY replica. The reload order rides each
+// replica's work channel, so on each replica it is ordered after all
+// batches dispatched before it and a swap never races an executor pass.
+// Returns the new weight generation. On a partial failure (some
+// replicas swapped, some did not) an error is returned and the pool
+// keeps serving — Result.Generation tells callers which weights
+// answered; retry the reload to converge the stragglers.
 func (s *Server) Reload(path string) (uint64, error) {
 	if path == "" {
 		path = s.cfg.CkptPath
@@ -227,11 +300,11 @@ func (s *Server) Reload(path string) (uint64, error) {
 	if err := <-req.err; err != nil {
 		return 0, err
 	}
-	return s.sess.Generation(), nil
+	return s.replicas[0].sess.Generation(), nil
 }
 
-// Drain stops admission (new Submits get ErrDraining), lets the batcher
-// finish every already-accepted request, and returns when the batcher
+// Drain stops admission (new Submits get ErrDraining), lets the pool
+// finish every already-accepted request, and returns when every replica
 // has exited or the timeout elapsed.
 func (s *Server) Drain(timeout time.Duration) error {
 	s.mu.Lock()
@@ -256,11 +329,19 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// ReplicaStats is one replica's point-in-time counters.
+type ReplicaStats struct {
+	Served, Batches int64
+	Generation      uint64
+}
+
 // Stats is a point-in-time view of the serving counters.
 type Stats struct {
 	Served, Rejected, Batches int64
 	MeanBatch                 float64
 	QueueDepth, QueueCap      int
+	Replicas                  int
+	PerReplica                []ReplicaStats
 }
 
 // Stats returns the live counters.
@@ -271,66 +352,119 @@ func (s *Server) Stats() Stats {
 		Batches:    s.batches.Load(),
 		QueueDepth: len(s.queue),
 		QueueCap:   s.cfg.QueueDepth,
+		Replicas:   len(s.replicas),
+		PerReplica: make([]ReplicaStats, len(s.replicas)),
 	}
 	if st.Batches > 0 {
 		st.MeanBatch = float64(s.batchSum.Load()) / float64(st.Batches)
 	}
+	for i, r := range s.replicas {
+		st.PerReplica[i] = ReplicaStats{
+			Served:     r.served.Load(),
+			Batches:    r.batches.Load(),
+			Generation: r.sess.Generation(),
+		}
+	}
 	return st
 }
 
-// run is the batcher: the single goroutine that owns the session.
+// run is the collector: the single goroutine that forms batches and
+// deals them round-robin across the replica pool. On exit (drain) it
+// closes every work channel and waits for the replicas to finish their
+// queued items, so drain completes all accepted work.
 func (s *Server) run() {
-	defer close(s.done)
+	defer func() {
+		for _, r := range s.replicas {
+			close(r.work)
+		}
+		s.wg.Wait()
+		close(s.done)
+	}()
+	rr := 0
 	for {
 		select {
 		case r := <-s.reloads:
-			s.reload(r)
+			s.reloadAll(r)
 		case p, ok := <-s.queue:
 			if !ok {
 				return
 			}
-			if closed := s.runBatch(p); closed {
+			batch, closed := s.collect(p)
+			s.replicas[rr].work <- workItem{batch: batch}
+			rr = (rr + 1) % len(s.replicas)
+			if closed {
 				return
 			}
 		}
 	}
 }
 
-func (s *Server) reload(r reloadReq) {
-	sp := telemetry.StartSpan("serve.reload")
-	err := s.sess.ReloadFile(r.path)
-	sp.End()
-	if err == nil {
-		s.mReloads.Inc()
+// reloadAll routes one reload order through every replica's work
+// channel and gathers the acks, reporting the first failure.
+func (s *Server) reloadAll(r reloadReq) {
+	ack := make(chan error, len(s.replicas))
+	for _, rep := range s.replicas {
+		rep.work <- workItem{reload: &replicaReload{path: r.path, ack: ack}}
 	}
-	r.err <- err
+	var first error
+	for range s.replicas {
+		if err := <-ack; err != nil && first == nil {
+			first = err
+		}
+	}
+	r.err <- first
 }
 
-// runBatch collects up to MaxBatch requests (waiting at most
-// BatchDeadline past the first), executes one batched pass, and scatters
-// the results. Returns true when the queue was closed (drain): the
-// current batch still executes — drain completes all accepted work.
-func (s *Server) runBatch(first *pending) (closed bool) {
+// collect gathers up to MaxBatch requests (waiting at most
+// BatchDeadline past the first). closed reports that the queue was
+// closed during collection (drain): the batch still executes.
+func (s *Server) collect(first *pending) (batch []*pending, closed bool) {
 	spCollect := telemetry.StartSpan("serve.collect")
-	batch := append(make([]*pending, 0, s.cfg.MaxBatch), first)
+	defer spCollect.End()
+	batch = append(make([]*pending, 0, s.cfg.MaxBatch), first)
 	deadline := time.NewTimer(s.cfg.BatchDeadline)
-collect:
+	defer deadline.Stop()
 	for len(batch) < s.cfg.MaxBatch {
 		select {
 		case p, ok := <-s.queue:
 			if !ok {
 				closed = true
-				break collect
+				s.gQueue.Set(0)
+				return batch, true
 			}
 			batch = append(batch, p)
 		case <-deadline.C:
-			break collect
+			s.gQueue.Set(float64(len(s.queue)))
+			return batch, false
 		}
 	}
-	deadline.Stop()
 	s.gQueue.Set(float64(len(s.queue)))
-	spCollect.End()
+	return batch, false
+}
 
+// replicaLoop executes this replica's work items in dispatch order —
+// the goroutine is the session's exclusive owner, so batched passes and
+// weight swaps are serialized per replica by construction.
+func (s *Server) replicaLoop(r *replica) {
+	defer s.wg.Done()
+	for it := range r.work {
+		if it.reload != nil {
+			sp := telemetry.StartSpan("serve.reload")
+			err := r.sess.ReloadFile(it.reload.path)
+			sp.End()
+			if err == nil {
+				s.mReloads.Inc()
+			}
+			it.reload.ack <- err
+			continue
+		}
+		s.execBatch(r, it.batch)
+	}
+}
+
+// execBatch runs one batched pass on r's session and scatters the
+// results.
+func (s *Server) execBatch(r *replica, batch []*pending) {
 	n := len(batch)
 	per := s.cfg.InputC * s.cfg.InputH * s.cfg.InputW
 	x := tensor.New(n, s.cfg.InputC, s.cfg.InputH, s.cfg.InputW)
@@ -339,11 +473,11 @@ collect:
 	}
 
 	spExec := telemetry.StartSpan("serve.execute")
-	logits := s.sess.Forward(x)
+	logits := r.sess.Forward(x)
 	spExec.End()
 
 	spScatter := telemetry.StartSpan("serve.scatter")
-	gen := s.sess.Generation()
+	gen := r.sess.Generation()
 	now := time.Now()
 	preds := logits.ArgmaxRows()
 	for i, p := range batch {
@@ -355,6 +489,7 @@ collect:
 			Class:      preds[i],
 			Logits:     row,
 			BatchSize:  n,
+			Replica:    r.id,
 			Generation: gen,
 			Latency:    lat,
 		}
@@ -364,9 +499,10 @@ collect:
 	s.served.Add(int64(n))
 	s.batches.Add(1)
 	s.batchSum.Add(int64(n))
+	r.served.Add(int64(n))
+	r.batches.Add(1)
 	s.mBatches.Inc()
 	s.hBatchSize.Observe(float64(n))
-	return closed
 }
 
 // sampleQPS publishes the per-model QPS gauge once a second until drain.

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/dataset"
+	"repro/internal/dist"
 	"repro/internal/nn"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
@@ -76,19 +77,22 @@ func (o *SGD) Step(params []*nn.Param) {
 
 // ExportState returns name-keyed copies of the momentum buffers for the
 // given parameters, for checkpointing. Parameters that have not yet
-// taken a step (no velocity) are omitted; ImportState leaves them at
-// zero, which is exactly the state a fresh optimizer would have.
+// taken a step export an explicit zero buffer rather than being omitted:
+// ImportState resets absent names, so an omission would make "never
+// stepped" and "missing from the checkpoint" indistinguishable and let a
+// mid-run elastic resume silently zero a late-activating parameter's
+// velocity while the uninterrupted run kept it.
 func (o *SGD) ExportState(params []*nn.Param) (map[string][]float32, error) {
 	out := make(map[string][]float32, len(params))
 	for _, p := range params {
-		v, ok := o.vel[p]
-		if !ok {
-			continue
-		}
 		if _, dup := out[p.Name]; dup {
 			return nil, fmt.Errorf("train: duplicate parameter name %q in optimizer state", p.Name)
 		}
-		out[p.Name] = append([]float32(nil), v.Data...)
+		if v, ok := o.vel[p]; ok {
+			out[p.Name] = append([]float32(nil), v.Data...)
+		} else {
+			out[p.Name] = make([]float32, p.W.Len())
+		}
 	}
 	return out, nil
 }
@@ -171,17 +175,13 @@ func clipGradNorm(params []*nn.Param, clip float32) bool {
 	return true
 }
 
-// stepCore runs one training iteration. When check is true the loss and
-// gradients are screened for NaN/Inf and the optimizer update is withheld
-// on failure; clip > 0 enables gradient-norm clipping.
-func stepCore(net nn.Module, x *tensor.Tensor, y []int, opt *SGD, params []*nn.Param,
-	clip float32, check bool) (float32, *tensor.Tensor, stepHealth) {
-	sp := telemetry.StartSpan("train.step")
-	defer sp.End()
-	var t0 time.Time
-	if telemetry.Enabled() {
-		t0 = time.Now()
-	}
+// forwardBackward runs the forward pass, loss and backward pass for one
+// batch, leaving the batch's gradient accumulated in params. When check
+// is true the loss and gradients are screened for NaN/Inf: a bad loss
+// skips the backward pass, a bad gradient is zeroed — in both cases
+// params hold no usable gradient.
+func forwardBackward(net nn.Module, x *tensor.Tensor, y []int, params []*nn.Param,
+	check bool) (float32, *tensor.Tensor, stepHealth) {
 	logits := net.Forward(x, true)
 	loss, grad := nn.SoftmaxCE(logits, y)
 	if check && !finite32(loss) {
@@ -193,6 +193,24 @@ func stepCore(net nn.Module, x *tensor.Tensor, y []int, opt *SGD, params []*nn.P
 			p.ZeroGrad()
 		}
 		return loss, logits, healthBadGrad
+	}
+	return loss, logits, healthOK
+}
+
+// stepCore runs one training iteration. When check is true the loss and
+// gradients are screened for NaN/Inf and the optimizer update is withheld
+// on failure; clip > 0 enables gradient-norm clipping.
+func stepCore(net nn.Module, x *tensor.Tensor, y []int, opt *SGD, params []*nn.Param,
+	clip float32, check bool) (float32, *tensor.Tensor, stepHealth) {
+	sp := telemetry.StartSpan("train.step")
+	defer sp.End()
+	var t0 time.Time
+	if telemetry.Enabled() {
+		t0 = time.Now()
+	}
+	loss, logits, health := forwardBackward(net, x, y, params, check)
+	if health != healthOK {
+		return loss, logits, health
 	}
 	if clip > 0 && clipGradNorm(params, clip) {
 		mGradClips.Inc()
@@ -290,6 +308,25 @@ type Options struct {
 	// ClipNorm, when positive, rescales gradients so their global L2
 	// norm never exceeds it.
 	ClipNorm float32
+
+	// Reducer, when set, runs the fit group-synchronously as one worker
+	// of a data-parallel fleet: this rank computes the batches of the
+	// seed-keyed shuffle whose group-local index i satisfies
+	// i % World == Rank, exchanges per-batch gradients through the
+	// reducer before every optimizer step, and replays the group's
+	// batch-norm statistics and metrics in global batch order — so every
+	// worker count produces bit-identical parameters, history and
+	// checkpoints. Fit does not close the reducer; its lifecycle belongs
+	// to the caller. Only rank 0 writes checkpoints.
+	Reducer dist.GradReducer
+	// GroupSize is the number of global batches folded into each
+	// optimizer step. It — not the worker count — defines the training
+	// trajectory: runs with equal GroupSize are bit-identical for any
+	// number of workers. 0 means the reducer's world size (or 1 with no
+	// reducer, which is the classic per-batch loop); on resume, 0 adopts
+	// the checkpoint's recorded group size. Setting GroupSize >= 1
+	// without a Reducer runs the group-synchronous loop locally.
+	GroupSize int
 }
 
 // History records per-epoch training metrics.
@@ -366,10 +403,21 @@ func Fit(net nn.Module, ds *dataset.Dataset, opts Options) (*History, error) {
 	if opts.Epochs > 0 && ds.Len() == 0 {
 		return nil, fmt.Errorf("train: cannot fit on an empty dataset")
 	}
+	world, rank := 1, 0
+	if opts.Reducer != nil {
+		world, rank = opts.Reducer.World(), opts.Reducer.Rank()
+		if world < 1 || rank < 0 || rank >= world {
+			return nil, fmt.Errorf("train: reducer reports rank %d of world %d", rank, world)
+		}
+	}
+	if opts.GroupSize < 0 {
+		return nil, fmt.Errorf("train: GroupSize must be >= 0 (got %d)", opts.GroupSize)
+	}
 	opt := NewSGD(opts.LR, opts.Momentum, opts.Decay)
 	params := net.Params()
 	hist := &History{}
 	startEpoch := 0
+	resumedGroup := 0
 	var step int64
 
 	if opts.Resume {
@@ -396,6 +444,16 @@ func Fit(net nn.Module, ds *dataset.Dataset, opts Options) (*History, error) {
 					return nil, fmt.Errorf("train: resume: %w", err)
 				}
 			}
+			resumedGroup = ck.Progress.GroupSize
+			if resumedGroup == 0 {
+				// Pre-scale-out checkpoints recorded no group size; they
+				// were trained with the per-batch loop, i.e. group 1.
+				resumedGroup = 1
+			}
+			if opts.GroupSize > 0 && opts.GroupSize != resumedGroup {
+				return nil, fmt.Errorf("train: resume: checkpoint was trained with sync group %d, run requests %d; resuming would diverge",
+					resumedGroup, opts.GroupSize)
+			}
 			startEpoch = ck.Progress.Epoch
 			step = ck.Progress.Step
 			opt.LR = ck.Progress.LR
@@ -416,6 +474,25 @@ func Fit(net nn.Module, ds *dataset.Dataset, opts Options) (*History, error) {
 		}
 	}
 
+	// Resolve the sync-group size G — the trajectory-defining invariant.
+	// Explicit GroupSize wins; a resumed run adopts the checkpoint's
+	// (validated against any explicit request above); otherwise G is the
+	// worker count, so each worker contributes one batch per step. G > 1
+	// or an attached reducer selects the group-synchronous loop; a
+	// worker count above G only idles the surplus ranks, it never
+	// changes the trajectory — that is the elastic-resume invariant.
+	G := opts.GroupSize
+	if resumedGroup > 0 {
+		G = resumedGroup
+	}
+	if G == 0 {
+		G = world
+	}
+	useGroup := opts.Reducer != nil || G > 1
+	if useGroup && opts.NaNPolicy == NaNRollback {
+		return nil, fmt.Errorf("train: NaNRollback is not supported in group-synchronous mode (rolling back one worker would desynchronize the fleet); use abort or skip")
+	}
+
 	check := opts.NaNPolicy != NaNIgnore
 	lastGood, err := takeSnapshot(net, opt, params, startEpoch, step, hist)
 	if err != nil {
@@ -423,8 +500,17 @@ func Fit(net nn.Module, ds *dataset.Dataset, opts Options) (*History, error) {
 	}
 	rollbacks := 0
 
+	var gr *groupRunner
+	if useGroup {
+		gr = newGroupRunner(params, opts.Reducer, world, rank, G)
+		gr.attachBN(net)
+		defer gr.detachBN()
+	}
+
 	save := func(epochsDone int) error {
-		if opts.CkptPath == "" {
+		// Rank 0 owns the checkpoint; every rank holds identical state,
+		// so one durable copy is enough and writers never race.
+		if opts.CkptPath == "" || rank != 0 {
 			return nil
 		}
 		if epochsDone%opts.CkptEvery != 0 && epochsDone != opts.Epochs {
@@ -445,6 +531,7 @@ func Fit(net nn.Module, ds *dataset.Dataset, opts Options) (*History, error) {
 			Progress: &ckpt.Progress{
 				Epoch: epochsDone, Step: step, LR: opt.LR,
 				Loss: hist.Loss, TrainAcc: hist.TrainAcc,
+				GroupSize: G,
 			},
 		})
 	}
@@ -465,63 +552,72 @@ func Fit(net nn.Module, ds *dataset.Dataset, opts Options) (*History, error) {
 		var correct, seen int
 		rolledBack := false
 		batches := ds.Batches(opts.BatchSize, true, opts.Seed+int64(epoch))
-		for _, idx := range batches {
-			x, y := ds.Batch(idx)
-			if opts.Augment != nil {
-				x = opts.Augment.Apply(x)
+		if gr != nil {
+			var gerr error
+			epochLoss, correct, seen, gerr = gr.epoch(net, ds, opt, opts, epoch, batches, &step, check)
+			if gerr != nil {
+				spEpoch.End()
+				return hist, gerr
 			}
-			loss, logits, health := stepCore(net, x, y, opt, params, opts.ClipNorm, check)
-			if health != healthOK {
-				mNaNEvents.Inc()
-				what := "loss"
-				if health == healthBadGrad {
-					what = "gradient"
+		} else {
+			for _, idx := range batches {
+				x, y := ds.Batch(idx)
+				if opts.Augment != nil {
+					x = opts.Augment.Apply(x)
 				}
-				switch opts.NaNPolicy {
-				case NaNSkip:
-					mSkippedSteps.Inc()
-					if opts.Log != nil {
-						fmt.Fprintf(opts.Log, "epoch %d: non-finite %s, batch skipped\n", epoch+1, what)
+				loss, logits, health := stepCore(net, x, y, opt, params, opts.ClipNorm, check)
+				if health != healthOK {
+					mNaNEvents.Inc()
+					what := "loss"
+					if health == healthBadGrad {
+						what = "gradient"
 					}
-					continue
-				case NaNRollback:
-					rollbacks++
-					if rollbacks > opts.MaxRollbacks {
+					switch opts.NaNPolicy {
+					case NaNSkip:
+						mSkippedSteps.Inc()
+						if opts.Log != nil {
+							fmt.Fprintf(opts.Log, "epoch %d: non-finite %s, batch skipped\n", epoch+1, what)
+						}
+						continue
+					case NaNRollback:
+						rollbacks++
+						if rollbacks > opts.MaxRollbacks {
+							spEpoch.End()
+							return hist, fmt.Errorf("train: non-finite %s persisted through %d rollbacks at epoch %d",
+								what, opts.MaxRollbacks, epoch+1)
+						}
+						mRollbacks.Inc()
+						if err := lastGood.restore(net, opt, params, hist); err != nil {
+							spEpoch.End()
+							return hist, fmt.Errorf("train: rollback: %w", err)
+						}
+						opt.LR /= 2
+						step = lastGood.step
+						epoch = lastGood.epoch
+						if opts.Log != nil {
+							fmt.Fprintf(opts.Log, "non-finite %s: rolled back to epoch %d, lr halved to %.5f\n",
+								what, epoch, opt.LR)
+						}
+						rolledBack = true
+					default: // NaNAbort
 						spEpoch.End()
-						return hist, fmt.Errorf("train: non-finite %s persisted through %d rollbacks at epoch %d",
-							what, opts.MaxRollbacks, epoch+1)
+						return hist, fmt.Errorf("train: non-finite %s at epoch %d (batch of %d): aborting; last checkpoint is intact",
+							what, epoch+1, len(idx))
 					}
-					mRollbacks.Inc()
-					if err := lastGood.restore(net, opt, params, hist); err != nil {
-						spEpoch.End()
-						return hist, fmt.Errorf("train: rollback: %w", err)
+					if rolledBack {
+						break
 					}
-					opt.LR /= 2
-					step = lastGood.step
-					epoch = lastGood.epoch
-					if opts.Log != nil {
-						fmt.Fprintf(opts.Log, "non-finite %s: rolled back to epoch %d, lr halved to %.5f\n",
-							what, epoch, opt.LR)
-					}
-					rolledBack = true
-				default: // NaNAbort
-					spEpoch.End()
-					return hist, fmt.Errorf("train: non-finite %s at epoch %d (batch of %d): aborting; last checkpoint is intact",
-						what, epoch+1, len(idx))
 				}
-				if rolledBack {
-					break
+				step++
+				epochLoss += float64(loss) * float64(len(idx))
+				pred := logits.ArgmaxRows()
+				for i, p := range pred {
+					if p == y[i] {
+						correct++
+					}
 				}
+				seen += len(idx)
 			}
-			step++
-			epochLoss += float64(loss) * float64(len(idx))
-			pred := logits.ArgmaxRows()
-			for i, p := range pred {
-				if p == y[i] {
-					correct++
-				}
-			}
-			seen += len(idx)
 		}
 		spEpoch.End()
 		if rolledBack {

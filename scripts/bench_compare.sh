@@ -19,6 +19,7 @@ BENCH_odq_conv.json|ODQ_BENCH_SNAPSHOT|TestODQConvBenchSnapshot
 BENCH_train_gemm.json|TRAIN_BENCH_SNAPSHOT|TestTrainGemmBenchSnapshot
 BENCH_telemetry.json|TELEMETRY_BENCH_SNAPSHOT|TestTelemetryBenchSnapshot
 BENCH_bitplane.json|BITPLANE_BENCH_SNAPSHOT|TestBitplaneBenchSnapshot
+BENCH_dist.json|DIST_BENCH_SNAPSHOT|TestDistBenchSnapshot
 "
 
 status=0

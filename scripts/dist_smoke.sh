@@ -1,0 +1,60 @@
+#!/bin/sh
+# Scale-out smoke test: the data-parallel trajectory must be a pure
+# function of the sync group, not of the worker topology — including
+# across a crash.
+#
+#   1. Reference run: 1 worker, sync group 2, per-epoch checkpoints.
+#   2. Fleet run: 2 in-process workers (group defaults to the worker
+#      count, 2) — must produce a byte-identical checkpoint.
+#   3. Crash run: 2 workers again, but SIGKILLed right after epoch 1's
+#      checkpoint lands.
+#   4. Elastic resume: 1 worker picks the 2-worker checkpoint up (the
+#      group size travels in the checkpoint, the topology does not).
+#
+# Pass criteria: the fleet checkpoint and the killed-then-resumed
+# checkpoint are both byte-for-byte identical to the reference.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/odq-train" ./cmd/odq-train
+
+flags="-model lenet5 -dataset mnist -samples 64 -batch 16 -epochs 3 -ckpt-every 1 -seed 5"
+
+echo "dist_smoke: reference run (1 worker, -group 2)"
+"$tmp/odq-train" $flags -group 2 -o "$tmp/ref.ckpt" >"$tmp/ref.out" 2>/dev/null
+
+echo "dist_smoke: fleet run (2 in-process workers)"
+"$tmp/odq-train" $flags -workers 2 -o "$tmp/fleet.ckpt" >"$tmp/fleet.out" 2>/dev/null
+if ! cmp -s "$tmp/ref.ckpt" "$tmp/fleet.ckpt"; then
+    echo "dist_smoke: FAIL — 2-worker checkpoint differs from the 1-worker one" >&2
+    exit 1
+fi
+
+echo "dist_smoke: crash run (2 workers, SIGKILL after epoch 1)"
+if "$tmp/odq-train" $flags -workers 2 -o "$tmp/crash.ckpt" -kill-after 1 >/dev/null 2>&1; then
+    echo "dist_smoke: FAIL — crash run exited normally instead of being killed" >&2
+    exit 1
+fi
+if [ ! -f "$tmp/crash.ckpt" ]; then
+    echo "dist_smoke: FAIL — no checkpoint survived the kill" >&2
+    exit 1
+fi
+
+echo "dist_smoke: elastic resume (killed 2-worker run resumed by 1 worker)"
+"$tmp/odq-train" $flags -resume -o "$tmp/crash.ckpt" >"$tmp/resume.out" 2>/dev/null
+if ! cmp -s "$tmp/ref.ckpt" "$tmp/crash.ckpt"; then
+    echo "dist_smoke: FAIL — elastically resumed checkpoint differs from the reference" >&2
+    exit 1
+fi
+
+ref_acc=$(grep '^test accuracy' "$tmp/ref.out")
+fleet_acc=$(grep '^test accuracy' "$tmp/fleet.out")
+res_acc=$(grep '^test accuracy' "$tmp/resume.out")
+if [ "$ref_acc" != "$fleet_acc" ] || [ "$ref_acc" != "$res_acc" ]; then
+    echo "dist_smoke: FAIL — accuracy mismatch: '$ref_acc' / '$fleet_acc' / '$res_acc'" >&2
+    exit 1
+fi
+
+echo "dist_smoke: OK — 2-worker and kill-resume runs are bit-identical to 1 worker ($ref_acc)"

@@ -3,14 +3,14 @@
 set -eux
 go vet ./...
 go build ./...
-# Fast early gate: the telemetry layer and the kernels it instruments are
-# the most concurrency-sensitive packages; shake them under the race
-# detector before the long full-tree pass.
-go test -race -count=1 ./internal/telemetry ./internal/tensor
+# Fast early gate: the telemetry layer, the kernels it instruments and
+# the scale-out transport are the most concurrency-sensitive packages;
+# shake them under the race detector before the long full-tree pass.
+go test -race -count=1 ./internal/telemetry ./internal/tensor ./internal/dist
 go test -race -timeout 90m ./...
 # Build-only smoke for the benchmark snapshot harnesses: without their env
 # gates they compile, link and skip, so CI never depends on timing.
-go test -run 'TestODQConvBenchSnapshot|TestTrainGemmBenchSnapshot|TestTelemetryBenchSnapshot|TestBitplaneBenchSnapshot' -count=1 .
+go test -run 'TestODQConvBenchSnapshot|TestTrainGemmBenchSnapshot|TestTelemetryBenchSnapshot|TestBitplaneBenchSnapshot|TestDistBenchSnapshot' -count=1 .
 # Crash-safety gate: train, SIGKILL mid-run, resume; the resumed run must
 # be bit-identical to one that was never interrupted.
 ./scripts/resume_smoke.sh
@@ -18,3 +18,7 @@ go test -run 'TestODQConvBenchSnapshot|TestTrainGemmBenchSnapshot|TestTelemetryB
 # with cross-request batching visible on the metrics endpoint, then a
 # graceful SIGTERM drain.
 ./scripts/serve_smoke.sh
+# Scale-out gate: a 2-worker fleet and a killed-then-elastically-resumed
+# fleet must both be byte-identical to a 1-worker run at the same sync
+# group.
+./scripts/dist_smoke.sh
