@@ -14,11 +14,12 @@
 //
 //	POST /v1/infer   {"input":[...C*H*W floats...]} → class + logits
 //	POST /v1/reload  {"path":"new.ckpt"}            → new generation
-//	GET  /v1/status  serving counters
-//	GET  /healthz    liveness (503 while draining)
+//	GET  /v1/status  serving counters + latency-stage quantiles
+//	GET  /healthz    liveness (always 200 while the process runs)
+//	GET  /readyz     readiness (503 while draining)
 //
-// Metrics (request-latency and batch-size histograms, per-model QPS,
-// queue depth), traces and pprof live on -debug-addr.
+// Metrics (request-latency and batch-size histograms, QPS, queue
+// depth), Prometheus /metrics, traces and pprof live on -debug-addr.
 package main
 
 import (
@@ -35,6 +36,8 @@ import (
 	"repro/internal/infer"
 	"repro/internal/models"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/olog"
 	"repro/internal/telemetry/telemetryflag"
 )
 
@@ -84,6 +87,7 @@ func main() {
 		fail("unknown dataset %q (want c10, c100 or mnist)", *dsName)
 	}
 
+	telemetry.SetRole("serve")
 	flushTelemetry, err := tf.Activate()
 	if err != nil {
 		fail("%v", err)
@@ -127,10 +131,14 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	// The bound address line is load-bearing: scripts/serve_smoke.sh
-	// parses it to find the ephemeral port behind -addr :0.
-	fmt.Fprintf(os.Stderr, "odq-serve: listening on http://%s (model=%s scheme=%s input=%dx%dx%d max-batch=%d deadline=%v replicas=%d)\n",
-		ln.Addr(), *modelName, *scheme, c, h, w, *maxBatch, *batchDeadline, srv.Replicas())
+	// The url attr is load-bearing: scripts/serve_smoke.sh parses it to
+	// find the ephemeral port behind -addr :0.
+	olog.Info("odq-serve listening",
+		"url", "http://"+ln.Addr().String(),
+		"model", *modelName, "scheme", *scheme,
+		"input", fmt.Sprintf("%dx%dx%d", c, h, w),
+		"max_batch", *maxBatch, "deadline", *batchDeadline,
+		"replicas", srv.Replicas())
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
@@ -147,28 +155,29 @@ func main() {
 				// Hot reload from the configured default checkpoint.
 				gen, err := srv.Reload("")
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "odq-serve: SIGHUP reload failed: %v\n", err)
+					olog.Error("SIGHUP reload failed", "err", err)
 				} else {
-					fmt.Fprintf(os.Stderr, "odq-serve: SIGHUP reload ok, weight generation %d\n", gen)
+					olog.Info("SIGHUP reload ok", "generation", gen)
 				}
 				continue
 			}
 			// Graceful drain: stop admission, finish every accepted
 			// request, then close the HTTP side.
-			fmt.Fprintf(os.Stderr, "odq-serve: %v received, draining (timeout %v)\n", sig, *drainTimeout)
+			olog.Info("draining", "signal", sig.String(), "timeout", *drainTimeout)
 			if err := srv.Drain(*drainTimeout); err != nil {
-				fmt.Fprintf(os.Stderr, "odq-serve: %v\n", err)
+				olog.Error("drain failed", "err", err)
 				os.Exit(1)
 			}
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			err := httpSrv.Shutdown(ctx)
 			cancel()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "odq-serve: http shutdown: %v\n", err)
+				olog.Warn("http shutdown", "err", err)
 			}
 			st := srv.Stats()
-			fmt.Fprintf(os.Stderr, "odq-serve: drained; served=%d rejected=%d batches=%d mean-batch=%.2f\n",
-				st.Served, st.Rejected, st.Batches, st.MeanBatch)
+			olog.Info("drained",
+				"served", st.Served, "rejected", st.Rejected,
+				"batches", st.Batches, "mean_batch", fmt.Sprintf("%.2f", st.MeanBatch))
 			if err := flushTelemetry(); err != nil {
 				fail("%v", err)
 			}

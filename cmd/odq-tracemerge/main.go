@@ -1,0 +1,192 @@
+// Command odq-tracemerge combines per-process Chrome trace files —
+// written by -trace-out on odq-train/odq-serve ranks of one run — into
+// a single Perfetto-loadable trace with one process lane per rank.
+//
+// Usage:
+//
+//	odq-tracemerge -o merged.json rank0.json rank1.json ...
+//
+// Each input carries an odqMeta correlation block (run trace id, role,
+// rank, replica, and the absolute wall-clock nanosecond its local ts 0
+// maps to). The merge aligns every file onto one shared clock via
+// those absolute bases, assigns each input its own pid named after its
+// fleet position ("train rank 1"), and refuses to mix files from two
+// different traced runs unless -force is given.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// inputTrace is one parsed per-process trace file.
+type inputTrace struct {
+	path   string
+	events []telemetry.TraceEvent
+	meta   telemetry.TraceMeta
+}
+
+func readTrace(path string) (*inputTrace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f struct {
+		TraceEvents     []telemetry.TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string                 `json:"displayTimeUnit"`
+		OdqMeta         *telemetry.TraceMeta   `json:"odqMeta"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: not a trace file: %w", path, err)
+	}
+	in := &inputTrace{path: path, meta: telemetry.TraceMeta{Rank: -1, Replica: -1}}
+	if f.OdqMeta != nil {
+		in.meta = *f.OdqMeta
+	}
+	// Drop per-file metadata events; the merge emits its own process
+	// naming, one per input.
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		in.events = append(in.events, ev)
+	}
+	return in, nil
+}
+
+// merge combines the inputs into one trace envelope. Inputs are laned
+// in ascending rank order (unranked files last, in argument order);
+// spans are shifted onto the shared clock when every contributing file
+// carries an absolute base, and left on their local clocks otherwise.
+func merge(inputs []*inputTrace, force bool) (map[string]interface{}, error) {
+	runID := ""
+	for _, in := range inputs {
+		if in.meta.TraceID == "" {
+			continue
+		}
+		if runID == "" {
+			runID = in.meta.TraceID
+		} else if in.meta.TraceID != runID && !force {
+			return nil, fmt.Errorf("%s is from run %s, earlier inputs are from run %s (merge traces of one run, or pass -force)",
+				in.path, in.meta.TraceID, runID)
+		}
+	}
+
+	order := append([]*inputTrace(nil), inputs...)
+	sort.SliceStable(order, func(i, j int) bool {
+		ri, rj := order[i].meta.Rank, order[j].meta.Rank
+		if (ri >= 0) != (rj >= 0) {
+			return ri >= 0
+		}
+		return ri < rj
+	})
+
+	// A file written before this tool existed (or with no spans) has no
+	// absolute base; aligning a mixed set would skew lanes, so shift
+	// only when every span-bearing file can be aligned.
+	alignable := true
+	var minBase int64
+	for _, in := range order {
+		if len(in.events) == 0 {
+			continue
+		}
+		if in.meta.BaseNs == 0 {
+			alignable = false
+			break
+		}
+		if minBase == 0 || in.meta.BaseNs < minBase {
+			minBase = in.meta.BaseNs
+		}
+	}
+
+	var out []telemetry.TraceEvent
+	for i, in := range order {
+		pid := i + 1
+		out = append(out, telemetry.TraceEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]interface{}{"name": in.meta.ProcessLabel()},
+		})
+		shift := 0.0
+		if alignable && len(in.events) > 0 {
+			shift = float64(in.meta.BaseNs-minBase) / 1e3 // ns → µs
+		}
+		for _, ev := range in.events {
+			ev.Pid = pid
+			ev.Ts += shift
+			out = append(out, ev)
+		}
+	}
+	// Spans sort by shared-clock time; metadata events lead.
+	sort.SliceStable(out, func(i, j int) bool {
+		mi, mj := out[i].Ph == "M", out[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		if mi {
+			return false
+		}
+		return out[i].Ts < out[j].Ts
+	})
+
+	env := map[string]interface{}{
+		"traceEvents":     out,
+		"displayTimeUnit": "ns",
+	}
+	if runID != "" {
+		env["odqMeta"] = map[string]interface{}{"trace_id": runID}
+	}
+	return env, nil
+}
+
+func main() {
+	out := flag.String("o", "", "merged trace output path (default: stdout)")
+	force := flag.Bool("force", false, "merge even when inputs carry different run trace ids")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: odq-tracemerge [-o merged.json] [-force] trace.json...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	inputs := make([]*inputTrace, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		in, err := readTrace(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		inputs = append(inputs, in)
+	}
+	env, err := merge(inputs, *force)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(env); err != nil {
+		fail("%v", err)
+	}
+}
+
+// fail prints a one-line actionable message and exits 1.
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "odq-tracemerge: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// writeTraceFixture writes a minimal per-rank trace file in the
+// envelope format WriteTrace produces.
+func writeTraceFixture(t *testing.T, dir, name string, meta telemetry.TraceMeta, events []telemetry.TraceEvent) string {
+	t.Helper()
+	env := map[string]interface{}{
+		"traceEvents":     events,
+		"displayTimeUnit": "ns",
+		"odqMeta":         meta,
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMergeLanesAndClockAlignment is the tool's core contract: each
+// input becomes its own pid lane named after its fleet position, and
+// spans from different ranks land on one shared clock via BaseNs.
+func TestMergeLanesAndClockAlignment(t *testing.T) {
+	dir := t.TempDir()
+	// Rank 1 started its first span 2ms (2e6 ns) after rank 0; given as
+	// the later argument to check rank ordering too.
+	p1 := writeTraceFixture(t, dir, "rank1.json",
+		telemetry.TraceMeta{TraceID: "00000000deadbeef", Role: "train", Rank: 1, Replica: -1, BaseNs: 1_002_000_000},
+		[]telemetry.TraceEvent{
+			{Name: "process_name", Ph: "M", Pid: 1, Args: map[string]interface{}{"name": "stale"}},
+			{Name: "dist.reduce", Ph: "X", Ts: 0, Dur: 500, Pid: 1, Tid: 1},
+		})
+	p0 := writeTraceFixture(t, dir, "rank0.json",
+		telemetry.TraceMeta{TraceID: "00000000deadbeef", Role: "train", Rank: 0, Replica: -1, BaseNs: 1_000_000_000},
+		[]telemetry.TraceEvent{
+			{Name: "train.step", Ph: "X", Ts: 100, Dur: 900, Pid: 1, Tid: 1},
+		})
+
+	in1, err := readTrace(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in0, err := readTrace(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := merge([]*inputTrace{in1, in0}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := env["traceEvents"].([]telemetry.TraceEvent)
+
+	// One process_name per input, the stale per-file one dropped.
+	lanes := map[int]string{}
+	for _, ev := range events {
+		if ev.Ph != "M" {
+			continue
+		}
+		if ev.Name != "process_name" {
+			t.Fatalf("unexpected metadata event %q", ev.Name)
+		}
+		lanes[ev.Pid] = ev.Args["name"].(string)
+	}
+	if len(lanes) != 2 || lanes[1] != "train rank 0" || lanes[2] != "train rank 1" {
+		t.Fatalf("lanes %v, want pid1=train rank 0, pid2=train rank 1", lanes)
+	}
+
+	// Spans: rank 0's is unshifted (earliest base), rank 1's shifts by
+	// +2e6 ns = +2000 µs; output is time-sorted so rank 0 comes first.
+	var spans []telemetry.TraceEvent
+	for _, ev := range events {
+		if ev.Ph == "X" {
+			spans = append(spans, ev)
+		}
+	}
+	if len(spans) != 2 {
+		t.Fatalf("%d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "train.step" || spans[0].Ts != 100 || spans[0].Pid != 1 {
+		t.Fatalf("first span %+v, want train.step ts=100 pid=1", spans[0])
+	}
+	if spans[1].Name != "dist.reduce" || spans[1].Ts != 2000 || spans[1].Pid != 2 {
+		t.Fatalf("second span %+v, want dist.reduce ts=2000 pid=2", spans[1])
+	}
+
+	if meta := env["odqMeta"].(map[string]interface{}); meta["trace_id"] != "00000000deadbeef" {
+		t.Fatalf("merged trace_id %v", meta["trace_id"])
+	}
+}
+
+// TestMergeRejectsCrossedRuns: files from two different runs must not
+// silently merge — that is the correlation guarantee the run id exists
+// for. -force overrides.
+func TestMergeRejectsCrossedRuns(t *testing.T) {
+	dir := t.TempDir()
+	a := writeTraceFixture(t, dir, "a.json",
+		telemetry.TraceMeta{TraceID: "aaaaaaaaaaaaaaaa", Rank: 0, Replica: -1, BaseNs: 1}, nil)
+	b := writeTraceFixture(t, dir, "b.json",
+		telemetry.TraceMeta{TraceID: "bbbbbbbbbbbbbbbb", Rank: 1, Replica: -1, BaseNs: 1}, nil)
+	inA, err := readTrace(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inB, err := readTrace(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := merge([]*inputTrace{inA, inB}, false); err == nil {
+		t.Fatal("crossed-run merge succeeded, want error")
+	} else if !strings.Contains(err.Error(), "run") {
+		t.Fatalf("error %v does not mention runs", err)
+	}
+	if _, err := merge([]*inputTrace{inA, inB}, true); err != nil {
+		t.Fatalf("-force merge failed: %v", err)
+	}
+}
+
+// TestMergeUnalignableStaysLocal: a span-bearing file without an
+// absolute base (pre-correlation writer) disables clock shifting for
+// the whole merge rather than skewing lanes against each other.
+func TestMergeUnalignableStaysLocal(t *testing.T) {
+	dir := t.TempDir()
+	old := writeTraceFixture(t, dir, "old.json",
+		telemetry.TraceMeta{Rank: -1, Replica: -1},
+		[]telemetry.TraceEvent{{Name: "a", Ph: "X", Ts: 5, Dur: 1, Pid: 1, Tid: 1}})
+	nw := writeTraceFixture(t, dir, "new.json",
+		telemetry.TraceMeta{Role: "train", Rank: 0, Replica: -1, BaseNs: 9_000_000_000},
+		[]telemetry.TraceEvent{{Name: "b", Ph: "X", Ts: 7, Dur: 1, Pid: 1, Tid: 1}})
+	inOld, err := readTrace(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inNew, err := readTrace(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := merge([]*inputTrace{inOld, inNew}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range env["traceEvents"].([]telemetry.TraceEvent) {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Ts != 5 && ev.Ts != 7 {
+			t.Fatalf("span %q ts %v shifted despite unalignable input", ev.Name, ev.Ts)
+		}
+	}
+}
+
+// TestReadTraceRejectsGarbage: a non-trace file fails with a message
+// naming the path.
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "weights.bin")
+	if err := os.WriteFile(path, []byte("\x00\x01not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readTrace(path); err == nil {
+		t.Fatal("garbage file parsed as trace")
+	} else if !strings.Contains(err.Error(), "weights.bin") {
+		t.Fatalf("error %v does not name the file", err)
+	}
+}

@@ -36,6 +36,8 @@ import (
 	"repro/internal/dist"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/olog"
 	"repro/internal/telemetry/telemetryflag"
 	"repro/internal/train"
 )
@@ -126,6 +128,8 @@ func main() {
 		fail("%v", err)
 	}
 
+	telemetry.SetRole("train")
+	telemetry.SetRank(*rank)
 	flushTelemetry, err := tf.Activate()
 	if err != nil {
 		fail("%v", err)
@@ -227,7 +231,7 @@ func main() {
 		var g *dist.Group
 		var err error
 		if *rank == 0 {
-			fmt.Fprintf(os.Stderr, "odq-train: rank 0 waiting for %d workers on %s\n", *workers-1, *coord)
+			olog.Info("waiting for workers", "need", *workers-1, "coord", *coord)
 			g, err = dist.Listen(*coord, *workers, joinTimeout)
 		} else {
 			g, err = dist.Dial(*coord, *rank, *workers, joinTimeout)

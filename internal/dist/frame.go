@@ -32,7 +32,8 @@ type FrameType uint8
 
 const (
 	// FrameHello is the join handshake a dialing worker sends first:
-	// {proto version, world, rank}, each u32.
+	// {proto version, world, rank} as u32s plus its u64 run trace id
+	// (0 when it has none yet).
 	FrameHello FrameType = 1 + iota
 	// FrameGrad carries one batch's gradient contribution to the root.
 	FrameGrad
@@ -42,6 +43,10 @@ const (
 	// FrameSum is the root's broadcast of the folded gradient plus the
 	// per-batch metadata every rank replays.
 	FrameSum
+	// FrameWelcome is the coordinator's reply to an accepted hello:
+	// {u64 run trace id}, so every rank tags its metrics, spans and logs
+	// with the same correlation id.
+	FrameWelcome
 )
 
 func (t FrameType) String() string {
@@ -54,6 +59,8 @@ func (t FrameType) String() string {
 		return "grad-end"
 	case FrameSum:
 		return "sum"
+	case FrameWelcome:
+		return "welcome"
 	}
 	return fmt.Sprintf("frame(%d)", uint8(t))
 }

@@ -2,8 +2,10 @@ package dist
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -152,9 +154,15 @@ func (Local) Reduce(step int64, groupSize int, local []BatchGrad, sum []float32)
 // its optimizer with bit-identical inputs. Not safe for concurrent
 // Reduce calls (training is step-synchronous by construction).
 type Reducer struct {
-	g   *Group
-	enc []byte // reusable encode buffer
+	g        *Group
+	enc      []byte    // reusable encode buffer
+	lastSnap time.Time // last metrics snapshot piggybacked on a grad-end
 }
+
+// snapInterval throttles the metrics snapshot a non-root rank
+// piggybacks on its grad-end frames, bounding the fleet-metrics cost to
+// one JSON marshal per second per worker.
+const snapInterval = time.Second
 
 // NewReducer builds a reducer over an established group.
 func NewReducer(g *Group) *Reducer { return &Reducer{g: g} }
@@ -202,13 +210,14 @@ func (r *Reducer) reduce(step int64, groupSize int, local []BatchGrad, sum []flo
 
 func (r *Reducer) reduceWorker(step int64, groupSize int, local []BatchGrad, sum []float32) ([]BatchGrad, error) {
 	conn := r.g.conn(0)
+	runID := r.g.traceID
 	for i := range local {
-		r.enc = appendGradPayload(r.enc[:0], step, &local[i])
+		r.enc = appendGradPayload(r.enc[:0], runID, step, &local[i])
 		if err := conn.Send(FrameGrad, r.enc); err != nil {
 			return nil, err
 		}
 	}
-	r.enc = appendEndPayload(r.enc[:0], step, len(local))
+	r.enc = appendEndPayload(r.enc[:0], runID, step, len(local), r.maybeSnap())
 	if err := conn.Send(FrameGradEnd, r.enc); err != nil {
 		return nil, err
 	}
@@ -219,7 +228,27 @@ func (r *Reducer) reduceWorker(step int64, groupSize int, local []BatchGrad, sum
 	if t != FrameSum {
 		return nil, fmt.Errorf("dist: rank %d got %s frame while waiting for the reduced gradient", r.g.Rank(), t)
 	}
-	return decodeSumPayload(payload, step, groupSize, sum)
+	return decodeSumPayload(payload, runID, step, groupSize, sum)
+}
+
+// maybeSnap returns this rank's metrics snapshot as JSON at most once
+// per snapInterval while telemetry is enabled, nil otherwise. The root
+// renders gathered snapshots on its /metrics endpoint, so scraping rank
+// 0 sees the whole training group.
+func (r *Reducer) maybeSnap() []byte {
+	if !telemetry.Enabled() {
+		return nil
+	}
+	now := time.Now()
+	if now.Sub(r.lastSnap) < snapInterval {
+		return nil
+	}
+	r.lastSnap = now
+	data, err := json.Marshal(telemetry.Snapshot())
+	if err != nil {
+		return nil // observability must never fail the reduce
+	}
+	return data
 }
 
 func (r *Reducer) reduceRoot(step int64, groupSize int, local []BatchGrad, sum []float32) ([]BatchGrad, error) {
@@ -236,7 +265,7 @@ func (r *Reducer) reduceRoot(step int64, groupSize int, local []BatchGrad, sum [
 	if err != nil {
 		return nil, err
 	}
-	r.enc = appendSumPayload(r.enc[:0], step, metas, sum)
+	r.enc = appendSumPayload(r.enc[:0], r.g.traceID, step, metas, sum)
 	for peer := 1; peer < r.g.World(); peer++ {
 		if err := r.g.conn(peer).Send(FrameSum, r.enc); err != nil {
 			return nil, fmt.Errorf("dist: broadcasting reduced gradient to rank %d: %w", peer, err)
@@ -259,9 +288,12 @@ func (r *Reducer) gatherPeer(byIdx []*BatchGrad, step int64, groupSize, peer int
 		}
 		switch t {
 		case FrameGrad:
-			gotStep, bg, err := decodeGradPayload(payload)
+			gotRun, gotStep, bg, err := decodeGradPayload(payload)
 			if err != nil {
 				return fmt.Errorf("dist: gradient frame from rank %d: %w", peer, err)
+			}
+			if err := checkRun(gotRun, r.g.traceID, "gradient frame", peer); err != nil {
+				return err
 			}
 			if gotStep != step {
 				return fmt.Errorf("dist: rank %d sent a gradient for step %d during step %d (worker desynchronized)",
@@ -280,9 +312,12 @@ func (r *Reducer) gatherPeer(byIdx []*BatchGrad, step int64, groupSize, peer int
 			byIdx[bg.Index] = bg
 			count++
 		case FrameGradEnd:
-			gotStep, gotCount, err := decodeEndPayload(payload)
+			gotRun, gotStep, gotCount, snap, err := decodeEndPayload(payload)
 			if err != nil {
 				return fmt.Errorf("dist: grad-end frame from rank %d: %w", peer, err)
+			}
+			if err := checkRun(gotRun, r.g.traceID, "grad-end frame", peer); err != nil {
+				return err
 			}
 			if gotStep != step {
 				return fmt.Errorf("dist: rank %d ended step %d during step %d (worker desynchronized)", peer, gotStep, step)
@@ -291,6 +326,14 @@ func (r *Reducer) gatherPeer(byIdx []*BatchGrad, step int64, groupSize, peer int
 				return fmt.Errorf("dist: rank %d announced %d contributions, %d arrived (frames lost in transit)",
 					peer, gotCount, count)
 			}
+			if len(snap) > 0 {
+				// Best-effort fleet metrics: a snapshot that does not parse
+				// is dropped, never fails the reduce.
+				var s telemetry.Snap
+				if err := json.Unmarshal(snap, &s); err == nil {
+					telemetry.SetPeerSnap(peer, s)
+				}
+			}
 			return nil
 		default:
 			return fmt.Errorf("dist: unexpected %s frame from rank %d during gradient gather", t, peer)
@@ -298,11 +341,25 @@ func (r *Reducer) gatherPeer(byIdx []*BatchGrad, step int64, groupSize, peer int
 	}
 }
 
-// Gradient payload: u64 step, u32 index, u8 bad, u32 loss bits,
-// u32 correct, u32 seen, u32 nStats, f32 stats..., u64 nGrad, f32 grad...
-// Floats travel as raw bits so the fold is bit-exact across the wire.
+// checkRun rejects a payload tagged with a different run id. Lenient
+// by design when either side is untraced (id 0): hand-assembled test
+// groups and pre-observability peers keep working; only two actually
+// traced, actually different runs collide.
+func checkRun(got, want uint64, what string, peer int) error {
+	if got != 0 && want != 0 && got != want {
+		return fmt.Errorf("dist: %s from rank %d belongs to run %016x, this group is run %016x (two fleets crossed?)",
+			what, peer, got, want)
+	}
+	return nil
+}
 
-func appendGradPayload(dst []byte, step int64, b *BatchGrad) []byte {
+// Gradient payload: u64 run id, u64 step, u32 index, u8 bad, u32 loss
+// bits, u32 correct, u32 seen, u32 nStats, f32 stats..., u64 nGrad,
+// f32 grad... Floats travel as raw bits so the fold is bit-exact across
+// the wire.
+
+func appendGradPayload(dst []byte, runID uint64, step int64, b *BatchGrad) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, runID)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(step))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(b.Index))
 	bad := byte(0)
@@ -358,6 +415,15 @@ func (r *byteReader) u64() (uint64, error) {
 	return v, nil
 }
 
+func (r *byteReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, fmt.Errorf("payload claims %d bytes, %d remain", n, len(r.b)-r.off)
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
 func (r *byteReader) f32s(n int) ([]float32, error) {
 	if n < 0 || r.off+4*n > len(r.b) {
 		return nil, fmt.Errorf("payload claims %d floats, %d bytes remain", n, len(r.b)-r.off)
@@ -377,50 +443,54 @@ func (r *byteReader) done() error {
 	return nil
 }
 
-func decodeGradPayload(p []byte) (int64, *BatchGrad, error) {
+func decodeGradPayload(p []byte) (uint64, int64, *BatchGrad, error) {
 	r := &byteReader{b: p}
+	runID, err := r.u64()
+	if err != nil {
+		return 0, 0, nil, err
+	}
 	step, err := r.u64()
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	idx, err := r.u32()
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	bad, err := r.u8()
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	lossBits, err := r.u32()
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	correct, err := r.u32()
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	seen, err := r.u32()
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	nStats, err := r.u32()
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	stats, err := r.f32s(int(nStats))
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	nGrad, err := r.u64()
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	grad, err := r.f32s(int(nGrad))
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	if err := r.done(); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	bg := &BatchGrad{
 		Index: int(int32(idx)), Loss: math.Float32frombits(lossBits),
@@ -430,38 +500,56 @@ func decodeGradPayload(p []byte) (int64, *BatchGrad, error) {
 	if len(grad) > 0 {
 		bg.Grad = grad
 	}
-	return int64(step), bg, nil
+	return runID, int64(step), bg, nil
 }
 
-// Grad-end payload: u64 step, u32 count.
+// Grad-end payload: u64 run id, u64 step, u32 count, u32 snapLen,
+// snapLen bytes of metrics-snapshot JSON (0 when no snapshot rides
+// along this step).
 
-func appendEndPayload(dst []byte, step int64, count int) []byte {
+func appendEndPayload(dst []byte, runID uint64, step int64, count int, snap []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, runID)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(step))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(count))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(snap)))
+	dst = append(dst, snap...)
 	return dst
 }
 
-func decodeEndPayload(p []byte) (int64, int, error) {
+func decodeEndPayload(p []byte) (uint64, int64, int, []byte, error) {
 	r := &byteReader{b: p}
+	runID, err := r.u64()
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
 	step, err := r.u64()
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	count, err := r.u32()
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, nil, err
+	}
+	snapLen, err := r.u32()
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	snap, err := r.bytes(int(snapLen))
+	if err != nil {
+		return 0, 0, 0, nil, err
 	}
 	if err := r.done(); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, nil, err
 	}
-	return int64(step), int(count), nil
+	return runID, int64(step), int(count), snap, nil
 }
 
-// Sum payload: u64 step, u32 groupSize, per batch {u8 bad, u32 loss
-// bits, u32 correct, u32 seen, u32 nStats, f32 stats...}, u64 nGrad,
-// f32 folded gradient.
+// Sum payload: u64 run id, u64 step, u32 groupSize, per batch {u8 bad,
+// u32 loss bits, u32 correct, u32 seen, u32 nStats, f32 stats...},
+// u64 nGrad, f32 folded gradient.
 
-func appendSumPayload(dst []byte, step int64, metas []BatchGrad, sum []float32) []byte {
+func appendSumPayload(dst []byte, runID uint64, step int64, metas []BatchGrad, sum []float32) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, runID)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(step))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(metas)))
 	for i := range metas {
@@ -486,8 +574,15 @@ func appendSumPayload(dst []byte, step int64, metas []BatchGrad, sum []float32) 
 	return dst
 }
 
-func decodeSumPayload(p []byte, wantStep int64, wantGroup int, sum []float32) ([]BatchGrad, error) {
+func decodeSumPayload(p []byte, wantRun uint64, wantStep int64, wantGroup int, sum []float32) ([]BatchGrad, error) {
 	r := &byteReader{b: p}
+	runID, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkRun(runID, wantRun, "reduced gradient", 0); err != nil {
+		return nil, err
+	}
 	step, err := r.u64()
 	if err != nil {
 		return nil, err

@@ -5,14 +5,23 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // protoVersion guards against mixed binaries joining one run; bump it
-// whenever the wire protocol changes incompatibly.
-const protoVersion = 1
+// whenever the wire protocol changes incompatibly. v2 added the run
+// trace id to the handshake (hello + welcome) and a run-id prefix on
+// every reduce payload.
+const protoVersion = 2
 
-// helloLen is the FrameHello payload: u32 proto, u32 world, u32 rank.
-const helloLen = 12
+// helloLen is the FrameHello payload: u32 proto, u32 world, u32 rank,
+// u64 run trace id (0 when the joiner has none; the coordinator's
+// welcome is authoritative either way).
+const helloLen = 20
+
+// welcomeLen is the FrameWelcome payload: u64 run trace id.
+const welcomeLen = 8
 
 // Coordinator is the listening side of a TCP join: rank 0 binds an
 // address, then Accept gathers one hello per non-root rank.
@@ -46,7 +55,11 @@ func (c *Coordinator) Accept(world int, timeout time.Duration) (*Group, error) {
 		return nil, fmt.Errorf("dist: TCP join needs world >= 2 (got %d); use Loopback for single-process runs", world)
 	}
 	deadline := time.Now().Add(timeout)
-	g := &Group{rank: 0, world: world, conns: make([]Conn, world)}
+	// The coordinator owns the run's correlation id: it adopts the
+	// process's trace id (generating one if unset) and hands it to every
+	// joiner in the welcome frame.
+	runID := telemetry.EnsureTraceID()
+	g := &Group{rank: 0, world: world, traceID: runID, conns: make([]Conn, world)}
 	cleanup := func() {
 		for _, conn := range g.conns {
 			if conn != nil {
@@ -80,6 +93,12 @@ func (c *Coordinator) Accept(world int, timeout time.Duration) (*Group, error) {
 			cleanup()
 			return nil, fmt.Errorf("dist: rank %d joined twice (duplicate -rank on two workers?)", rank)
 		}
+		// Hand the joiner the run id. Best-effort: a peer that dies right
+		// after its hello fails the reduce later with a clearer error than
+		// aborting the whole join here would give.
+		var welcome [welcomeLen]byte
+		binary.LittleEndian.PutUint64(welcome[:], runID)
+		conn.Send(FrameWelcome, welcome[:]) //nolint:errcheck // see above
 		g.conns[rank] = conn
 	}
 	c.ln.Close()
@@ -155,11 +174,27 @@ func Dial(addr string, rank, world int, timeout time.Duration) (*Group, error) {
 	binary.LittleEndian.PutUint32(hello[0:], protoVersion)
 	binary.LittleEndian.PutUint32(hello[4:], uint32(world))
 	binary.LittleEndian.PutUint32(hello[8:], uint32(rank))
+	binary.LittleEndian.PutUint64(hello[12:], telemetry.CurrentIdentity().TraceID)
 	if err := conn.Send(FrameHello, hello); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("dist: sending join hello: %w", err)
 	}
+	// The welcome closes the handshake: the coordinator's run id becomes
+	// this rank's correlation id for metrics, traces and logs.
+	raw.SetReadDeadline(deadline) //nolint:errcheck // best-effort timeout
+	t, payload, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dist: rank %d waiting for join welcome: %w", rank, err)
+	}
+	if t != FrameWelcome || len(payload) != welcomeLen {
+		conn.Close()
+		return nil, fmt.Errorf("dist: rank %d got %s frame (%d bytes) while waiting for the join welcome", rank, t, len(payload))
+	}
+	raw.SetReadDeadline(time.Time{}) //nolint:errcheck // joined: back to blocking reads
+	runID := binary.LittleEndian.Uint64(payload)
+	telemetry.SetTraceID(runID)
 	conns := make([]Conn, world)
 	conns[0] = conn
-	return &Group{rank: rank, world: world, conns: conns}, nil
+	return &Group{rank: rank, world: world, traceID: runID, conns: conns}, nil
 }

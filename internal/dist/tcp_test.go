@@ -2,6 +2,7 @@ package dist
 
 import (
 	"encoding/binary"
+	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -262,6 +263,15 @@ func TestTCPReduceDetectsWireCorruption(t *testing.T) {
 			if workerErr = conn.Send(FrameHello, hello); workerErr != nil {
 				return
 			}
+			// Consume the coordinator's welcome (corruption only targets
+			// this worker's outbound bytes, so it arrives intact).
+			if ft, _, werr := conn.Recv(); werr != nil {
+				workerErr = werr
+				return
+			} else if ft != FrameWelcome {
+				workerErr = fmt.Errorf("got %s frame, want welcome", ft)
+				return
+			}
 			g, _ := NewGroup(1, 2, []Conn{conn, nil})
 			red := NewReducer(g)
 			defer red.Close()
@@ -303,7 +313,7 @@ func TestTCPReduceDetectsDeadPeer(t *testing.T) {
 		// Send one gradient frame, then die before grad-end: the root
 		// sees the stream cut mid-step.
 		var enc []byte
-		enc = appendGradPayload(enc, 0, &BatchGrad{Index: 1, Grad: grad})
+		enc = appendGradPayload(enc, 0, 0, &BatchGrad{Index: 1, Grad: grad})
 		conn.Send(FrameGrad, enc) //nolint:errcheck
 		conn.Close()
 	}()
@@ -335,7 +345,7 @@ func TestTCPReduceDetectsDuplicatedFrame(t *testing.T) {
 		defer raw.Close()
 		WriteFrame(raw, FrameHello, 0, helloPayload(protoVersion, 2, 1)) //nolint:errcheck
 		var enc []byte
-		enc = appendGradPayload(enc, 0, &BatchGrad{Index: 1, Grad: grad})
+		enc = appendGradPayload(enc, 0, 0, &BatchGrad{Index: 1, Grad: grad})
 		// Replay: the same frame (same seq) twice — a duplicated segment.
 		WriteFrame(raw, FrameGrad, 1, enc) //nolint:errcheck
 		WriteFrame(raw, FrameGrad, 1, enc) //nolint:errcheck
@@ -369,8 +379,8 @@ func TestTCPReduceDetectsReorderedFrames(t *testing.T) {
 		defer raw.Close()
 		WriteFrame(raw, FrameHello, 0, helloPayload(protoVersion, 2, 1)) //nolint:errcheck
 		var g, e []byte
-		g = appendGradPayload(g, 0, &BatchGrad{Index: 1, Grad: grad})
-		e = appendEndPayload(e, 0, 1)
+		g = appendGradPayload(g, 0, 0, &BatchGrad{Index: 1, Grad: grad})
+		e = appendEndPayload(e, 0, 0, 1, nil)
 		// Swap the wire order of seq 1 and seq 2.
 		WriteFrame(raw, FrameGradEnd, 2, e) //nolint:errcheck
 		WriteFrame(raw, FrameGrad, 1, g)    //nolint:errcheck

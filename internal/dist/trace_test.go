@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestJoinPropagatesRunID: after a TCP join every rank's group must
+// carry the coordinator's (nonzero) run trace id.
+func TestJoinPropagatesRunID(t *testing.T) {
+	groups := joinTCP(t, 3)
+	root := groups[0].TraceID()
+	if root == 0 {
+		t.Fatal("coordinator group has no run id")
+	}
+	for r, g := range groups {
+		if g.TraceID() != root {
+			t.Fatalf("rank %d joined run %016x, coordinator is run %016x", r, g.TraceID(), root)
+		}
+	}
+}
+
+// TestLoopbackSharesRunID: all in-process groups share one run id.
+func TestLoopbackSharesRunID(t *testing.T) {
+	groups, err := Loopback(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+	if groups[0].TraceID() == 0 {
+		t.Fatal("loopback groups have no run id")
+	}
+	for r, g := range groups {
+		if g.TraceID() != groups[0].TraceID() {
+			t.Fatalf("rank %d has a different run id", r)
+		}
+	}
+}
+
+// TestReduceRejectsCrossedRuns: a gradient tagged with a different
+// nonzero run id must fail the reduce — two fleets sharing a port by
+// misconfiguration must not fold each other's gradients.
+func TestReduceRejectsCrossedRuns(t *testing.T) {
+	a, b := net.Pipe()
+	rootG := &Group{rank: 0, world: 2, traceID: 0x1111, conns: []Conn{nil, NewStreamConn(a)}}
+	workG := &Group{rank: 1, world: 2, traceID: 0x2222, conns: []Conn{NewStreamConn(b), nil}}
+	grad := []float32{1, 2, 3}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sum := make([]float32, len(grad))
+		// The reduce tears the transport down on error, so this worker
+		// fails too; the root error is the one asserted on.
+		NewReducer(workG).Reduce(0, 2, []BatchGrad{{Index: 1, Grad: grad}}, sum) //nolint:errcheck
+	}()
+	sum := make([]float32, len(grad))
+	_, rootErr := NewReducer(rootG).Reduce(0, 2, []BatchGrad{{Index: 0, Grad: grad}}, sum)
+	<-done
+	if rootErr == nil || !strings.Contains(rootErr.Error(), "run") {
+		t.Fatalf("crossed-run reduce: err = %v, want run mismatch", rootErr)
+	}
+}
+
+// TestGradEndCarriesFleetSnapshot: with telemetry enabled, a reduce
+// must deliver each worker's metrics snapshot to the root registry so
+// rank 0's /metrics exposes the whole group.
+func TestGradEndCarriesFleetSnapshot(t *testing.T) {
+	prev := telemetry.SetDefault(telemetry.NewRegistry())
+	telemetry.Enable()
+	t.Cleanup(func() {
+		telemetry.Disable()
+		telemetry.SetDefault(prev)
+	})
+	telemetry.GetCounter("dist.test_snap_marker").Inc()
+
+	const world, groupSize = 2, 2
+	groups, err := Loopback(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := []float32{1, 2, 3, 4}
+	var wg sync.WaitGroup
+	errs := make([]error, world)
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sum := make([]float32, len(grad))
+			_, errs[r] = NewReducer(groups[r]).Reduce(0, groupSize, []BatchGrad{{Index: r, Grad: grad, Seen: 1}}, sum)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	snaps := telemetry.Default().PeerSnaps()
+	if len(snaps) != 1 || snaps[0].Rank != 1 {
+		t.Fatalf("root gathered %d peer snaps (%+v), want one from rank 1", len(snaps), snaps)
+	}
+	if snaps[0].Snap.Counters["dist.test_snap_marker"] == 0 {
+		t.Fatal("gathered snapshot is missing the marker counter")
+	}
+}

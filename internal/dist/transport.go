@@ -81,9 +81,10 @@ func (c *streamConn) Close() error { return c.rwc.Close() }
 // holds one conn per peer, every other rank holds a single conn to the
 // root.
 type Group struct {
-	rank  int
-	world int
-	conns []Conn // indexed by peer rank; nil where no link exists
+	rank    int
+	world   int
+	traceID uint64 // run correlation id shared by the whole group (0 = untraced)
+	conns   []Conn // indexed by peer rank; nil where no link exists
 }
 
 // NewGroup assembles a group from pre-established links. conns is
@@ -105,6 +106,11 @@ func (g *Group) Rank() int { return g.rank }
 
 // World returns the number of workers in the group.
 func (g *Group) World() int { return g.world }
+
+// TraceID returns the run correlation id the group was joined under:
+// the coordinator's run id after a TCP join, the process's run id for
+// loopback groups, 0 for hand-assembled (NewGroup) test groups.
+func (g *Group) TraceID() uint64 { return g.traceID }
 
 // conn returns the link to peer, which must exist in this topology.
 func (g *Group) conn(peer int) Conn {
@@ -137,13 +143,15 @@ func Loopback(world int) ([]*Group, error) {
 	if world < 1 {
 		return nil, fmt.Errorf("dist: world size %d, want >= 1", world)
 	}
+	// All loopback ranks live in this process and share its run id.
+	runID := telemetry.EnsureTraceID()
 	groups := make([]*Group, world)
-	root := &Group{rank: 0, world: world, conns: make([]Conn, world)}
+	root := &Group{rank: 0, world: world, traceID: runID, conns: make([]Conn, world)}
 	groups[0] = root
 	for r := 1; r < world; r++ {
 		a, b := net.Pipe()
 		root.conns[r] = NewStreamConn(a)
-		g := &Group{rank: r, world: world, conns: make([]Conn, world)}
+		g := &Group{rank: r, world: world, traceID: runID, conns: make([]Conn, world)}
 		g.conns[0] = NewStreamConn(b)
 		groups[r] = g
 	}

@@ -3,8 +3,11 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // InferRequest is the POST /v1/infer body: one sample per request (the
@@ -16,6 +19,7 @@ type InferRequest struct {
 
 // InferResponse is the POST /v1/infer answer.
 type InferResponse struct {
+	RequestID  string    `json:"request_id"`
 	Class      int       `json:"class"`
 	Logits     []float32 `json:"logits"`
 	BatchSize  int       `json:"batch_size"`
@@ -45,34 +49,42 @@ type ReplicaStatus struct {
 
 // StatusResponse is the GET /v1/status body.
 type StatusResponse struct {
-	Model           string          `json:"model"`
-	Scheme          string          `json:"scheme"`
-	InputShape      [3]int          `json:"input_shape"`
-	Classes         int             `json:"classes"`
-	Generation      uint64          `json:"generation"`
-	Served          int64           `json:"served"`
-	Rejected        int64           `json:"rejected"`
-	Batches         int64           `json:"batches"`
-	MeanBatch       float64         `json:"mean_batch"`
-	QueueDepth      int             `json:"queue_depth"`
-	QueueCap        int             `json:"queue_cap"`
-	MaxBatch        int             `json:"max_batch"`
-	BatchDeadlineMS float64         `json:"batch_deadline_ms"`
-	Replicas        int             `json:"replicas"`
-	PerReplica      []ReplicaStatus `json:"per_replica"`
-	Draining        bool            `json:"draining"`
+	Model           string           `json:"model"`
+	Scheme          string           `json:"scheme"`
+	InputShape      [3]int           `json:"input_shape"`
+	Classes         int              `json:"classes"`
+	Generation      uint64           `json:"generation"`
+	Served          int64            `json:"served"`
+	Rejected        int64            `json:"rejected"`
+	Batches         int64            `json:"batches"`
+	MeanBatch       float64          `json:"mean_batch"`
+	QueueDepth      int              `json:"queue_depth"`
+	QueueCap        int              `json:"queue_cap"`
+	MaxBatch        int              `json:"max_batch"`
+	BatchDeadlineMS float64          `json:"batch_deadline_ms"`
+	Replicas        int              `json:"replicas"`
+	PerReplica      []ReplicaStatus  `json:"per_replica"`
+	Latency         LatencyBreakdown `json:"latency_ms"`
+	Draining        bool             `json:"draining"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// RequestIDHeader carries the per-request correlation id. The handler
+// echoes a client-supplied value (or mints one) on the response, in the
+// JSON body, and through the batcher, so one id follows a request from
+// the load balancer's log to the executor span that answered it.
+const RequestIDHeader = "X-ODQ-Request-ID"
+
 // Handler returns the service API:
 //
 //	POST /v1/infer   one sample in, class + logits out (dynamically batched)
 //	POST /v1/reload  hot-swap weights from a checkpoint
-//	GET  /v1/status  serving counters and model identity
-//	GET  /healthz    liveness (503 while draining)
+//	GET  /v1/status  serving counters, model identity, latency quantiles
+//	GET  /healthz    liveness (200 while the process runs)
+//	GET  /readyz     readiness (503 while draining — take it out of rotation)
 //
 // Metrics, traces and pprof live on the separate -debug-addr server
 // (telemetry.DebugMux), keeping the serving port minimal.
@@ -82,6 +94,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/reload", s.handleReload)
 	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
 }
 
@@ -105,7 +118,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := s.Submit(req.Input)
+	reqID := r.Header.Get(RequestIDHeader)
+	if reqID == "" {
+		reqID = fmt.Sprintf("%016x", telemetry.NewTraceID())
+	}
+	w.Header().Set(RequestIDHeader, reqID)
+	resp, err := s.SubmitID(req.Input, reqID)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		// Backpressure: the bounded queue is the admission control.
@@ -122,6 +140,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	select {
 	case res := <-resp:
 		writeJSON(w, http.StatusOK, InferResponse{
+			RequestID:  res.RequestID,
 			Class:      res.Class,
 			Logits:     res.Logits,
 			BatchSize:  res.BatchSize,
@@ -180,14 +199,24 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		BatchDeadlineMS: float64(s.cfg.BatchDeadline) / float64(time.Millisecond),
 		Replicas:        st.Replicas,
 		PerReplica:      per,
+		Latency:         s.LatencyBreakdown(),
 		Draining:        s.Draining(),
 	})
 }
 
+// handleHealthz is pure liveness: as long as the process can answer
+// HTTP it is alive, draining or not — restarting a draining server
+// would defeat the drain.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Write([]byte("ok\n")) //nolint:errcheck // best-effort liveness probe
+}
+
+// handleReadyz is readiness: 503 while draining tells load balancers to
+// stop routing new requests here while in-flight ones finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.Draining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		http.Error(w, "draining\n", http.StatusServiceUnavailable)
 		return
 	}
-	w.Write([]byte("ok\n")) //nolint:errcheck // best-effort liveness probe
+	w.Write([]byte("ready\n")) //nolint:errcheck // best-effort readiness probe
 }

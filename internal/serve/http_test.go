@@ -84,8 +84,77 @@ func TestHTTPInferRoundtrip(t *testing.T) {
 	}
 }
 
-// TestHTTPStatusAndHealth checks /v1/status fields and the healthz
-// draining transition.
+// TestHTTPRequestIDAndLatency checks the request-id correlation path —
+// a client-supplied X-ODQ-Request-ID must come back on the response
+// header and body, and an absent one must be minted — and that
+// /v1/status reports a nonzero latency decomposition once requests
+// have flowed.
+func TestHTTPRequestIDAndLatency(t *testing.T) {
+	srv := testServer(t, 32, "odq", Config{MaxBatch: 8, BatchDeadline: 2 * time.Millisecond})
+	srv.Start()
+	defer srv.Drain(10 * time.Second) //nolint:errcheck
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	b, err := json.Marshal(InferRequest{Input: randInput(60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/infer", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(RequestIDHeader, "req-abc-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "req-abc-123" {
+		t.Fatalf("response header id %q, want req-abc-123", got)
+	}
+	if ir.RequestID != "req-abc-123" {
+		t.Fatalf("response body id %q, want req-abc-123", ir.RequestID)
+	}
+
+	// No id supplied: the server mints one (16 hex digits).
+	resp2, body := postJSON(t, ts.URL+"/v1/infer", InferRequest{Input: randInput(61)})
+	var ir2 InferResponse
+	if err := json.Unmarshal(body, &ir2); err != nil {
+		t.Fatal(err)
+	}
+	if len(ir2.RequestID) != 16 || resp2.Header.Get(RequestIDHeader) != ir2.RequestID {
+		t.Fatalf("minted id %q / header %q, want matching 16-hex ids",
+			ir2.RequestID, resp2.Header.Get(RequestIDHeader))
+	}
+
+	st, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status StatusResponse
+	if err := json.NewDecoder(st.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	st.Body.Close()
+	if status.Latency.Total.Count < 2 || status.Latency.Execute.Count < 1 {
+		t.Fatalf("latency decomposition empty: %+v", status.Latency)
+	}
+	if status.Latency.Total.P99 < status.Latency.Total.P50 {
+		t.Fatalf("p99 %v < p50 %v", status.Latency.Total.P99, status.Latency.Total.P50)
+	}
+	if status.Latency.QueueWait.Count < 2 {
+		t.Fatalf("queue-wait samples %d, want >= 2", status.Latency.QueueWait.Count)
+	}
+}
+
+// TestHTTPStatusAndHealth checks /v1/status fields and the probe
+// split: /healthz stays 200 through a drain (the process is alive),
+// /readyz flips to 503 (stop routing here).
 func TestHTTPStatusAndHealth(t *testing.T) {
 	srv := testServer(t, 31, "int8pc", Config{ModelName: "lenet5", MaxBatch: 8, BatchDeadline: 2 * time.Millisecond})
 	srv.Start()
@@ -114,25 +183,35 @@ func TestHTTPStatusAndHealth(t *testing.T) {
 		t.Fatalf("status shape %v classes %d", st.InputShape, st.Classes)
 	}
 
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		hz, err := http.Get(ts.URL + probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hz.Body.Close()
+		if hz.StatusCode != http.StatusOK {
+			t.Fatalf("%s %d before drain", probe, hz.StatusCode)
+		}
+	}
+
+	if err := srv.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
 	hz, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	hz.Body.Close()
 	if hz.StatusCode != http.StatusOK {
-		t.Fatalf("healthz %d before drain", hz.StatusCode)
+		t.Fatalf("healthz %d while draining, want 200 (liveness must not flap on drain)", hz.StatusCode)
 	}
-
-	if err := srv.Drain(10 * time.Second); err != nil {
-		t.Fatal(err)
-	}
-	hz, err = http.Get(ts.URL + "/healthz")
+	rz, err := http.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	hz.Body.Close()
-	if hz.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz %d while draining, want 503", hz.StatusCode)
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz %d while draining, want 503", rz.StatusCode)
 	}
 	resp, _ = postJSON(t, ts.URL+"/v1/infer", InferRequest{Input: randInput(71)})
 	if resp.StatusCode != http.StatusServiceUnavailable {

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/infer"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/olog"
 	"repro/internal/tensor"
 )
 
@@ -48,8 +49,7 @@ var (
 
 // Config sizes the serving loop. Zero values take the stated defaults.
 type Config struct {
-	// ModelName labels telemetry (the per-model QPS gauge) and status
-	// output. Default "model".
+	// ModelName labels status output. Default "model".
 	ModelName string
 	// InputC/H/W is the accepted input shape; every request must carry
 	// exactly C*H*W values.
@@ -87,6 +87,9 @@ func (c Config) withDefaults() Config {
 
 // Result is one request's answer.
 type Result struct {
+	// RequestID echoes the id the request was submitted under (the
+	// X-ODQ-Request-ID correlation header at the HTTP layer).
+	RequestID string
 	// Class is the argmax class index.
 	Class int
 	// Logits is the request's full logit row.
@@ -103,8 +106,10 @@ type Result struct {
 
 // pending is one admitted request waiting for its batch.
 type pending struct {
+	id   string
 	x    []float32
-	enq  time.Time
+	enq  time.Time // admission (Submit) time
+	deq  time.Time // collector pickup time; deq-enq is the queue wait
 	resp chan Result
 }
 
@@ -159,13 +164,20 @@ type Server struct {
 	batches  atomic.Int64
 	batchSum atomic.Int64
 
-	// Telemetry instruments (per-model QPS gauge name depends on config,
-	// so handles live on the server, bound at New).
+	// Telemetry instruments, bound at New. The latency-decomposition
+	// histograms (hQueueWait/hCollect/hExec/hScatter/hLatencyMS) use
+	// Record, not Observe: /v1/status reports their quantiles whether or
+	// not telemetry collection is enabled. They sit on ms-scale paths
+	// (once per request or per batch), so the always-on cost is noise.
 	mRequests  *telemetry.Counter
 	mRejected  *telemetry.Counter
 	mBatches   *telemetry.Counter
 	mReloads   *telemetry.Counter
 	hLatencyMS *telemetry.Histogram
+	hQueueWait *telemetry.Histogram
+	hCollect   *telemetry.Histogram
+	hExec      *telemetry.Histogram
+	hScatter   *telemetry.Histogram
 	hBatchSize *telemetry.Histogram
 	gQueue     *telemetry.Gauge
 	gQPS       *telemetry.Gauge
@@ -220,9 +232,13 @@ func NewReplicated(sessions []*infer.Session, cfg Config) (*Server, error) {
 		mBatches:   telemetry.GetCounter("serve.batches"),
 		mReloads:   telemetry.GetCounter("serve.reloads"),
 		hLatencyMS: telemetry.GetHistogram("serve.request_latency_ms", telemetry.ExpBuckets(0.1, 2, 18)),
+		hQueueWait: telemetry.GetHistogram("serve.queue_wait_ms", telemetry.ExpBuckets(0.01, 2, 20)),
+		hCollect:   telemetry.GetHistogram("serve.collect_ms", telemetry.ExpBuckets(0.01, 2, 20)),
+		hExec:      telemetry.GetHistogram("serve.execute_ms", telemetry.ExpBuckets(0.1, 2, 18)),
+		hScatter:   telemetry.GetHistogram("serve.scatter_ms", telemetry.ExpBuckets(0.01, 2, 20)),
 		hBatchSize: telemetry.GetHistogram("serve.batch_size", telemetry.LinearBuckets(1, 1, 64)),
 		gQueue:     telemetry.GetGauge("serve.queue_depth"),
-		gQPS:       telemetry.GetGauge("serve.qps." + cfg.ModelName),
+		gQPS:       telemetry.GetGauge("serve.qps"),
 	}
 	return s, nil
 }
@@ -252,11 +268,18 @@ func (s *Server) Start() {
 // executed. ErrQueueFull and ErrDraining signal backpressure and
 // shutdown; the caller maps them to 429/503.
 func (s *Server) Submit(x []float32) (<-chan Result, error) {
+	return s.SubmitID(x, "")
+}
+
+// SubmitID is Submit with a caller-chosen correlation id (the HTTP
+// layer's X-ODQ-Request-ID) that rides through the batcher and comes
+// back in the Result.
+func (s *Server) SubmitID(x []float32, id string) (<-chan Result, error) {
 	if want := s.cfg.InputC * s.cfg.InputH * s.cfg.InputW; len(x) != want {
 		return nil, fmt.Errorf("serve: input has %d values, want %d (%dx%dx%d)",
 			len(x), want, s.cfg.InputC, s.cfg.InputH, s.cfg.InputW)
 	}
-	p := &pending{x: x, enq: time.Now(), resp: make(chan Result, 1)}
+	p := &pending{id: id, x: x, enq: time.Now(), resp: make(chan Result, 1)}
 	// The RLock pairs with Drain's Lock: draining is never set between
 	// our check and our send, so no send can follow close(s.queue).
 	s.mu.RLock()
@@ -298,9 +321,12 @@ func (s *Server) Reload(path string) (uint64, error) {
 		return 0, ErrDraining
 	}
 	if err := <-req.err; err != nil {
+		olog.Error("weight reload failed", "path", path, "err", err)
 		return 0, err
 	}
-	return s.replicas[0].sess.Generation(), nil
+	gen := s.replicas[0].sess.Generation()
+	olog.Info("weights reloaded", "path", path, "generation", gen, "replicas", len(s.replicas))
+	return gen, nil
 }
 
 // Drain stops admission (new Submits get ErrDraining), lets the pool
@@ -313,6 +339,7 @@ func (s *Server) Drain(timeout time.Duration) error {
 	s.mu.Unlock()
 	if !already {
 		close(s.queue)
+		olog.Info("admission stopped, draining queue", "queued", len(s.queue))
 	}
 	select {
 	case <-s.done:
@@ -327,6 +354,49 @@ func (s *Server) Draining() bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.draining
+}
+
+// StageQuantiles is one latency stage's estimated quantiles in
+// milliseconds plus the number of samples behind them.
+type StageQuantiles struct {
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Count int64   `json:"count"`
+}
+
+func stageQuantiles(h *telemetry.Histogram) StageQuantiles {
+	snap := h.Snapshot()
+	return StageQuantiles{
+		P50:   snap.Quantile(0.50),
+		P95:   snap.Quantile(0.95),
+		P99:   snap.Quantile(0.99),
+		Count: snap.Count,
+	}
+}
+
+// LatencyBreakdown decomposes request latency by pipeline stage:
+// queue wait (Submit to collector pickup, per request), batch collect
+// (per batch), executor pass (per batch), scatter (per batch), and the
+// end-to-end total (per request). Always live — the underlying
+// histograms record regardless of the telemetry enable flag.
+type LatencyBreakdown struct {
+	QueueWait StageQuantiles `json:"queue_wait"`
+	Collect   StageQuantiles `json:"collect"`
+	Execute   StageQuantiles `json:"execute"`
+	Scatter   StageQuantiles `json:"scatter"`
+	Total     StageQuantiles `json:"total"`
+}
+
+// LatencyBreakdown returns the current per-stage latency quantiles.
+func (s *Server) LatencyBreakdown() LatencyBreakdown {
+	return LatencyBreakdown{
+		QueueWait: stageQuantiles(s.hQueueWait),
+		Collect:   stageQuantiles(s.hCollect),
+		Execute:   stageQuantiles(s.hExec),
+		Scatter:   stageQuantiles(s.hScatter),
+		Total:     stageQuantiles(s.hLatencyMS),
+	}
 }
 
 // ReplicaStats is one replica's point-in-time counters.
@@ -389,6 +459,7 @@ func (s *Server) run() {
 			if !ok {
 				return
 			}
+			s.noteDequeued(p)
 			batch, closed := s.collect(p)
 			s.replicas[rr].work <- workItem{batch: batch}
 			rr = (rr + 1) % len(s.replicas)
@@ -415,12 +486,24 @@ func (s *Server) reloadAll(r reloadReq) {
 	r.err <- first
 }
 
+// noteDequeued stamps the collector-pickup time on a request and
+// records its queue wait — the first addend of the latency
+// decomposition /v1/status reports.
+func (s *Server) noteDequeued(p *pending) {
+	p.deq = time.Now()
+	s.hQueueWait.Record(float64(p.deq.Sub(p.enq)) / float64(time.Millisecond))
+}
+
 // collect gathers up to MaxBatch requests (waiting at most
 // BatchDeadline past the first). closed reports that the queue was
 // closed during collection (drain): the batch still executes.
 func (s *Server) collect(first *pending) (batch []*pending, closed bool) {
 	spCollect := telemetry.StartSpan("serve.collect")
-	defer spCollect.End()
+	start := time.Now()
+	defer func() {
+		s.hCollect.Record(float64(time.Since(start)) / float64(time.Millisecond))
+		spCollect.End()
+	}()
 	batch = append(make([]*pending, 0, s.cfg.MaxBatch), first)
 	deadline := time.NewTimer(s.cfg.BatchDeadline)
 	defer deadline.Stop()
@@ -432,6 +515,7 @@ func (s *Server) collect(first *pending) (batch []*pending, closed bool) {
 				s.gQueue.Set(0)
 				return batch, true
 			}
+			s.noteDequeued(p)
 			batch = append(batch, p)
 		case <-deadline.C:
 			s.gQueue.Set(float64(len(s.queue)))
@@ -472,11 +556,28 @@ func (s *Server) execBatch(r *replica, batch []*pending) {
 		copy(x.Data[i*per:(i+1)*per], p.x)
 	}
 
-	spExec := telemetry.StartSpan("serve.execute")
+	// The execute span carries the request ids sharing the pass, so a
+	// trace lane click shows exactly which requests a batch answered.
+	var spExec telemetry.Span
+	if telemetry.Enabled() {
+		ids := make([]string, 0, n)
+		for _, p := range batch {
+			if p.id != "" {
+				ids = append(ids, p.id)
+			}
+		}
+		spExec = telemetry.StartSpanWith("serve.execute",
+			map[string]interface{}{"batch": n, "replica": r.id, "request_ids": ids})
+	} else {
+		spExec = telemetry.StartSpan("serve.execute")
+	}
+	execStart := time.Now()
 	logits := r.sess.Forward(x)
+	s.hExec.Record(float64(time.Since(execStart)) / float64(time.Millisecond))
 	spExec.End()
 
 	spScatter := telemetry.StartSpan("serve.scatter")
+	scatterStart := time.Now()
 	gen := r.sess.Generation()
 	now := time.Now()
 	preds := logits.ArgmaxRows()
@@ -484,8 +585,9 @@ func (s *Server) execBatch(r *replica, batch []*pending) {
 		row := make([]float32, s.classes)
 		copy(row, logits.Data[i*s.classes:(i+1)*s.classes])
 		lat := now.Sub(p.enq)
-		s.hLatencyMS.Observe(float64(lat) / float64(time.Millisecond))
+		s.hLatencyMS.Record(float64(lat) / float64(time.Millisecond))
 		p.resp <- Result{
+			RequestID:  p.id,
 			Class:      preds[i],
 			Logits:     row,
 			BatchSize:  n,
@@ -494,6 +596,7 @@ func (s *Server) execBatch(r *replica, batch []*pending) {
 			Latency:    lat,
 		}
 	}
+	s.hScatter.Record(float64(time.Since(scatterStart)) / float64(time.Millisecond))
 	spScatter.End()
 
 	s.served.Add(int64(n))

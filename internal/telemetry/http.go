@@ -24,17 +24,31 @@ func traceHandler(w http.ResponseWriter, _ *http.Request) {
 	Default().WriteTrace(w) //nolint:errcheck // best-effort debug endpoint
 }
 
+// promHandler serves the default registry — plus any gathered fleet
+// peer snapshots — in the Prometheus text exposition format.
+func promHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	Default().WritePrometheus(w) //nolint:errcheck // best-effort debug endpoint
+}
+
 // Handler returns the metrics snapshot handler alone (for embedding in an
 // existing mux).
 func Handler() http.Handler { return http.HandlerFunc(varsHandler) }
 
+// PrometheusHandler returns the /metrics handler alone (for embedding
+// in an existing mux).
+func PrometheusHandler() http.Handler { return http.HandlerFunc(promHandler) }
+
 // DebugMux returns an http.ServeMux with the full debug surface:
 //
+//	/metrics      Prometheus text exposition (scrapable; includes fleet
+//	              peer snapshots on a training root)
 //	/debug/vars   expvar-style JSON snapshot of all metrics
 //	/debug/trace  Chrome trace JSON of the span ring
 //	/debug/pprof  the standard net/http/pprof handlers
 func DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", promHandler)
 	mux.HandleFunc("/debug/vars", varsHandler)
 	mux.HandleFunc("/debug/trace", traceHandler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,147 @@
+// Package olog is the repo's structured logging layer: a thin wrapper
+// over log/slog that stamps every record with the process's fleet
+// identity (run trace id, role, rank, replica — whatever is set in
+// package telemetry), so log lines from W training workers and R
+// serving replicas interleaved in one terminal or one log aggregator
+// remain attributable and join-able against metrics and traces through
+// the shared run id.
+//
+// Two output formats are supported: "text" (slog's logfmt-style
+// handler, the human default) and "json" (one JSON object per line,
+// the aggregator default). The identity attributes are injected at
+// Handle time, not Setup time, so a process that learns its rank or
+// run id after logger setup — a joiner adopting the coordinator's
+// trace id mid-handshake — logs the updated identity from that moment
+// on without reconfiguration.
+package olog
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Options configures Setup.
+type Options struct {
+	// W receives the log stream (default os.Stderr).
+	W io.Writer
+	// Format is "text" or "json" (default "text").
+	Format string
+	// Level is the minimum level ("debug", "info", "warn", "error";
+	// default "info").
+	Level string
+}
+
+// ParseFormat validates a -log-format flag value.
+func ParseFormat(s string) (string, error) {
+	switch s {
+	case "", "text":
+		return "text", nil
+	case "json":
+		return "json", nil
+	}
+	return "", fmt.Errorf("olog: unknown log format %q (want text or json)", s)
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("olog: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// identityHandler decorates an inner handler with the live process
+// identity, read per record.
+type identityHandler struct{ inner slog.Handler }
+
+func (h identityHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.inner.Enabled(ctx, lvl)
+}
+
+func (h identityHandler) Handle(ctx context.Context, rec slog.Record) error {
+	id := telemetry.CurrentIdentity()
+	if id.TraceID != 0 {
+		rec.AddAttrs(slog.String("run", id.TraceIDString()))
+	}
+	if id.Role != "" {
+		rec.AddAttrs(slog.String("role", id.Role))
+	}
+	if id.Rank >= 0 {
+		rec.AddAttrs(slog.Int("rank", id.Rank))
+	}
+	if id.Replica >= 0 {
+		rec.AddAttrs(slog.Int("replica", id.Replica))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h identityHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return identityHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h identityHandler) WithGroup(name string) slog.Handler {
+	return identityHandler{inner: h.inner.WithGroup(name)}
+}
+
+// logger holds the active logger; the default logs text to stderr at
+// info so packages can log before (or without) Setup.
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.New(identityHandler{
+		inner: slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}),
+	}))
+}
+
+// Setup installs the process logger. Errors name the offending option.
+func Setup(opts Options) error {
+	w := opts.W
+	if w == nil {
+		w = os.Stderr
+	}
+	format, err := ParseFormat(opts.Format)
+	if err != nil {
+		return err
+	}
+	level, err := ParseLevel(opts.Level)
+	if err != nil {
+		return err
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var inner slog.Handler
+	if format == "json" {
+		inner = slog.NewJSONHandler(w, hopts)
+	} else {
+		inner = slog.NewTextHandler(w, hopts)
+	}
+	logger.Store(slog.New(identityHandler{inner: inner}))
+	return nil
+}
+
+// L returns the process logger.
+func L() *slog.Logger { return logger.Load() }
+
+// Debug logs at debug level with alternating key/value args.
+func Debug(msg string, args ...any) { L().Debug(msg, args...) }
+
+// Info logs at info level with alternating key/value args.
+func Info(msg string, args ...any) { L().Info(msg, args...) }
+
+// Warn logs at warn level with alternating key/value args.
+func Warn(msg string, args ...any) { L().Warn(msg, args...) }
+
+// Error logs at error level with alternating key/value args.
+func Error(msg string, args ...any) { L().Error(msg, args...) }

@@ -1,0 +1,110 @@
+package olog
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// withIdentity pins the process identity (it is global) and restores it.
+func withIdentity(t *testing.T, id telemetry.Identity) {
+	t.Helper()
+	prev := telemetry.CurrentIdentity()
+	telemetry.SetIdentity(id)
+	t.Cleanup(func() { telemetry.SetIdentity(prev) })
+}
+
+// restoreLogger puts the default logger back after a test ran Setup.
+func restoreLogger(t *testing.T) {
+	t.Helper()
+	prev := logger.Load()
+	t.Cleanup(func() { logger.Store(prev) })
+}
+
+// TestIdentityAttrsInjected: every record carries the fields of the
+// identity that are set — and only those.
+func TestIdentityAttrsInjected(t *testing.T) {
+	restoreLogger(t)
+	withIdentity(t, telemetry.Identity{TraceID: 0xabcd, Role: "train", Rank: 2, Replica: -1})
+	var buf bytes.Buffer
+	if err := Setup(Options{W: &buf, Format: "text"}); err != nil {
+		t.Fatal(err)
+	}
+	Info("hello", "k", "v")
+	line := buf.String()
+	for _, want := range []string{`msg=hello`, `k=v`, `run=000000000000abcd`, `role=train`, `rank=2`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("log line missing %q: %s", want, line)
+		}
+	}
+	if strings.Contains(line, "replica=") {
+		t.Fatalf("unset replica leaked into line: %s", line)
+	}
+}
+
+// TestIdentityReadPerRecord: an identity learned AFTER Setup (a joiner
+// adopting the coordinator's run id mid-handshake) appears on
+// subsequent records without logger reconfiguration.
+func TestIdentityReadPerRecord(t *testing.T) {
+	restoreLogger(t)
+	withIdentity(t, telemetry.Identity{Rank: -1, Replica: -1})
+	var buf bytes.Buffer
+	if err := Setup(Options{W: &buf, Format: "text"}); err != nil {
+		t.Fatal(err)
+	}
+	Info("before")
+	telemetry.SetTraceID(0x1234)
+	Info("after")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), lines)
+	}
+	if strings.Contains(lines[0], "run=") {
+		t.Fatalf("run id on a record logged before it existed: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "run=0000000000001234") {
+		t.Fatalf("run id missing after SetTraceID: %s", lines[1])
+	}
+}
+
+// TestJSONFormat: -log-format json yields one parseable object per
+// line with the identity as plain fields.
+func TestJSONFormat(t *testing.T) {
+	restoreLogger(t)
+	withIdentity(t, telemetry.Identity{TraceID: 1, Role: "serve", Rank: -1, Replica: 3})
+	var buf bytes.Buffer
+	if err := Setup(Options{W: &buf, Format: "json", Level: "warn"}); err != nil {
+		t.Fatal(err)
+	}
+	Info("filtered out")
+	Warn("kept", "n", 7)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("level filter failed, got %d lines: %q", len(lines), lines)
+	}
+	var rec map[string]interface{}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("not JSON: %v: %s", err, lines[0])
+	}
+	if rec["msg"] != "kept" || rec["n"] != float64(7) || rec["role"] != "serve" ||
+		rec["run"] != "0000000000000001" || rec["replica"] != float64(3) {
+		t.Fatalf("bad record: %v", rec)
+	}
+	if _, ok := rec["rank"]; ok {
+		t.Fatalf("unset rank leaked into record: %v", rec)
+	}
+}
+
+// TestSetupRejectsBadOptions: flag typos fail loudly, naming the value.
+func TestSetupRejectsBadOptions(t *testing.T) {
+	restoreLogger(t)
+	if err := Setup(Options{Format: "xml"}); err == nil || !strings.Contains(err.Error(), "xml") {
+		t.Fatalf("bad format error: %v", err)
+	}
+	if err := Setup(Options{Level: "loud"}); err == nil || !strings.Contains(err.Error(), "loud") {
+		t.Fatalf("bad level error: %v", err)
+	}
+}

@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the registry.
+//
+// Metric names in this repo are dotted snake_case namespaces
+// ("serve.request_latency_ms", "dist.frames_sent" — enforced by
+// scripts/metric_lint.sh); the exposition maps dots to underscores,
+// appends the conventional "_total" to counters, and expands histograms
+// into cumulative _bucket/_sum/_count series. Every sample carries the
+// process identity as labels (run, role, rank, replica — whichever are
+// set), and on a training root the handler additionally renders the
+// gathered per-rank fleet snapshots (SetPeerSnap) with their own rank
+// labels, so one scrape of rank 0 sees the whole training group.
+
+// PeerSnap is one remote process's metrics snapshot, gathered over the
+// dist transport (piggybacked on the reduce protocol's grad-end frames).
+type PeerSnap struct {
+	Rank    int
+	Snap    Snap
+	Updated time.Time
+}
+
+// SetPeerSnap stores (replacing) the latest snapshot gathered from a
+// peer rank into the registry, for the /metrics handler to render.
+func (r *Registry) SetPeerSnap(rank int, s Snap) {
+	r.peersMu.Lock()
+	if r.peers == nil {
+		r.peers = make(map[int]PeerSnap)
+	}
+	r.peers[rank] = PeerSnap{Rank: rank, Snap: s, Updated: time.Now()}
+	r.peersMu.Unlock()
+}
+
+// PeerSnaps returns the gathered peer snapshots in ascending rank order.
+func (r *Registry) PeerSnaps() []PeerSnap {
+	r.peersMu.Lock()
+	out := make([]PeerSnap, 0, len(r.peers))
+	for _, p := range r.peers {
+		out = append(out, p)
+	}
+	r.peersMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// SetPeerSnap stores a peer snapshot in the default registry.
+func SetPeerSnap(rank int, s Snap) { Default().SetPeerSnap(rank, s) }
+
+// promName maps a dotted registry name to a Prometheus metric name.
+func promName(name string) string { return strings.ReplaceAll(name, ".", "_") }
+
+// promLabel escapes a label value per the exposition format.
+func promLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promFloat renders a float sample value.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// identityLabels renders the label pairs for one process identity. rank
+// overrides id.Rank when >= 0 (peer snapshots are labeled with the
+// peer's rank, everything else with the identity's own).
+func identityLabels(id Identity, rank int) string {
+	var parts []string
+	if id.TraceID != 0 {
+		parts = append(parts, fmt.Sprintf(`run=%q`, id.TraceIDString()))
+	}
+	if id.Role != "" {
+		parts = append(parts, fmt.Sprintf(`role=%q`, promLabel(id.Role)))
+	}
+	if rank < 0 {
+		rank = id.Rank
+	}
+	if rank >= 0 {
+		parts = append(parts, fmt.Sprintf(`rank="%d"`, rank))
+	}
+	if id.Replica >= 0 {
+		parts = append(parts, fmt.Sprintf(`replica="%d"`, id.Replica))
+	}
+	return strings.Join(parts, ",")
+}
+
+// promSeries accumulates all samples of one metric name across the
+// local and peer snapshots, so the exposition groups them under a
+// single TYPE line as the format requires.
+type promSeries struct {
+	typ   string
+	lines []string
+}
+
+// wrapLabels combines a base label set with an extra label expression.
+func wrapLabels(base, extra string) string {
+	switch {
+	case base == "" && extra == "":
+		return ""
+	case base == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + base + "}"
+	}
+	return "{" + base + "," + extra + "}"
+}
+
+// addSnap folds one snapshot, labeled with labels, into the series set.
+// A name already claimed by a different instrument type is skipped: the
+// exposition must not emit conflicting TYPE lines (the metric-name lint
+// keeps the codebase free of such collisions in the first place).
+func addSnap(series map[string]*promSeries, s Snap, labels string) {
+	claim := func(name, typ string) *promSeries {
+		ps, ok := series[name]
+		if !ok {
+			ps = &promSeries{typ: typ}
+			series[name] = ps
+			return ps
+		}
+		if ps.typ != typ {
+			return nil
+		}
+		return ps
+	}
+	for name, v := range s.Counters {
+		n := promName(name) + "_total"
+		if ps := claim(n, "counter"); ps != nil {
+			ps.lines = append(ps.lines, fmt.Sprintf("%s%s %d", n, wrapLabels(labels, ""), v))
+		}
+	}
+	for name, v := range s.Gauges {
+		n := promName(name)
+		if ps := claim(n, "gauge"); ps != nil {
+			ps.lines = append(ps.lines, fmt.Sprintf("%s%s %s", n, wrapLabels(labels, ""), promFloat(v)))
+		}
+	}
+	for name, h := range s.Histograms {
+		n := promName(name)
+		ps := claim(n, "histogram")
+		if ps == nil {
+			continue
+		}
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			le := fmt.Sprintf(`le="%s"`, promFloat(bound))
+			ps.lines = append(ps.lines, fmt.Sprintf("%s_bucket%s %d", n, wrapLabels(labels, le), cum))
+		}
+		ps.lines = append(ps.lines, fmt.Sprintf(`%s_bucket%s %d`, n, wrapLabels(labels, `le="+Inf"`), h.Count))
+		ps.lines = append(ps.lines, fmt.Sprintf("%s_sum%s %s", n, wrapLabels(labels, ""), promFloat(h.Sum)))
+		ps.lines = append(ps.lines, fmt.Sprintf("%s_count%s %d", n, wrapLabels(labels, ""), h.Count))
+	}
+}
+
+// WritePrometheus writes the registry's current state — and any
+// gathered peer snapshots — in the Prometheus text exposition format.
+// Output is deterministic: metric names sort lexically and each name's
+// samples keep local-then-ascending-peer-rank order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	id := CurrentIdentity()
+	series := make(map[string]*promSeries)
+	addSnap(series, r.Snapshot(), identityLabels(id, -1))
+	for _, p := range r.PeerSnaps() {
+		addSnap(series, p.Snap, identityLabels(id, p.Rank))
+	}
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		ps := series[n]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", n, ps.typ)
+		for _, line := range ps.lines {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePrometheus writes the default registry in the Prometheus text
+// exposition format.
+func WritePrometheus(w io.Writer) error { return Default().WritePrometheus(w) }

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"sort"
@@ -19,8 +20,9 @@ const defaultSpanCap = 1 << 16
 // spanRecord is one completed span.
 type spanRecord struct {
 	name  string
-	start int64 // ns, from the ring's clock
-	dur   int64 // ns
+	start int64                  // ns, from the ring's clock
+	dur   int64                  // ns
+	args  map[string]interface{} // optional trace-event args (nil for plain spans)
 }
 
 // spanRing is a fixed-capacity overwrite-oldest ring of completed spans.
@@ -45,8 +47,8 @@ func newSpanRing(capacity int) *spanRing {
 	}
 }
 
-func (r *spanRing) record(name string, start, end int64) {
-	rec := spanRecord{name: name, start: start, dur: end - start}
+func (r *spanRing) record(name string, start, end int64, args map[string]interface{}) {
+	rec := spanRecord{name: name, start: start, dur: end - start, args: args}
 	r.mu.Lock()
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, rec)
@@ -92,6 +94,7 @@ type Span struct {
 	name  string
 	start int64
 	ring  *spanRing
+	args  map[string]interface{}
 }
 
 // StartSpan begins a span recorded into the default registry's ring.
@@ -113,32 +116,77 @@ func (r *Registry) StartSpan(name string) Span {
 	return Span{name: name, start: ring.now(), ring: ring}
 }
 
+// StartSpanWith begins a span carrying trace-event args — request ids,
+// batch sizes — that render in the span's detail pane in Perfetto. The
+// map is retained until export; callers should gate construction behind
+// Enabled() since building it allocates (plain StartSpan stays
+// allocation-free).
+func StartSpanWith(name string, args map[string]interface{}) Span {
+	sp := StartSpan(name)
+	sp.args = args
+	return sp
+}
+
 // End completes the span. No-op on the zero Span.
 func (s Span) End() {
 	if s.ring == nil {
 		return
 	}
-	s.ring.record(s.name, s.start, s.ring.now())
+	s.ring.record(s.name, s.start, s.ring.now(), s.args)
 }
 
 // ResetSpans clears the registry's span ring.
 func (r *Registry) ResetSpans() { r.spans.reset() }
 
-// TraceEvent is one Chrome trace-event ("complete" phase) record. The
-// exported JSON loads directly in Perfetto / chrome://tracing.
+// TraceEvent is one Chrome trace-event record — "X" (complete) for
+// spans, "M" (metadata) for process naming. The exported JSON loads
+// directly in Perfetto / chrome://tracing.
 type TraceEvent struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`  // microseconds since the first span
-	Dur  float64 `json:"dur"` // microseconds
-	Pid  int     `json:"pid"`
-	Tid  int     `json:"tid"`
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`  // microseconds since the first span
+	Dur  float64                `json:"dur"` // microseconds
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
 }
 
-// traceFile is the Chrome trace-event file envelope.
+// TraceMeta is the cross-process correlation block embedded in every
+// exported trace file: which run the process belonged to, where it sat
+// in the fleet, and the absolute wall-clock nanosecond the file's ts 0
+// corresponds to — odq-tracemerge uses BaseNs to line the per-rank
+// lanes up on one shared clock.
+type TraceMeta struct {
+	TraceID string `json:"trace_id,omitempty"`
+	Role    string `json:"role,omitempty"`
+	Rank    int    `json:"rank"`
+	Replica int    `json:"replica"`
+	BaseNs  int64  `json:"base_ns"`
+}
+
+// ProcessLabel renders the human-readable fleet position ("train rank
+// 0", "serve") used for Perfetto process lanes.
+func (m TraceMeta) ProcessLabel() string {
+	label := m.Role
+	if label == "" {
+		label = "proc"
+	}
+	if m.Rank >= 0 {
+		label = fmt.Sprintf("%s rank %d", label, m.Rank)
+	}
+	if m.Replica >= 0 {
+		label = fmt.Sprintf("%s replica %d", label, m.Replica)
+	}
+	return label
+}
+
+// traceFile is the Chrome trace-event file envelope. OdqMeta is an
+// extension key (viewers ignore unknown envelope keys) carrying the
+// correlation identity.
 type traceFile struct {
 	TraceEvents     []TraceEvent `json:"traceEvents"`
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	OdqMeta         *TraceMeta   `json:"odqMeta,omitempty"`
 }
 
 // TraceEvents converts the retained spans to Chrome trace events, sorted
@@ -148,9 +196,16 @@ type traceFile struct {
 // has already ended, so overlapping (concurrent or nested) spans render
 // on separate rows in Perfetto.
 func (r *Registry) TraceEvents() []TraceEvent {
+	events, _ := r.traceEvents()
+	return events
+}
+
+// traceEvents additionally returns the absolute clock value (ns) the
+// events were re-based against, for the trace file's correlation block.
+func (r *Registry) traceEvents() ([]TraceEvent, int64) {
 	recs := r.spans.records()
 	if len(recs) == 0 {
-		return nil
+		return nil, 0
 	}
 	sort.Slice(recs, func(i, j int) bool {
 		if recs[i].start != recs[j].start {
@@ -184,17 +239,36 @@ func (r *Registry) TraceEvents() []TraceEvent {
 			Dur:  float64(rec.dur) / 1e3,
 			Pid:  1,
 			Tid:  tid + 1,
+			Args: rec.args,
 		})
 	}
-	return events
+	return events, base
 }
 
 // WriteTrace writes the registry's spans as Chrome trace-event JSON.
+// The file embeds the process identity twice: as the odqMeta envelope
+// block odq-tracemerge correlates on, and as a process_name metadata
+// event so even a single rank's file shows its fleet position in
+// Perfetto.
 func (r *Registry) WriteTrace(w io.Writer) error {
-	f := traceFile{TraceEvents: r.TraceEvents(), DisplayTimeUnit: "ns"}
-	if f.TraceEvents == nil {
-		f.TraceEvents = []TraceEvent{}
+	events, base := r.traceEvents()
+	if events == nil {
+		events = []TraceEvent{}
 	}
+	id := CurrentIdentity()
+	meta := &TraceMeta{
+		Role: id.Role, Rank: id.Rank, Replica: id.Replica, BaseNs: base,
+	}
+	if id.TraceID != 0 {
+		meta.TraceID = id.TraceIDString()
+	}
+	named := make([]TraceEvent, 0, len(events)+1)
+	named = append(named, TraceEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]interface{}{"name": meta.ProcessLabel()},
+	})
+	named = append(named, events...)
+	f := traceFile{TraceEvents: named, DisplayTimeUnit: "ns", OdqMeta: meta}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(f)

@@ -114,6 +114,22 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil || !enabled.Load() {
 		return
 	}
+	h.observe(v)
+}
+
+// Record observes unconditionally, ignoring the process-wide enable
+// flag. It exists for always-on service statistics — the serving
+// layer's latency-decomposition histograms must answer /v1/status
+// whether or not telemetry collection was switched on — and must stay
+// off nanosecond-scale hot paths (the whole point of the gate).
+func (h *Histogram) Record(v float64) {
+	if h == nil {
+		return
+	}
+	h.observe(v)
+}
+
+func (h *Histogram) observe(v float64) {
 	// Binary search for the first bound >= v (inclusive upper bounds).
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
@@ -157,6 +173,17 @@ func (h *Histogram) Bounds() []float64 {
 	return append([]float64(nil), h.bounds...)
 }
 
+// Snapshot copies the histogram's current state (for Quantile and
+// exposition).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+		Bounds: h.Bounds(),
+		Counts: h.BucketCounts(),
+	}
+}
+
 // ExpBuckets returns n boundaries start, start*factor, start*factor², ... —
 // the usual latency-histogram shape.
 func ExpBuckets(start, factor float64, n int) []float64 {
@@ -186,6 +213,11 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    *spanRing
+
+	// peers holds metrics snapshots gathered from other fleet ranks
+	// (see prom.go), rendered by the Prometheus exposition.
+	peersMu sync.Mutex
+	peers   map[int]PeerSnap
 }
 
 // NewRegistry builds an empty registry with the default span-ring capacity.
@@ -269,6 +301,40 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"`
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution from the bucket counts, with linear interpolation inside
+// the bucket the target rank lands in — the same estimate Prometheus's
+// histogram_quantile computes server-side. The first bucket
+// interpolates from 0 (latencies are non-negative); ranks landing in
+// the overflow bucket clamp to the highest finite boundary. Returns 0
+// when nothing has been observed.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Bounds) == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	cum := int64(0)
+	for i, bound := range s.Bounds {
+		prev := cum
+		cum += s.Counts[i]
+		if float64(cum) >= target {
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			if s.Counts[i] == 0 {
+				return bound
+			}
+			frac := (target - float64(prev)) / float64(s.Counts[i])
+			return lower + (bound-lower)*frac
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // SpanStats summarizes the span ring buffer.
 type SpanStats struct {
 	Recorded int64 `json:"recorded"`
@@ -316,12 +382,7 @@ func (r *Registry) Snapshot() Snap {
 		s.Gauges[k] = v.Value()
 	}
 	for k, v := range hists {
-		s.Histograms[k] = HistogramSnapshot{
-			Count:  v.Count(),
-			Sum:    v.Sum(),
-			Bounds: v.Bounds(),
-			Counts: v.BucketCounts(),
-		}
+		s.Histograms[k] = v.Snapshot()
 	}
 	return s
 }

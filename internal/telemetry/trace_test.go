@@ -23,9 +23,19 @@ func tickClock(r *Registry) {
 // span set (a predictor span enclosing GEMM pack/kernel spans, then an
 // executor span) must serialize byte-for-byte to testdata/trace_golden.json.
 // Regenerate with TELEMETRY_GOLDEN_UPDATE=1 go test ./internal/telemetry.
+// withIdentity pins the process identity for the test and restores the
+// previous one afterwards (identity is process-global).
+func withIdentity(t *testing.T, id Identity) {
+	t.Helper()
+	prev := CurrentIdentity()
+	SetIdentity(id)
+	t.Cleanup(func() { SetIdentity(prev) })
+}
+
 func TestTraceGolden(t *testing.T) {
 	r := withRegistry(t)
 	tickClock(r)
+	withIdentity(t, Identity{TraceID: 0x0123456789abcdef, Role: "train", Rank: 0, Replica: -1})
 	withEnabled(t, func() {
 		pred := r.StartSpan("odq.predictor")
 		pack := r.StartSpan("gemm.pack")
@@ -77,10 +87,20 @@ func assertTraceWellFormed(t *testing.T, data []byte) {
 	}
 	laneEnd := map[int]float64{}
 	var prevTs float64
+	sawSpan := false
 	for i, ev := range f.TraceEvents {
+		if ev.Ph == "M" {
+			// Identity metadata (process_name) events lead the file,
+			// before any span.
+			if sawSpan {
+				t.Fatalf("event %d: metadata event after span events", i)
+			}
+			continue
+		}
 		if ev.Ph != "X" {
 			t.Fatalf("event %d: phase %q, want X", i, ev.Ph)
 		}
+		sawSpan = true
 		if ev.Ts < prevTs {
 			t.Fatalf("event %d: ts %v < previous %v (not monotonic)", i, ev.Ts, prevTs)
 		}

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Metric-name lint: every registry lookup must use a literal, dotted,
+# snake_case name, and a name must never be claimed by two different
+# instrument types.
+#
+# Why: the Prometheus exposition derives series names from these strings
+# (dots → underscores) and must emit exactly one TYPE line per name; a
+# dynamic name dodges the duplicate check and invites unbounded series
+# cardinality, and a type-colliding duplicate silently drops samples
+# (see addSnap in internal/telemetry/prom.go). Linting the call sites
+# keeps both failure modes out of the codebase instead of surfacing
+# them at scrape time.
+#
+# Escape hatch: a line ending in a "//metric_lint:allow <reason>"
+# comment is waived — for deliberately dynamic names whose cardinality
+# is bounded by construction (e.g. per-layer series keyed by model
+# depth). Test files are skipped; helpers there parameterize names.
+set -eu
+cd "$(dirname "$0")/.."
+
+grep -rn --include='*.go' --exclude='*_test.go' \
+    -E 'telemetry\.Get(Counter|Gauge|Histogram)\(' \
+    cmd internal examples ./*.go 2>/dev/null | awk '
+{
+    # Re-split manually: code may itself contain colons.
+    loc = $0
+    sub(/^([^:]*:[0-9]*):.*/, "", loc)
+    split($0, parts, ":")
+    loc = parts[1] ":" parts[2]
+    code = substr($0, length(loc) + 2)
+
+    if (code ~ /\/\/metric_lint:allow /) next
+
+    rest = code
+    while (match(rest, /telemetry\.Get(Counter|Gauge|Histogram)\([^,)]*/)) {
+        call = substr(rest, RSTART, RLENGTH)
+        rest = substr(rest, RSTART + RLENGTH)
+        type = call
+        sub(/^telemetry\.Get/, "", type)
+        sub(/\(.*/, "", type)
+        arg = call
+        sub(/^[^(]*\(/, "", arg)
+
+        if (arg !~ /^"/) {
+            printf "metric_lint: %s: Get%s name is not a string literal: %s\n", loc, type, arg
+            bad = 1
+            continue
+        }
+        if (arg !~ /^"[a-z0-9_]+(\.[a-z0-9_]+)+"$/) {
+            printf "metric_lint: %s: Get%s name %s is not dotted snake_case (want \"namespace.metric_name\")\n", loc, type, arg
+            bad = 1
+            continue
+        }
+        name = substr(arg, 2, length(arg) - 2)
+        if (name in types && types[name] != type) {
+            printf "metric_lint: %s: %s registered as both %s (%s) and %s\n", loc, name, types[name], where[name], type
+            bad = 1
+            continue
+        }
+        types[name] = type
+        where[name] = loc
+        n++
+    }
+}
+END {
+    if (bad) exit 1
+    printf "metric_lint: OK — %d literal metric names, no type collisions\n", n + 0
+}
+'

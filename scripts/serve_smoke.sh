@@ -3,10 +3,13 @@
 # concurrent request burst, and assert
 #
 #   1. every request returns HTTP 200 with a logits payload,
-#   2. the batch-size histogram on the -debug-addr metrics endpoint is
-#      nonzero and the mean batch size exceeds 1 (dynamic batching
+#   2. /healthz and /readyz both answer 200 on a live, non-draining
+#      server,
+#   3. the batch-size histogram on the -debug-addr metrics endpoint is
+#      nonzero — on both /debug/vars (JSON) and the Prometheus /metrics
+#      exposition — and the mean batch size exceeds 1 (dynamic batching
 #      actually batched the burst),
-#   3. SIGTERM drains gracefully and the server exits 0.
+#   4. SIGTERM drains gracefully and the server exits 0.
 #
 # Uses a randomly initialized lenet5/mnist model (no checkpoint): the
 # smoke test exercises the serving machinery, not model quality.
@@ -27,12 +30,14 @@ go build -o "$tmp/odq-serve" ./cmd/odq-serve
     -max-batch 8 -batch-deadline 50ms 2>"$tmp/serve.log" &
 server_pid=$!
 
-# The server prints its bound addresses to stderr; poll for both.
+# The server logs its bound addresses to stderr (structured text log:
+# msg="odq-serve listening" url=http://... / msg="telemetry debug server
+# listening" addr=...); poll for both.
 base=""
 dbg=""
 for _ in $(seq 1 100); do
-    base=$(sed -n 's/^odq-serve: listening on \(http:\/\/[0-9.:]*\).*/\1/p' "$tmp/serve.log" | head -1)
-    dbg=$(sed -n 's/^telemetry: debug server listening on \([0-9.:]*\).*/\1/p' "$tmp/serve.log" | head -1)
+    base=$(sed -n 's/.*msg="odq-serve listening".* url=\(http:\/\/[0-9.:]*\).*/\1/p' "$tmp/serve.log" | head -1)
+    dbg=$(sed -n 's/.*msg="telemetry debug server listening".* addr=\([0-9.:]*\).*/\1/p' "$tmp/serve.log" | head -1)
     [ -n "$base" ] && [ -n "$dbg" ] && break
     if ! kill -0 "$server_pid" 2>/dev/null; then
         echo "serve_smoke: FAIL — server died at startup:" >&2
@@ -47,6 +52,17 @@ if [ -z "$base" ] || [ -z "$dbg" ]; then
     exit 1
 fi
 echo "serve_smoke: server at $base, metrics at $dbg"
+
+# Probe split: /healthz (liveness) and /readyz (readiness) both answer
+# 200 on a freshly started, non-draining server.
+for probe in healthz readyz; do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "$base/$probe")
+    if [ "$code" != "200" ]; then
+        echo "serve_smoke: FAIL — /$probe returned $code before any drain, want 200" >&2
+        exit 1
+    fi
+done
+echo "serve_smoke: /healthz and /readyz both 200"
 
 # One 1x28x28 input: 784 zeros (the model is random-init; any input works).
 python3 -c "print('{\"input\":[' + ','.join(['0.5']*784) + ']}')" >"$tmp/req.json" 2>/dev/null \
@@ -88,6 +104,18 @@ fi
 curl -s "http://$dbg/debug/vars" >"$tmp/vars.json"
 if ! grep -q 'serve.batch_size' "$tmp/vars.json"; then
     echo "serve_smoke: FAIL — no serve.batch_size histogram on the metrics endpoint" >&2
+    exit 1
+fi
+# Prometheus exposition: /metrics must expose the batch-size histogram
+# as cumulative bucket series under the snake_cased name.
+curl -s "http://$dbg/metrics" >"$tmp/metrics.prom"
+if ! grep -q '^serve_batch_size_bucket' "$tmp/metrics.prom"; then
+    echo "serve_smoke: FAIL — no serve_batch_size_bucket series on /metrics:" >&2
+    head -20 "$tmp/metrics.prom" >&2
+    exit 1
+fi
+if ! grep -q '^# TYPE serve_batch_size histogram' "$tmp/metrics.prom"; then
+    echo "serve_smoke: FAIL — /metrics missing TYPE line for serve_batch_size" >&2
     exit 1
 fi
 # Batching proof #2: /v1/status mean_batch > 1 (the waves of 8 with a

@@ -1,0 +1,100 @@
+#!/bin/sh
+# Cross-process trace-correlation smoke test: a real 2-process TCP
+# training fleet must produce per-rank trace files that
+#
+#   1. carry the SAME nonzero run trace id on both ranks (the id is
+#      minted once on the coordinator and adopted by the joiner during
+#      the dist handshake — if propagation breaks, the ids differ and
+#      odq-tracemerge refuses the merge),
+#   2. odq-tracemerge combines into one Perfetto-loadable file with a
+#      distinct, rank-tagged process lane per rank and real spans in
+#      both lanes.
+set -eu
+
+tmp=$(mktemp -d)
+r0_pid=""
+r1_pid=""
+cleanup() {
+    [ -n "$r0_pid" ] && kill -9 "$r0_pid" 2>/dev/null || true
+    [ -n "$r1_pid" ] && kill -9 "$r1_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/odq-train" ./cmd/odq-train
+go build -o "$tmp/odq-tracemerge" ./cmd/odq-tracemerge
+
+flags="-model lenet5 -dataset mnist -samples 32 -batch 16 -epochs 1 -seed 9 -workers 2"
+
+# A tiny fleet on a PID-derived port; retry on collision.
+attempt=0
+ok=1
+while [ "$attempt" -lt 3 ]; do
+    attempt=$((attempt + 1))
+    port=$((20000 + ($$ + attempt * 101) % 20000))
+    echo "trace_smoke: 2-process fleet on 127.0.0.1:$port (attempt $attempt)"
+    "$tmp/odq-train" $flags -rank 0 -coord "127.0.0.1:$port" \
+        -trace-out "$tmp/rank0.json" >"$tmp/r0.out" 2>&1 &
+    r0_pid=$!
+    "$tmp/odq-train" $flags -rank 1 -coord "127.0.0.1:$port" \
+        -trace-out "$tmp/rank1.json" >"$tmp/r1.out" 2>&1 &
+    r1_pid=$!
+    if wait "$r0_pid" && wait "$r1_pid"; then
+        r0_pid=""
+        r1_pid=""
+        ok=0
+        break
+    fi
+    r0_pid=""
+    r1_pid=""
+done
+if [ "$ok" -ne 0 ]; then
+    echo "trace_smoke: FAIL — fleet run did not complete:" >&2
+    cat "$tmp/r0.out" "$tmp/r1.out" >&2
+    exit 1
+fi
+
+for f in rank0.json rank1.json; do
+    if [ ! -s "$tmp/$f" ]; then
+        echo "trace_smoke: FAIL — no trace file $f written" >&2
+        exit 1
+    fi
+done
+
+# Correlation: both ranks must carry the same nonzero run id.
+id0=$(sed -n 's/.*"trace_id": *"\([0-9a-f]*\)".*/\1/p' "$tmp/rank0.json" | head -1)
+id1=$(sed -n 's/.*"trace_id": *"\([0-9a-f]*\)".*/\1/p' "$tmp/rank1.json" | head -1)
+if [ -z "$id0" ] || [ "$id0" = "0000000000000000" ]; then
+    echo "trace_smoke: FAIL — rank 0 trace has no run id" >&2
+    exit 1
+fi
+if [ "$id0" != "$id1" ]; then
+    echo "trace_smoke: FAIL — run id mismatch: rank0=$id0 rank1=$id1 (handshake did not propagate the trace id)" >&2
+    exit 1
+fi
+echo "trace_smoke: both ranks tagged with run $id0"
+
+# Merge; the tool itself enforces matching run ids.
+"$tmp/odq-tracemerge" -o "$tmp/merged.json" "$tmp/rank0.json" "$tmp/rank1.json"
+
+for lane in "train rank 0" "train rank 1"; do
+    if ! grep -q "\"name\": *\"$lane\"" "$tmp/merged.json"; then
+        echo "trace_smoke: FAIL — merged trace has no \"$lane\" lane" >&2
+        exit 1
+    fi
+done
+# Both pids must own real spans, not just the naming metadata event.
+# (Indented JSON: each event spans several lines, "ph" before "pid".)
+for pid in 1 2; do
+    if ! awk -v p="$pid" '
+        /"ph": "X"/ { x = 1 }
+        x && $0 ~ "\"pid\": " p "," { found = 1 }
+        /\}/ { x = 0 }
+        END { exit !found }' "$tmp/merged.json"; then
+        echo "trace_smoke: FAIL — no spans in merged lane pid=$pid" >&2
+        exit 1
+    fi
+done
+
+spans=$(grep -c '"ph": *"X"' "$tmp/merged.json" || true)
+echo "trace_smoke: OK — merged trace has both rank lanes, $spans spans, run $id0"

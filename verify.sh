@@ -1,6 +1,9 @@
 #!/bin/sh
 # Verification gate: vet, build, race-enabled tests. Same as `make verify`.
 set -eux
+# Metric-name lint: registry names must be literal dotted snake_case and
+# never reuse one name across instrument types (cheap, so it runs first).
+./scripts/metric_lint.sh
 go vet ./...
 go build ./...
 # Fast early gate: the telemetry layer, the kernels it instruments and
@@ -22,3 +25,7 @@ go test -run 'TestODQConvBenchSnapshot|TestTrainGemmBenchSnapshot|TestTelemetryB
 # fleet must both be byte-identical to a 1-worker run at the same sync
 # group.
 ./scripts/dist_smoke.sh
+# Observability gate: a real 2-process TCP fleet must share one run trace
+# id across the dist handshake, and odq-tracemerge must fold the
+# per-rank trace files into one lane-per-rank Perfetto trace.
+./scripts/trace_smoke.sh
