@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"net"
 	"os"
 	"runtime"
 	"sync"
@@ -206,6 +207,116 @@ func distReduceNs(t *testing.T, world int) int64 {
 	return best
 }
 
+// distTCPReduceNs times one 2-rank group reduce round over real
+// loopback TCP links, with or without the elastic liveness layer
+// (heartbeat senders + per-frame deadlines) armed. The difference
+// between the two is the failure detector's tax on the reduce path —
+// guarded in the snapshot so heartbeats never quietly become a
+// meaningful fraction of a reduce round.
+func distTCPReduceNs(t *testing.T, withHB bool) int64 {
+	t.Helper()
+	gradLen := 0
+	for _, p := range distBenchNet(t, 9).Params() {
+		gradLen += len(p.W.Data)
+	}
+	type joinRes struct {
+		g   *dist.Group
+		err error
+	}
+	var g0, g1 *dist.Group
+	if withHB {
+		opts := dist.ElasticOptions{
+			JoinTimeout:       30 * time.Second,
+			RegroupTimeout:    5 * time.Second,
+			HeartbeatInterval: 100 * time.Millisecond,
+			HeartbeatTimeout:  5 * time.Second,
+		}
+		coord, err := dist.ElasticListen("127.0.0.1:0", 2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer coord.Close() //nolint:errcheck
+		w := dist.NewElasticWorker(coord.Addr(), 2, opts)
+		defer w.Close() //nolint:errcheck
+		ch := make(chan joinRes, 1)
+		go func() {
+			g, jerr := w.Join()
+			ch <- joinRes{g, jerr}
+		}()
+		if g0, err = coord.Join(); err != nil {
+			t.Fatal(err)
+		}
+		r := <-ch
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		g1 = r.g
+	} else {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		ch := make(chan joinRes, 1)
+		go func() {
+			g, derr := dist.Dial(addr, 1, 2, 30*time.Second)
+			ch <- joinRes{g, derr}
+		}()
+		if g0, err = dist.Listen(addr, 2, 30*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		r := <-ch
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		g1 = r.g
+	}
+	defer g0.Close() //nolint:errcheck
+	defer g1.Close() //nolint:errcheck
+
+	contrib := func(rank int) []dist.BatchGrad {
+		var own []dist.BatchGrad
+		for j := rank; j < distBenchGroup; j += 2 {
+			g := make([]float32, gradLen)
+			for i := range g {
+				g[i] = float32(j + 1)
+			}
+			own = append(own, dist.BatchGrad{Index: j, Loss: 1, Correct: 1, Seen: distBenchBatch, Grad: g})
+		}
+		return own
+	}
+	const rounds = 8
+	red0, red1 := dist.NewReducer(g0), dist.NewReducer(g1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sum := make([]float32, gradLen)
+		own := contrib(1)
+		for step := 0; step < rounds; step++ {
+			if _, err := red1.Reduce(int64(step), distBenchGroup, own, sum); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	best := int64(math.MaxInt64)
+	sum := make([]float32, gradLen)
+	own := contrib(0)
+	for step := 0; step < rounds; step++ {
+		start := time.Now()
+		if _, err := red0.Reduce(int64(step), distBenchGroup, own, sum); err != nil {
+			t.Fatal(err)
+		}
+		if w := time.Since(start).Nanoseconds(); step > 0 && w < best { // round 0 is warmup
+			best = w
+		}
+	}
+	wg.Wait()
+	return best
+}
+
 // ---------- Serving side ----------
 
 func distServeSessions(t *testing.T, n int) []*infer.Session {
@@ -312,6 +423,8 @@ type DistBenchSnapshot struct {
 	TrainFormula          string              `json:"train_formula"`
 	BatchStepNs           int64               `json:"batch_step_ns"`
 	ReduceNs              map[string]int64    `json:"reduce_ns"`
+	TCPReduceNs           int64               `json:"tcp_reduce_ns"`
+	TCPReduceHBNs         int64               `json:"tcp_reduce_hb_ns"`
 	TrainMeasured         []DistTrainMeasured `json:"train_measured"`
 	ProjectedGroupStepNs  map[string]int64    `json:"projected_group_step_ns"`
 	ProjectedTrainSpeedup map[string]float64  `json:"projected_train_speedup_vs_1w"`
@@ -375,6 +488,16 @@ func TestDistBenchSnapshot(t *testing.T) {
 	for _, w := range distBenchWorlds[1:] {
 		snap.ProjectedTrainSpeedup[fmt.Sprint(w)] =
 			float64(snap.ProjectedGroupStepNs["1"]) / float64(snap.ProjectedGroupStepNs[fmt.Sprint(w)])
+	}
+	// Heartbeat-overhead guard: the same 2-rank reduce over real TCP,
+	// classic vs. elastic (heartbeats + per-frame deadlines armed).
+	for rep := 0; rep < distBenchTrials; rep++ {
+		if ns := distTCPReduceNs(t, false); rep == 0 || ns < snap.TCPReduceNs {
+			snap.TCPReduceNs = ns
+		}
+		if ns := distTCPReduceNs(t, true); rep == 0 || ns < snap.TCPReduceHBNs {
+			snap.TCPReduceHBNs = ns
+		}
 	}
 
 	// Serving: same interleaving across replica counts.

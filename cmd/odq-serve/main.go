@@ -16,7 +16,14 @@
 //	POST /v1/reload  {"path":"new.ckpt"}            → new generation
 //	GET  /v1/status  serving counters + latency-stage quantiles
 //	GET  /healthz    liveness (always 200 while the process runs)
-//	GET  /readyz     readiness (503 while draining)
+//	GET  /readyz     readiness (503 while draining or with zero healthy
+//	                 replicas; 200 "degraded (h/R replicas)" in between)
+//
+// Replicas are supervised: a panic in an executor pass answers that
+// batch with errors (HTTP 503 + Retry-After), marks the replica
+// unhealthy, and respawns it with a fresh session after -respawn-delay,
+// up to -max-respawns times. With -chaos, POST /v1/chaos/panic injects
+// such a panic on demand — the drill scripts/chaos_smoke.sh runs.
 //
 // Metrics (request-latency and batch-size histograms, QPS, queue
 // depth), Prometheus /metrics, traces and pprof live on -debug-addr.
@@ -57,6 +64,9 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 256, "admission queue bound; overflow gets HTTP 429")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish accepted requests on shutdown")
 	replicas := flag.Int("replicas", 1, "resident session replicas; batches are dispatched round-robin across them")
+	maxRespawns := flag.Int("max-respawns", 3, "supervisor respawns per replica before it is tombstoned")
+	respawnDelay := flag.Duration("respawn-delay", 100*time.Millisecond, "pause before respawning a panicked replica")
+	chaos := flag.Bool("chaos", false, "expose POST /v1/chaos/panic (inject a replica panic; chaos drills only, never production)")
 	tf := telemetryflag.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -101,15 +111,19 @@ func main() {
 	// checkpoint (or built from the same seed): replica invariance —
 	// identical weights, bit-identical answers — is what makes the
 	// round-robin dispatch invisible to clients.
-	sessions := make([]*infer.Session, *replicas)
-	for i := range sessions {
+	newSession := func() (*infer.Session, error) {
 		model, err := infer.LoadModel(*modelName, models.Config{
 			Classes: classes, Scale: *scale, QATBits: *qatBits, Seed: *seed,
 		}, *ckpt)
 		if err != nil {
-			fail("%v", err)
+			return nil, err
 		}
-		if sessions[i], err = infer.NewSession(model, *scheme, sessOpts...); err != nil {
+		return infer.NewSession(model, *scheme, sessOpts...)
+	}
+	sessions := make([]*infer.Session, *replicas)
+	for i := range sessions {
+		var err error
+		if sessions[i], err = newSession(); err != nil {
 			fail("%v", err)
 		}
 	}
@@ -121,6 +135,13 @@ func main() {
 		BatchDeadline: *batchDeadline,
 		QueueDepth:    *queueDepth,
 		CkptPath:      *ckpt,
+		// The supervisor respawns a panicked replica through the same
+		// load path that built the pool, so respawned sessions keep the
+		// replica-invariance contract by construction.
+		SessionFactory: newSession,
+		MaxRespawns:    *maxRespawns,
+		RespawnDelay:   *respawnDelay,
+		EnableChaos:    *chaos,
 	})
 	if err != nil {
 		fail("%v", err)

@@ -21,6 +21,16 @@
 //	odq-train -workers 2 -group 2 -o run.ckpt              # in-process
 //	odq-train -workers 2 -rank 0 -coord :7000 -o run.ckpt  # coordinator
 //	odq-train -workers 2 -rank 1 -coord host:7000          # joiner
+//
+// -elastic turns the fleet self-healing: links carry heartbeats, a
+// worker that dies (SIGKILL, network partition) is detected within
+// -hb-timeout, and the survivors regroup at the smaller world size,
+// roll back to the last durable checkpoint and continue — byte-identical
+// to a run launched at the surviving worker count. Requires -coord,
+// -ckpt-every and -o on a path every rank can read:
+//
+//	odq-train -elastic -workers 3 -rank 0 -coord :7000 -group 3 -ckpt-every 1 -o run.ckpt
+//	odq-train -elastic -workers 3 -rank 1 -coord host:7000 -group 3 -ckpt-every 1 -o run.ckpt
 package main
 
 import (
@@ -73,6 +83,11 @@ func main() {
 	rank := flag.Int("rank", 0, "this process's rank in [0,workers) when -coord is set")
 	coord := flag.String("coord", "", "coordinator TCP address; rank 0 listens there, other ranks dial it (empty with -workers > 1 = all workers in-process)")
 	group := flag.Int("group", 0, "sync group size: global batches folded per optimizer step (0 = workers, or the checkpoint's group on resume; equal -group means bit-identical runs at any worker count)")
+	elastic := flag.Bool("elastic", false, "self-healing fleet: detect dead workers via heartbeats, regroup the survivors and resume from the last checkpoint (requires -coord, -ckpt-every, -o)")
+	hbInterval := flag.Duration("hb-interval", 500*time.Millisecond, "elastic: heartbeat send interval per link")
+	hbTimeout := flag.Duration("hb-timeout", 5*time.Second, "elastic: frame deadline; a link silent this long means the peer is gone")
+	regroupTimeout := flag.Duration("regroup-timeout", 15*time.Second, "elastic: how long the coordinator waits for survivors to rejoin after a failure")
+	killSteps := flag.Int("kill-after-steps", 0, "SIGKILL self after N optimizer steps (chaos testing; 0 = off)")
 	tf := telemetryflag.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -123,6 +138,25 @@ func main() {
 	if *group < 0 {
 		fail("-group must be >= 0 (got %d)", *group)
 	}
+	if *elastic {
+		if *coord == "" {
+			fail("-elastic is for TCP fleets: pass -coord (in-process workers share one fate anyway)")
+		}
+		if *ckptEvery == 0 || *out == "" {
+			fail("-elastic recovery resumes from durable checkpoints: pass -ckpt-every and -o on a path every rank can read")
+		}
+		if *hbInterval <= 0 || *hbTimeout <= *hbInterval {
+			fail("-hb-timeout (%v) must exceed -hb-interval (%v), both > 0", *hbTimeout, *hbInterval)
+		}
+		if *group == 0 {
+			// The sync-group size defines the trajectory and must not move
+			// when the fleet shrinks; freeze it at the launch worker count.
+			*group = *workers
+		}
+	}
+	if *killSteps > 0 && *ckptEvery == 0 {
+		fail("-kill-after-steps without -ckpt-every would lose all progress: pass -ckpt-every")
+	}
 	policy, err := train.ParseNaNPolicy(*nanPolicy)
 	if err != nil {
 		fail("%v", err)
@@ -171,9 +205,54 @@ func main() {
 		// training log for the epoch-completion line.
 		opts.Log = &killWatcher{out: os.Stderr, after: *killAfter}
 	}
+	if *killSteps > 0 {
+		// Chaos testing with step precision: SIGKILL the instant optimizer
+		// step N completes — mid-epoch, links still open, nothing flushed.
+		n := int64(*killSteps)
+		opts.StepHook = func(step int64) {
+			if step >= n {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL) //nolint:errcheck // self-kill
+			}
+		}
+	}
 
 	var net *nn.Sequential
 	switch {
+	case *elastic:
+		// Self-healing fleet: membership (join, failure detection, regroup)
+		// lives in the elastic layer, recovery (rollback + resume) in
+		// FitElastic. The -rank 0 process hosts the coordinator and is
+		// always group rank 0; other processes join and take whatever rank
+		// the current membership epoch assigns them.
+		eopts := dist.ElasticOptions{
+			JoinTimeout:       joinTimeout,
+			RegroupTimeout:    *regroupTimeout,
+			HeartbeatInterval: *hbInterval,
+			HeartbeatTimeout:  *hbTimeout,
+		}
+		var m dist.Membership
+		if *rank == 0 {
+			olog.Info("elastic coordinator listening", "world", *workers, "coord", *coord)
+			c, err := dist.ElasticListen(*coord, *workers, eopts)
+			if err != nil {
+				fail("%v", err)
+			}
+			m = c
+		} else {
+			m = dist.NewElasticWorker(*coord, *workers, eopts)
+		}
+		defer m.Close() //nolint:errcheck // process exit follows
+		build := func() (nn.Module, error) { return models.Build(*modelName, mcfg) }
+		o := opts
+		if *rank != 0 {
+			o.Log = nil // one progress stream, not W interleaved ones
+		}
+		_, trained, err := train.FitElastic(m, build, trainDS, o)
+		if err != nil {
+			failFit(err)
+		}
+		net = trained.(*nn.Sequential)
+
 	case *workers == 1:
 		// Single worker. -group > 1 (or a resumed group checkpoint) still
 		// selects the group-synchronous loop, which is bit-compatible

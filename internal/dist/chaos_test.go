@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// chaosPair returns a real loopback TCP connection with a fault layer
+// spliced under the root's end.
+func chaosPair(t *testing.T) (*faultinject.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, aerr := ln.Accept()
+		ch <- res{c, aerr}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return faultinject.WrapConn(client), r.c
+}
+
+// TestPartitionTripsFailureDetector splices the connection-level fault
+// layer under a live group link and cuts it mid-step: the heartbeat
+// failure detector on BOTH sides must classify the silence as
+// recoverable peer loss within its detection bound — a partition looks
+// exactly like a crashed peer, which is the point of the detector.
+func TestPartitionTripsFailureDetector(t *testing.T) {
+	fc, workerSide := chaosPair(t)
+
+	root, err := NewGroup(0, 2, []Conn{nil, NewStreamConn(fc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker, err := NewGroup(1, 2, []Conn{NewStreamConn(workerSide), nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hbInterval, hbTimeout = 50 * time.Millisecond, 500 * time.Millisecond
+	root.startLiveness(hbInterval, hbTimeout)
+	worker.startLiveness(hbInterval, hbTimeout)
+	defer root.Close()
+	defer worker.Close()
+
+	// One clean step proves the fault layer is transparent while disarmed.
+	const nParams, G = 5, 2
+	workerErr := make(chan error, 2)
+	go func() {
+		sum := make([]float32, nParams)
+		_, werr := NewReducer(worker).Reduce(0, G, elasticContrib(1, 2, G, nParams), sum)
+		workerErr <- werr
+	}()
+	sum := make([]float32, nParams)
+	if _, err := NewReducer(root).Reduce(0, G, elasticContrib(0, 2, G, nParams), sum); err != nil {
+		t.Fatalf("pre-partition reduce: %v", err)
+	}
+	if werr := <-workerErr; werr != nil {
+		t.Fatalf("pre-partition worker reduce: %v", werr)
+	}
+	checkSum(t, "pre-partition", sum, elasticWant(G, nParams))
+
+	// Cut the link. The next step must fail as PEER LOSS on both sides
+	// inside the detection bound, not hang and not surface a fatal error.
+	fc.Partition()
+	go func() {
+		s := make([]float32, nParams)
+		_, werr := NewReducer(worker).Reduce(1, G, elasticContrib(1, 2, G, nParams), s)
+		workerErr <- werr
+	}()
+	start := time.Now()
+	_, rerr := NewReducer(root).Reduce(1, G, elasticContrib(0, 2, G, nParams), sum)
+	detection := time.Since(start)
+	if !IsPeerLost(rerr) {
+		t.Fatalf("root reduce across a partition: %v, want peer-lost", rerr)
+	}
+	if detection > 10*hbTimeout {
+		t.Fatalf("detector took %v, want within a few heartbeat timeouts (%v)", detection, hbTimeout)
+	}
+	select {
+	case werr := <-workerErr:
+		if !IsPeerLost(werr) {
+			t.Fatalf("worker reduce across a partition: %v, want peer-lost", werr)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never detected the partition")
+	}
+}
+
+// TestDelayedLinkStillCompletes: latency alone (well under the
+// heartbeat timeout per frame) must never be classified as failure.
+func TestDelayedLinkStillCompletes(t *testing.T) {
+	fc, workerSide := chaosPair(t)
+	root, err := NewGroup(0, 2, []Conn{nil, NewStreamConn(fc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker, err := NewGroup(1, 2, []Conn{NewStreamConn(workerSide), nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.startLiveness(50*time.Millisecond, 800*time.Millisecond)
+	worker.startLiveness(50*time.Millisecond, 800*time.Millisecond)
+	defer root.Close()
+	defer worker.Close()
+
+	fc.Delay(20 * time.Millisecond)
+	const nParams, G = 5, 2
+	workerErr := make(chan error, 1)
+	go func() {
+		s := make([]float32, nParams)
+		_, werr := NewReducer(worker).Reduce(0, G, elasticContrib(1, 2, G, nParams), s)
+		workerErr <- werr
+	}()
+	sum := make([]float32, nParams)
+	if _, err := NewReducer(root).Reduce(0, G, elasticContrib(0, 2, G, nParams), sum); err != nil {
+		t.Fatalf("reduce over a slow link: %v", err)
+	}
+	if werr := <-workerErr; werr != nil {
+		t.Fatalf("worker over a slow link: %v", werr)
+	}
+	checkSum(t, "slow link", sum, elasticWant(G, nParams))
+}

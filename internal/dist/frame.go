@@ -44,9 +44,23 @@ const (
 	// per-batch metadata every rank replays.
 	FrameSum
 	// FrameWelcome is the coordinator's reply to an accepted hello:
-	// {u64 run trace id}, so every rank tags its metrics, spans and logs
-	// with the same correlation id.
+	// {u64 run trace id, u32 assigned rank, u32 world, u64 membership
+	// epoch}, so every rank tags its metrics, spans and logs with the
+	// same correlation id and knows which incarnation of the group it
+	// belongs to.
 	FrameWelcome
+	// FrameHeartbeat is a liveness beacon: group members exchange it in
+	// the background so a peer that stops producing ANY frames within the
+	// heartbeat timeout is declared dead, while a slow-but-alive peer
+	// (long compute between protocol frames) keeps refreshing its
+	// deadline. Payload: {u64 run trace id}. Receivers consume heartbeats
+	// transparently at any protocol point.
+	FrameHeartbeat
+	// FrameAbort tears a membership epoch down on purpose: the sender is
+	// abandoning the in-flight step (peer declared dead, regroup starting,
+	// stale rejoin rejected). Payload: {u64 run trace id} followed by a
+	// human-readable reason.
+	FrameAbort
 )
 
 func (t FrameType) String() string {
@@ -61,6 +75,10 @@ func (t FrameType) String() string {
 		return "sum"
 	case FrameWelcome:
 		return "welcome"
+	case FrameHeartbeat:
+		return "heartbeat"
+	case FrameAbort:
+		return "abort"
 	}
 	return fmt.Sprintf("frame(%d)", uint8(t))
 }

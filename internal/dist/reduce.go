@@ -183,12 +183,17 @@ func (r *Reducer) Reduce(step int64, groupSize int, local []BatchGrad, sum []flo
 	metas, err := r.reduce(step, groupSize, local, sum)
 	if err != nil {
 		mReduceErrors.Inc()
-		// A failed reduce is unrecoverable: stream sequence numbers and
-		// step boundaries are no longer aligned across the group. Tear the
-		// transport down so every peer blocked mid-protocol fails loudly
-		// on its next Send/Recv instead of waiting forever for frames
-		// that will never come.
-		r.g.Close()
+		// A failed reduce ends this group incarnation: stream sequence
+		// numbers and step boundaries are no longer aligned across the
+		// group. An elastic group abandons the epoch on purpose — the
+		// abort frame unblocks every peer parked mid-protocol so it can
+		// rejoin the next epoch; a classic group just tears the transport
+		// down so blocked peers fail loudly instead of waiting forever.
+		if r.g.hbTimeout > 0 {
+			r.g.Abort(err.Error())
+		} else {
+			r.g.Close()
+		}
 		return nil, err
 	}
 	if telemetry.Enabled() {
@@ -208,20 +213,60 @@ func (r *Reducer) reduce(step int64, groupSize int, local []BatchGrad, sum []flo
 	return r.reduceWorker(step, groupSize, local, sum)
 }
 
+// peerLost classifies a transport failure on the link to peer: in an
+// elastic group (failure detector armed) it becomes a recoverable
+// membership event the trainer regroups on; in a classic group it stays
+// fatal. Protocol violations never come through here — regrouping
+// cannot fix a logic bug and retrying would only mask one.
+func (r *Reducer) peerLost(peer int, err error) error {
+	if r.g.hbTimeout <= 0 {
+		return err
+	}
+	mPeerFailures.Inc()
+	return &PeerLostError{Rank: peer, Err: err}
+}
+
+// recvLive reads the next PROTOCOL frame from peer. Heartbeats are
+// consumed transparently — each arrival already refreshed the link's
+// read deadline inside Recv, which is exactly how a slow-but-alive peer
+// stays alive through a long compute. A transport error (including an
+// expired liveness deadline) or an abort frame from the peer surfaces
+// as peer loss.
+func (r *Reducer) recvLive(peer int) (FrameType, []byte, error) {
+	conn := r.g.conn(peer)
+	for {
+		t, payload, err := conn.Recv()
+		if err != nil {
+			return 0, nil, r.peerLost(peer, err)
+		}
+		switch t {
+		case FrameHeartbeat:
+			continue
+		case FrameAbort:
+			reason := "(no reason)"
+			if len(payload) > 8 {
+				reason = string(payload[8:])
+			}
+			return 0, nil, r.peerLost(peer, fmt.Errorf("peer abandoned the step: %s", reason))
+		}
+		return t, payload, nil
+	}
+}
+
 func (r *Reducer) reduceWorker(step int64, groupSize int, local []BatchGrad, sum []float32) ([]BatchGrad, error) {
 	conn := r.g.conn(0)
 	runID := r.g.traceID
 	for i := range local {
 		r.enc = appendGradPayload(r.enc[:0], runID, step, &local[i])
 		if err := conn.Send(FrameGrad, r.enc); err != nil {
-			return nil, err
+			return nil, r.peerLost(0, err)
 		}
 	}
 	r.enc = appendEndPayload(r.enc[:0], runID, step, len(local), r.maybeSnap())
 	if err := conn.Send(FrameGradEnd, r.enc); err != nil {
-		return nil, err
+		return nil, r.peerLost(0, err)
 	}
-	t, payload, err := conn.Recv()
+	t, payload, err := r.recvLive(0)
 	if err != nil {
 		return nil, fmt.Errorf("dist: rank %d waiting for reduced gradient: %w", r.g.Rank(), err)
 	}
@@ -268,7 +313,7 @@ func (r *Reducer) reduceRoot(step int64, groupSize int, local []BatchGrad, sum [
 	r.enc = appendSumPayload(r.enc[:0], r.g.traceID, step, metas, sum)
 	for peer := 1; peer < r.g.World(); peer++ {
 		if err := r.g.conn(peer).Send(FrameSum, r.enc); err != nil {
-			return nil, fmt.Errorf("dist: broadcasting reduced gradient to rank %d: %w", peer, err)
+			return nil, fmt.Errorf("dist: broadcasting reduced gradient to rank %d: %w", peer, r.peerLost(peer, err))
 		}
 	}
 	return metas, nil
@@ -279,10 +324,9 @@ func (r *Reducer) reduceRoot(step int64, groupSize int, local []BatchGrad, sum [
 // fold order is fixed by batch index afterwards, so cross-peer timing
 // cannot influence the result.
 func (r *Reducer) gatherPeer(byIdx []*BatchGrad, step int64, groupSize, peer int) error {
-	conn := r.g.conn(peer)
 	count := 0
 	for {
-		t, payload, err := conn.Recv()
+		t, payload, err := r.recvLive(peer)
 		if err != nil {
 			return fmt.Errorf("dist: gathering gradients from rank %d: %w", peer, err)
 		}

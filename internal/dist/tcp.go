@@ -3,7 +3,9 @@ package dist
 import (
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/telemetry"
@@ -12,16 +14,99 @@ import (
 // protoVersion guards against mixed binaries joining one run; bump it
 // whenever the wire protocol changes incompatibly. v2 added the run
 // trace id to the handshake (hello + welcome) and a run-id prefix on
-// every reduce payload.
-const protoVersion = 2
+// every reduce payload. v3 added membership epochs and coordinator-side
+// rank assignment (hello carries {epoch, rank-or-assign-me}, welcome
+// carries {assigned rank, world, epoch}) for elastic regroup.
+const protoVersion = 3
 
-// helloLen is the FrameHello payload: u32 proto, u32 world, u32 rank,
+// helloLen is the FrameHello payload: u32 proto, u32 world (0 = rejoin,
+// accept whatever world forms), u32 rank (rankAssign = assign me one),
 // u64 run trace id (0 when the joiner has none; the coordinator's
-// welcome is authoritative either way).
-const helloLen = 20
+// welcome is authoritative either way), u64 membership epoch (0 = fresh
+// join; a rejoining survivor announces the epoch it last held).
+const helloLen = 28
 
-// welcomeLen is the FrameWelcome payload: u64 run trace id.
-const welcomeLen = 8
+// welcomeLen is the FrameWelcome payload: u64 run trace id, u32
+// assigned rank, u32 world, u64 membership epoch.
+const welcomeLen = 24
+
+// rankAssign in a hello's rank field asks the coordinator to assign a
+// rank (elastic joins — ranks are an artifact of arrival order there,
+// not identity; the training trajectory depends only on the group size).
+const rankAssign = 0xFFFFFFFF
+
+// hello is the decoded join announcement.
+type hello struct {
+	proto uint32
+	world uint32
+	rank  uint32
+	runID uint64
+	epoch uint64
+}
+
+func appendHello(dst []byte, h hello) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, h.proto)
+	dst = binary.LittleEndian.AppendUint32(dst, h.world)
+	dst = binary.LittleEndian.AppendUint32(dst, h.rank)
+	dst = binary.LittleEndian.AppendUint64(dst, h.runID)
+	dst = binary.LittleEndian.AppendUint64(dst, h.epoch)
+	return dst
+}
+
+// recvHello reads and validates the protocol envelope of a join
+// announcement (frame type, length, version); membership-level checks
+// (world, rank, epoch) belong to the caller.
+func recvHello(conn Conn) (hello, error) {
+	t, payload, err := conn.Recv()
+	if err != nil {
+		return hello{}, fmt.Errorf("dist: reading join hello: %w", err)
+	}
+	if t != FrameHello {
+		return hello{}, fmt.Errorf("dist: first frame from joining worker is %s, want hello", t)
+	}
+	if len(payload) != helloLen {
+		return hello{}, fmt.Errorf("dist: hello payload is %d bytes, want %d", len(payload), helloLen)
+	}
+	h := hello{
+		proto: binary.LittleEndian.Uint32(payload[0:]),
+		world: binary.LittleEndian.Uint32(payload[4:]),
+		rank:  binary.LittleEndian.Uint32(payload[8:]),
+		runID: binary.LittleEndian.Uint64(payload[12:]),
+		epoch: binary.LittleEndian.Uint64(payload[20:]),
+	}
+	if h.proto != protoVersion {
+		return hello{}, fmt.Errorf("dist: worker speaks protocol %d, coordinator speaks %d (mixed binaries?)", h.proto, protoVersion)
+	}
+	return h, nil
+}
+
+// welcome is the decoded join acceptance.
+type welcome struct {
+	runID uint64
+	rank  uint32
+	world uint32
+	epoch uint64
+}
+
+func appendWelcome(dst []byte, w welcome) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, w.runID)
+	dst = binary.LittleEndian.AppendUint32(dst, w.rank)
+	dst = binary.LittleEndian.AppendUint32(dst, w.world)
+	dst = binary.LittleEndian.AppendUint64(dst, w.epoch)
+	return dst
+}
+
+func decodeWelcome(payload []byte) (welcome, error) {
+	if len(payload) != welcomeLen {
+		return welcome{}, fmt.Errorf("dist: welcome payload is %d bytes, want %d", len(payload), welcomeLen)
+	}
+	return welcome{
+		runID: binary.LittleEndian.Uint64(payload[0:]),
+		rank:  binary.LittleEndian.Uint32(payload[8:]),
+		world: binary.LittleEndian.Uint32(payload[12:]),
+		epoch: binary.LittleEndian.Uint64(payload[16:]),
+	}, nil
+}
 
 // Coordinator is the listening side of a TCP join: rank 0 binds an
 // address, then Accept gathers one hello per non-root rank.
@@ -81,7 +166,7 @@ func (c *Coordinator) Accept(world int, timeout time.Duration) (*Group, error) {
 		// of one header) would otherwise hang the whole fleet.
 		raw.SetReadDeadline(deadline) //nolint:errcheck // best-effort timeout
 		conn := NewStreamConn(raw)
-		rank, err := readHello(conn, world)
+		rank, err := readClassicHello(conn, world)
 		if err != nil {
 			conn.Close()
 			cleanup()
@@ -96,39 +181,34 @@ func (c *Coordinator) Accept(world int, timeout time.Duration) (*Group, error) {
 		// Hand the joiner the run id. Best-effort: a peer that dies right
 		// after its hello fails the reduce later with a clearer error than
 		// aborting the whole join here would give.
-		var welcome [welcomeLen]byte
-		binary.LittleEndian.PutUint64(welcome[:], runID)
-		conn.Send(FrameWelcome, welcome[:]) //nolint:errcheck // see above
+		w := appendWelcome(nil, welcome{runID: runID, rank: uint32(rank), world: uint32(world)})
+		conn.Send(FrameWelcome, w) //nolint:errcheck // see above
 		g.conns[rank] = conn
 	}
 	c.ln.Close()
 	return g, nil
 }
 
-func readHello(conn Conn, world int) (int, error) {
-	t, payload, err := conn.Recv()
+// readClassicHello validates a fixed-rank (non-elastic) join
+// announcement against the configured world.
+func readClassicHello(conn Conn, world int) (int, error) {
+	h, err := recvHello(conn)
 	if err != nil {
-		return 0, fmt.Errorf("dist: reading join hello: %w", err)
+		return 0, err
 	}
-	if t != FrameHello {
-		return 0, fmt.Errorf("dist: first frame from joining worker is %s, want hello", t)
+	if int(h.world) != world {
+		return 0, fmt.Errorf("dist: worker configured for world size %d, coordinator for %d", h.world, world)
 	}
-	if len(payload) != helloLen {
-		return 0, fmt.Errorf("dist: hello payload is %d bytes, want %d", len(payload), helloLen)
+	if h.rank == 0 || h.rank != rankAssign && int(h.rank) >= world {
+		return 0, fmt.Errorf("dist: joining worker announced rank %d, want 1..%d", h.rank, world-1)
 	}
-	proto := binary.LittleEndian.Uint32(payload[0:])
-	peerWorld := binary.LittleEndian.Uint32(payload[4:])
-	rank := binary.LittleEndian.Uint32(payload[8:])
-	if proto != protoVersion {
-		return 0, fmt.Errorf("dist: worker speaks protocol %d, coordinator speaks %d (mixed binaries?)", proto, protoVersion)
+	if h.rank == rankAssign {
+		return 0, fmt.Errorf("dist: joining worker asked for rank assignment; this coordinator runs a fixed-rank join (use the elastic coordinator)")
 	}
-	if int(peerWorld) != world {
-		return 0, fmt.Errorf("dist: worker configured for world size %d, coordinator for %d", peerWorld, world)
+	if h.epoch != 0 {
+		return 0, fmt.Errorf("dist: joining worker announced membership epoch %d on a fixed-rank join (rejoins need the elastic coordinator)", h.epoch)
 	}
-	if rank == 0 || int(rank) >= world {
-		return 0, fmt.Errorf("dist: joining worker announced rank %d, want 1..%d", rank, world-1)
-	}
-	return int(rank), nil
+	return int(h.rank), nil
 }
 
 // Listen is the one-shot coordinator entry point for CLIs with a fixed
@@ -146,36 +226,74 @@ func Listen(addr string, world int, timeout time.Duration) (*Group, error) {
 	return g, nil
 }
 
-// Dial connects a non-root worker to the coordinator, retrying while the
-// coordinator is still coming up, and announces (rank, world) with a
-// hello frame.
+// dialJitter is the shared randomness for dial backoff; math/rand's
+// global source needs no seeding for this purpose, but the lock keeps
+// concurrent joiners' streams independent under -race.
+var dialJitter struct {
+	sync.Mutex
+	r *rand.Rand
+}
+
+// dialBackoff returns the next retry delay: exponential from base,
+// capped at max, with ±50% jitter so a fleet of workers launched by one
+// script does not hammer the coordinator in lockstep.
+func dialBackoff(attempt int, base, max time.Duration) time.Duration {
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	dialJitter.Lock()
+	if dialJitter.r == nil {
+		dialJitter.r = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	f := 0.5 + dialJitter.r.Float64() // [0.5, 1.5)
+	dialJitter.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// dialRetry dials addr with bounded, jittered exponential backoff until
+// deadline: workers may legitimately start before the coordinator binds
+// its socket (start order must not matter), so connection refusals are
+// retried, never fatal, while the deadline holds.
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	for attempt := 0; ; attempt++ {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("dist: could not reach coordinator %s before the join deadline", addr)
+		}
+		raw, err := net.DialTimeout("tcp", addr, remain)
+		if err == nil {
+			return raw, nil
+		}
+		wait := dialBackoff(attempt, 25*time.Millisecond, 500*time.Millisecond)
+		if remain := time.Until(deadline); wait > remain {
+			wait = remain
+		}
+		time.Sleep(wait)
+	}
+}
+
+// Dial connects a non-root worker to the coordinator — retrying with
+// jittered backoff while the coordinator is still coming up, so launch
+// order does not matter — and announces (rank, world) with a hello
+// frame.
 func Dial(addr string, rank, world int, timeout time.Duration) (*Group, error) {
 	if world < 2 || rank < 1 || rank >= world {
 		return nil, fmt.Errorf("dist: dialing rank must be in 1..%d (got rank %d, world %d)", world-1, rank, world)
 	}
 	deadline := time.Now().Add(timeout)
-	var raw net.Conn
-	for {
-		remain := time.Until(deadline)
-		if remain <= 0 {
-			return nil, fmt.Errorf("dist: rank %d could not reach coordinator %s within %v", rank, addr, timeout)
-		}
-		var err error
-		raw, err = net.DialTimeout("tcp", addr, remain)
-		if err == nil {
-			break
-		}
-		// The coordinator may simply not be listening yet (workers race
-		// to start); retry until the join timeout says otherwise.
-		time.Sleep(50 * time.Millisecond)
+	raw, err := dialRetry(addr, deadline)
+	if err != nil {
+		return nil, fmt.Errorf("dist: rank %d: %w", rank, err)
 	}
 	conn := NewStreamConn(raw)
-	hello := make([]byte, helloLen)
-	binary.LittleEndian.PutUint32(hello[0:], protoVersion)
-	binary.LittleEndian.PutUint32(hello[4:], uint32(world))
-	binary.LittleEndian.PutUint32(hello[8:], uint32(rank))
-	binary.LittleEndian.PutUint64(hello[12:], telemetry.CurrentIdentity().TraceID)
-	if err := conn.Send(FrameHello, hello); err != nil {
+	h := appendHello(nil, hello{
+		proto: protoVersion,
+		world: uint32(world),
+		rank:  uint32(rank),
+		runID: telemetry.CurrentIdentity().TraceID,
+	})
+	if err := conn.Send(FrameHello, h); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("dist: sending join hello: %w", err)
 	}
@@ -187,14 +305,23 @@ func Dial(addr string, rank, world int, timeout time.Duration) (*Group, error) {
 		conn.Close()
 		return nil, fmt.Errorf("dist: rank %d waiting for join welcome: %w", rank, err)
 	}
-	if t != FrameWelcome || len(payload) != welcomeLen {
+	if t != FrameWelcome {
 		conn.Close()
 		return nil, fmt.Errorf("dist: rank %d got %s frame (%d bytes) while waiting for the join welcome", rank, t, len(payload))
 	}
+	w, err := decodeWelcome(payload)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dist: rank %d: %w", rank, err)
+	}
+	if int(w.rank) != rank || int(w.world) != world {
+		conn.Close()
+		return nil, fmt.Errorf("dist: coordinator welcomed rank %d of world %d, this worker announced rank %d of world %d",
+			w.rank, w.world, rank, world)
+	}
 	raw.SetReadDeadline(time.Time{}) //nolint:errcheck // joined: back to blocking reads
-	runID := binary.LittleEndian.Uint64(payload)
-	telemetry.SetTraceID(runID)
+	telemetry.SetTraceID(w.runID)
 	conns := make([]Conn, world)
 	conns[0] = conn
-	return &Group{rank: rank, world: world, traceID: runID, conns: conns}, nil
+	return &Group{rank: rank, world: world, traceID: w.runID, conns: conns}, nil
 }

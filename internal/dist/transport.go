@@ -2,10 +2,12 @@ package dist
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -15,6 +17,7 @@ var (
 	mFramesRecv = telemetry.GetCounter("dist.frames_recv")
 	mBytesSent  = telemetry.GetCounter("dist.bytes_sent")
 	mFrameErrs  = telemetry.GetCounter("dist.frame_errors")
+	mHeartbeats = telemetry.GetCounter("dist.heartbeats")
 )
 
 // Conn is one reliable, ordered frame link to a peer worker. Send is
@@ -26,6 +29,16 @@ type Conn interface {
 	Close() error
 }
 
+// frameTimeouter is optionally implemented by Conns that can bound
+// every frame exchange with a deadline: once armed, each Recv must
+// yield a frame within recv and each Send must complete within send.
+// The elastic failure detector arms it on every link — heartbeats
+// guarantee frame traffic on a live link, so an expired deadline means
+// the peer (or the path to it) is gone, not merely slow.
+type frameTimeouter interface {
+	SetFrameTimeouts(recv, send time.Duration)
+}
+
 // streamConn frames an underlying byte stream — a TCP connection in
 // production, a net.Pipe end for the in-process loopback — with
 // per-direction sequence numbers so duplicated, dropped or reordered
@@ -34,6 +47,13 @@ type streamConn struct {
 	rwc io.ReadWriteCloser
 	br  *bufio.Reader
 
+	// nc is rwc when the stream supports deadlines (net.TCPConn and
+	// net.Pipe both do); nil otherwise. recvTimeout/sendTimeout of 0
+	// leave the stream fully blocking — the classic, non-elastic mode.
+	nc          net.Conn
+	recvTimeout time.Duration
+	sendTimeout time.Duration
+
 	sendMu  sync.Mutex
 	sendSeq uint64
 	recvSeq uint64
@@ -41,12 +61,31 @@ type streamConn struct {
 
 // NewStreamConn wraps a byte stream in the frame codec.
 func NewStreamConn(rwc io.ReadWriteCloser) Conn {
-	return &streamConn{rwc: rwc, br: bufio.NewReader(rwc)}
+	c := &streamConn{rwc: rwc, br: bufio.NewReader(rwc)}
+	if nc, ok := rwc.(net.Conn); ok {
+		c.nc = nc
+	}
+	return c
+}
+
+// SetFrameTimeouts arms per-frame deadlines (0 disables a direction).
+// No-op when the underlying stream cannot carry deadlines.
+func (c *streamConn) SetFrameTimeouts(recv, send time.Duration) {
+	if c.nc == nil {
+		return
+	}
+	c.sendMu.Lock()
+	c.recvTimeout = recv
+	c.sendTimeout = send
+	c.sendMu.Unlock()
 }
 
 func (c *streamConn) Send(t FrameType, payload []byte) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	if c.sendTimeout > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(c.sendTimeout)) //nolint:errcheck // best-effort deadline
+	}
 	if err := WriteFrame(c.rwc, t, c.sendSeq, payload); err != nil {
 		mFrameErrs.Inc()
 		return err
@@ -60,6 +99,17 @@ func (c *streamConn) Send(t FrameType, payload []byte) error {
 }
 
 func (c *streamConn) Recv() (FrameType, []byte, error) {
+	if c.nc != nil {
+		c.sendMu.Lock()
+		rt := c.recvTimeout
+		c.sendMu.Unlock()
+		if rt > 0 {
+			// The deadline covers the whole frame, so it must exceed the
+			// largest frame's transfer time; heartbeats re-arm it at every
+			// Recv in the liveness loop.
+			c.nc.SetReadDeadline(time.Now().Add(rt)) //nolint:errcheck // best-effort deadline
+		}
+	}
 	t, payload, err := ReadFrame(c.br, c.recvSeq)
 	if err != nil {
 		if err != io.EOF {
@@ -84,7 +134,18 @@ type Group struct {
 	rank    int
 	world   int
 	traceID uint64 // run correlation id shared by the whole group (0 = untraced)
+	epoch   uint64 // membership epoch (0 for non-elastic groups)
 	conns   []Conn // indexed by peer rank; nil where no link exists
+
+	// Liveness config, set by startLiveness for elastic groups: hbTimeout
+	// > 0 makes the reducer treat transport failures and frame-deadline
+	// expiries as recoverable peer loss instead of fatal errors.
+	hbTimeout time.Duration
+	hbStop    chan struct{}
+	hbWG      sync.WaitGroup
+	closeOnce sync.Once
+	abortOnce sync.Once
+	closeErr  error
 }
 
 // NewGroup assembles a group from pre-established links. conns is
@@ -112,6 +173,16 @@ func (g *Group) World() int { return g.world }
 // loopback groups, 0 for hand-assembled (NewGroup) test groups.
 func (g *Group) TraceID() uint64 { return g.traceID }
 
+// Epoch returns the membership epoch: 0 for classic (non-elastic)
+// groups, and the coordinator-assigned incarnation counter for elastic
+// ones — it increments on every regroup and stale-epoch rejoins are
+// rejected.
+func (g *Group) Epoch() uint64 { return g.epoch }
+
+// HeartbeatTimeout returns the liveness deadline armed on this group's
+// links, or 0 for a classic group with no failure detector.
+func (g *Group) HeartbeatTimeout() time.Duration { return g.hbTimeout }
+
 // conn returns the link to peer, which must exist in this topology.
 func (g *Group) conn(peer int) Conn {
 	c := g.conns[peer]
@@ -121,18 +192,91 @@ func (g *Group) conn(peer int) Conn {
 	return c
 }
 
-// Close closes every link of this group member.
-func (g *Group) Close() error {
-	var first error
+// startLiveness turns the group's links into a failure detector: every
+// link is armed with read/write frame deadlines of timeout, and a
+// background sender per link emits a heartbeat frame every interval so
+// a live peer always has traffic inside the deadline — even while both
+// sides compute between protocol frames. Detection latency is bounded
+// by timeout; a peer that is merely slow keeps its link alive through
+// the heartbeats alone.
+func (g *Group) startLiveness(interval, timeout time.Duration) {
+	if interval <= 0 || timeout <= 0 {
+		return
+	}
+	g.hbTimeout = timeout
+	g.hbStop = make(chan struct{})
+	var hb [8]byte
+	binary.LittleEndian.PutUint64(hb[:], g.traceID)
 	for _, c := range g.conns {
 		if c == nil {
 			continue
 		}
-		if err := c.Close(); err != nil && first == nil {
-			first = err
+		if tc, ok := c.(frameTimeouter); ok {
+			tc.SetFrameTimeouts(timeout, timeout)
 		}
+		g.hbWG.Add(1)
+		go func(c Conn) {
+			defer g.hbWG.Done()
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-g.hbStop:
+					return
+				case <-tick.C:
+					// A send error means the link is down; the protocol path
+					// discovers the same thing on its own deadline, so the
+					// beacon just retires quietly.
+					if err := c.Send(FrameHeartbeat, hb[:]); err != nil {
+						return
+					}
+					mHeartbeats.Inc()
+				}
+			}
+		}(c)
 	}
-	return first
+}
+
+// Abort abandons the in-flight step on purpose: a best-effort abort
+// frame (carrying reason) tells every peer to stop waiting and rejoin,
+// then the links close. Idempotent, and safe to call concurrently with
+// Close.
+func (g *Group) Abort(reason string) {
+	g.abortOnce.Do(func() {
+		payload := make([]byte, 8, 8+len(reason))
+		binary.LittleEndian.PutUint64(payload, g.traceID)
+		payload = append(payload, reason...)
+		for _, c := range g.conns {
+			if c == nil {
+				continue
+			}
+			c.Send(FrameAbort, payload) //nolint:errcheck // best-effort: the close below fails peers loudly anyway
+		}
+	})
+	g.Close() //nolint:errcheck // abort is already the error path
+}
+
+// Close stops the heartbeat senders and closes every link of this group
+// member. Idempotent: the reducer's error path, Abort and the owner's
+// deferred Close may all race it.
+func (g *Group) Close() error {
+	g.closeOnce.Do(func() {
+		if g.hbStop != nil {
+			close(g.hbStop)
+		}
+		for _, c := range g.conns {
+			if c == nil {
+				continue
+			}
+			if err := c.Close(); err != nil && g.closeErr == nil {
+				g.closeErr = err
+			}
+		}
+		// The senders exit on hbStop or on their first send error against
+		// the closed links; wait so no goroutine outlives the group.
+		g.hbWG.Wait()
+	})
+	return g.closeErr
 }
 
 // Loopback wires a world of in-process workers into a star topology over

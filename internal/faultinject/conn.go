@@ -1,0 +1,169 @@
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrTornWrite is returned by a Conn write that CloseAfterWrites tore:
+// half the bytes went out, then the connection closed — a mid-frame
+// link failure.
+var ErrTornWrite = errors.New("faultinject: connection torn mid-write")
+
+// Conn wraps a net.Conn with switchable connection-level faults: added
+// latency, black-holed writes, a mid-stream tear after N writes, and a
+// full partition. It implements net.Conn, so it can be spliced under
+// any frame codec that expects one — including dist.NewStreamConn,
+// whose deadline arming flows through to the real connection, which is
+// what lets a partition trip the heartbeat failure detector exactly the
+// way a real network fault would.
+//
+// Faults are armed from the test goroutine while the protocol runs;
+// every toggle is safe for concurrent use.
+type Conn struct {
+	net.Conn
+
+	mu         sync.Mutex
+	delay      time.Duration
+	dropWrites bool
+	partition  bool
+	// tearAfter counts writes until a mid-stream tear; -1 means never.
+	tearAfter int
+	// readDeadline mirrors the deadline armed on the real conn, so a
+	// partitioned read can honor it without any bytes flowing.
+	readDeadline time.Time
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// WrapConn puts a fault layer under nc. All faults start disarmed; the
+// wrapper is transparent until one is switched on.
+func WrapConn(nc net.Conn) *Conn {
+	return &Conn{Conn: nc, tearAfter: -1, closed: make(chan struct{})}
+}
+
+// Delay adds d of latency to every subsequent read and write (0
+// removes it). Models a slow or congested path.
+func (c *Conn) Delay(d time.Duration) {
+	c.mu.Lock()
+	c.delay = d
+	c.mu.Unlock()
+}
+
+// DropWrites black-holes every subsequent write: the caller sees
+// success, the peer sees silence. Models an asymmetric link failure.
+func (c *Conn) DropWrites() {
+	c.mu.Lock()
+	c.dropWrites = true
+	c.mu.Unlock()
+}
+
+// CloseAfterWrites arms a mid-stream tear: the next n writes pass,
+// then the following one sends half its bytes and closes the
+// connection. Models a link dying inside a frame.
+func (c *Conn) CloseAfterWrites(n int) {
+	c.mu.Lock()
+	c.tearAfter = n
+	c.mu.Unlock()
+}
+
+// Partition cuts the link both ways without closing it: writes are
+// silently dropped and reads block — honoring any armed read deadline
+// with os.ErrDeadlineExceeded — exactly the symptom a network
+// partition presents to the failure detector.
+func (c *Conn) Partition() {
+	c.mu.Lock()
+	c.partition = true
+	c.mu.Unlock()
+}
+
+// Heal lifts a partition, delay and write-dropping (not an armed tear):
+// the link carries traffic again, modeling a transient fault clearing.
+func (c *Conn) Heal() {
+	c.mu.Lock()
+	c.partition = false
+	c.dropWrites = false
+	c.delay = 0
+	c.mu.Unlock()
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	delay, part, dl := c.delay, c.partition, c.readDeadline
+	c.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if !part {
+		return c.Conn.Read(p)
+	}
+	// Partitioned: no bytes will ever arrive. Block to the armed
+	// deadline (or a close), then fail the same way the kernel would.
+	if dl.IsZero() {
+		<-c.closed
+		return 0, net.ErrClosed
+	}
+	if wait := time.Until(dl); wait > 0 {
+		select {
+		case <-time.After(wait):
+		case <-c.closed:
+			return 0, net.ErrClosed
+		}
+	}
+	return 0, os.ErrDeadlineExceeded
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	delay := c.delay
+	drop := c.dropWrites || c.partition
+	tear := false
+	if c.tearAfter == 0 {
+		tear = true
+		c.tearAfter = -1
+	} else if c.tearAfter > 0 {
+		c.tearAfter--
+	}
+	c.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if tear {
+		c.Conn.Write(p[:len(p)/2]) //nolint:errcheck // the tear is the point
+		c.Close()                  //nolint:errcheck
+		return len(p) / 2, ErrTornWrite
+	}
+	if drop {
+		// The caller sees success; the peer sees silence.
+		return len(p), nil
+	}
+	return c.Conn.Write(p)
+}
+
+// SetReadDeadline mirrors the deadline locally (for partitioned reads)
+// and forwards it to the real connection.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+// SetDeadline sets both directions, mirroring the read half.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// Close closes the underlying connection and releases any partitioned
+// reads parked on the fault layer.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}

@@ -1,0 +1,165 @@
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two ends of a real loopback TCP connection.
+func tcpPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+func TestConnTransparentByDefault(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := WrapConn(a)
+	if _, err := fc.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := b.Read(buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("read %q, %v", buf, err)
+	}
+}
+
+func TestConnDelay(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := WrapConn(a)
+	fc.Delay(50 * time.Millisecond)
+	go b.Write([]byte("x")) //nolint:errcheck
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := fc.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("delayed read returned in %v, want >= 50ms", elapsed)
+	}
+}
+
+func TestConnDropWrites(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := WrapConn(a)
+	fc.DropWrites()
+	if n, err := fc.Write([]byte("lost")); err != nil || n != 4 {
+		t.Fatalf("dropped write reported (%d, %v), want silent success", n, err)
+	}
+	b.SetReadDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
+	buf := make([]byte, 4)
+	if _, err := b.Read(buf); err == nil {
+		t.Fatal("peer received bytes a black-holed link should have dropped")
+	}
+}
+
+func TestConnTearMidWrite(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := WrapConn(a)
+	fc.CloseAfterWrites(1)
+	if _, err := fc.Write([]byte("full frame")); err != nil {
+		t.Fatalf("write before the tear: %v", err)
+	}
+	n, err := fc.Write([]byte("torn frame!!"))
+	if !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("torn write err = %v, want ErrTornWrite", err)
+	}
+	if n != 6 {
+		t.Fatalf("torn write sent %d bytes, want half (6)", n)
+	}
+	// The peer sees the intact first write, the half of the second, then
+	// EOF — a torn stream, not a clean shutdown.
+	got := make([]byte, 0, 32)
+	buf := make([]byte, 32)
+	b.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	for {
+		k, rerr := b.Read(buf)
+		got = append(got, buf[:k]...)
+		if rerr != nil {
+			break
+		}
+	}
+	if string(got) != "full frametorn f" {
+		t.Fatalf("peer saw %q, want the intact frame plus half the torn one", got)
+	}
+}
+
+// TestConnPartitionHonorsDeadline: a partitioned read blocks — no
+// data, no error — until the armed deadline, then fails with the
+// kernel's own deadline error, so a frame codec above cannot tell the
+// fault layer from a real partition.
+func TestConnPartitionHonorsDeadline(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := WrapConn(a)
+	fc.Partition()
+	go b.Write([]byte("never seen")) //nolint:errcheck
+
+	fc.SetReadDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
+	start := time.Now()
+	buf := make([]byte, 16)
+	_, err := fc.Read(buf)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("partitioned read err = %v, want os.ErrDeadlineExceeded", err)
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("partitioned read error %v must be a net.Error timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("partitioned read failed after %v, before the deadline", elapsed)
+	}
+
+	// Healing restores the link: the parked bytes come through.
+	fc.Heal()
+	fc.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	n, err := fc.Read(buf)
+	if err != nil || string(buf[:n]) != "never seen" {
+		t.Fatalf("healed read = %q, %v", buf[:n], err)
+	}
+}
+
+func TestConnCloseReleasesPartitionedRead(t *testing.T) {
+	a, _ := tcpPair(t)
+	fc := WrapConn(a)
+	fc.Partition()
+	done := make(chan error, 1)
+	go func() {
+		_, err := fc.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	fc.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("released read err = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not release the partitioned read")
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/telemetry"
@@ -45,6 +47,14 @@ type ReplicaStatus struct {
 	Served     int64  `json:"served"`
 	Batches    int64  `json:"batches"`
 	Generation uint64 `json:"generation"`
+	Healthy    bool   `json:"healthy"`
+	Restarts   int64  `json:"restarts"`
+}
+
+// ChaosPanicRequest is the POST /v1/chaos/panic body (chaos builds
+// only). Count defaults to 1.
+type ChaosPanicRequest struct {
+	Count int `json:"count"`
 }
 
 // StatusResponse is the GET /v1/status body.
@@ -63,6 +73,7 @@ type StatusResponse struct {
 	MaxBatch        int              `json:"max_batch"`
 	BatchDeadlineMS float64          `json:"batch_deadline_ms"`
 	Replicas        int              `json:"replicas"`
+	HealthyReplicas int              `json:"healthy_replicas"`
 	PerReplica      []ReplicaStatus  `json:"per_replica"`
 	Latency         LatencyBreakdown `json:"latency_ms"`
 	Draining        bool             `json:"draining"`
@@ -95,6 +106,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	if s.cfg.EnableChaos {
+		// POST /v1/chaos/panic arms the next N executor passes to panic —
+		// the supervised-respawn drill. Only routed when the operator
+		// explicitly opted in at startup; absent otherwise, not 403'd.
+		mux.HandleFunc("/v1/chaos/panic", s.handleChaosPanic)
+	}
 	return mux
 }
 
@@ -123,11 +140,13 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		reqID = fmt.Sprintf("%016x", telemetry.NewTraceID())
 	}
 	w.Header().Set(RequestIDHeader, reqID)
-	resp, err := s.SubmitID(req.Input, reqID)
+	resp, err := s.SubmitCtx(r.Context(), req.Input, reqID)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		// Backpressure: the bounded queue is the admission control.
-		w.Header().Set("Retry-After", "1")
+		// Backpressure: the bounded queue is the admission control. The
+		// Retry-After is derived from what the queue is actually doing,
+		// not a constant — a loaded pool tells clients to back off longer.
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrDraining):
@@ -139,6 +158,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case res := <-resp:
+		if res.Err != nil {
+			// Shed (client deadline passed in queue) or replica failure.
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			writeError(w, http.StatusServiceUnavailable, res.Err)
+			return
+		}
 		writeJSON(w, http.StatusOK, InferResponse{
 			RequestID:  res.RequestID,
 			Class:      res.Class,
@@ -151,6 +176,43 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		// Client went away; the batcher's buffered send still succeeds.
 		writeError(w, http.StatusServiceUnavailable, r.Context().Err())
 	}
+}
+
+// retryAfterSeconds estimates when retrying is worth a client's time:
+// the p95 queue wait plus one batch deadline, rounded up to whole
+// seconds and clamped to [1, 30]. Under light load this is the floor of
+// 1s; under a pile-up it grows with the observed queue latency instead
+// of inviting an immediate retry storm.
+func (s *Server) retryAfterSeconds() string {
+	waitMS := stageQuantiles(s.hQueueWait).P95 + float64(s.cfg.BatchDeadline)/float64(time.Millisecond)
+	secs := int(math.Ceil(waitMS / 1000))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
+}
+
+func (s *Server) handleChaosPanic(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	req := ChaosPanicRequest{Count: 1}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if req.Count < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("count must be >= 1, got %d", req.Count))
+		return
+	}
+	s.InjectPanic(req.Count)
+	writeJSON(w, http.StatusOK, map[string]int{"armed": req.Count})
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -181,7 +243,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	st := s.Stats()
 	per := make([]ReplicaStatus, len(st.PerReplica))
 	for i, r := range st.PerReplica {
-		per[i] = ReplicaStatus{Replica: i, Served: r.Served, Batches: r.Batches, Generation: r.Generation}
+		per[i] = ReplicaStatus{
+			Replica: i, Served: r.Served, Batches: r.Batches, Generation: r.Generation,
+			Healthy: r.Healthy, Restarts: r.Restarts,
+		}
 	}
 	writeJSON(w, http.StatusOK, StatusResponse{
 		Model:           s.cfg.ModelName,
@@ -198,6 +263,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		MaxBatch:        s.cfg.MaxBatch,
 		BatchDeadlineMS: float64(s.cfg.BatchDeadline) / float64(time.Millisecond),
 		Replicas:        st.Replicas,
+		HealthyReplicas: st.HealthyReplicas,
 		PerReplica:      per,
 		Latency:         s.LatencyBreakdown(),
 		Draining:        s.Draining(),
@@ -211,12 +277,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Write([]byte("ok\n")) //nolint:errcheck // best-effort liveness probe
 }
 
-// handleReadyz is readiness: 503 while draining tells load balancers to
-// stop routing new requests here while in-flight ones finish.
+// handleReadyz is readiness: 503 while draining or with zero healthy
+// replicas tells load balancers to stop routing new requests here; a
+// degraded pool (some but not all replicas healthy) still answers 200
+// so the instance stays in rotation at reduced capacity, with the body
+// saying so for operators watching the probe.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.Draining() {
 		http.Error(w, "draining\n", http.StatusServiceUnavailable)
 		return
 	}
-	w.Write([]byte("ready\n")) //nolint:errcheck // best-effort readiness probe
+	healthy, total := s.HealthyReplicas(), len(s.replicas)
+	switch {
+	case healthy == 0:
+		http.Error(w, "no healthy replicas\n", http.StatusServiceUnavailable)
+	case healthy < total:
+		fmt.Fprintf(w, "degraded (%d/%d replicas)\n", healthy, total)
+	default:
+		w.Write([]byte("ready\n")) //nolint:errcheck // best-effort readiness probe
+	}
 }

@@ -25,6 +25,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -67,6 +68,24 @@ type Config struct {
 	// CkptPath is the default checkpoint for reloads that name no path
 	// (the SIGHUP path in odq-serve).
 	CkptPath string
+
+	// SessionFactory, when set, lets the supervisor respawn a panicked
+	// replica with a fresh session (same checkpoint, same scheme — the
+	// replica-invariance contract is the factory's to keep). Without it
+	// a panicked replica is tombstoned: it keeps draining its work
+	// channel answering errors, and capacity stays degraded.
+	SessionFactory func() (*infer.Session, error)
+	// MaxRespawns caps supervisor respawns per replica before it is
+	// tombstoned — a session that panics on every fresh spawn is a
+	// deterministic bug, not a transient fault (default 3).
+	MaxRespawns int
+	// RespawnDelay is the pause before respawning a panicked replica,
+	// so a hot-looping crash cannot monopolize a core (default 100ms).
+	RespawnDelay time.Duration
+	// EnableChaos exposes POST /v1/chaos/panic, which arms an injected
+	// panic on the next executor pass. Chaos drills only — never set it
+	// in production configs.
+	EnableChaos bool
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +100,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
+	}
+	if c.MaxRespawns <= 0 {
+		c.MaxRespawns = 3
+	}
+	if c.RespawnDelay <= 0 {
+		c.RespawnDelay = 100 * time.Millisecond
 	}
 	return c
 }
@@ -102,15 +127,28 @@ type Result struct {
 	Generation uint64
 	// Latency is enqueue-to-scatter time.
 	Latency time.Duration
+	// Err reports a request that was accepted but could not be answered:
+	// the executing replica panicked, was already tombstoned, or the
+	// client's deadline expired in the queue. The HTTP layer maps it to
+	// 503 with a Retry-After; every other Result field except RequestID
+	// and Replica is zero.
+	Err error
 }
 
-// pending is one admitted request waiting for its batch.
+// pending is one admitted request waiting for its batch. Ownership is a
+// strict handoff — submitter → collector → one replica goroutine — so
+// the mutable fields (deq, answered) never need a lock.
 type pending struct {
 	id   string
 	x    []float32
-	enq  time.Time // admission (Submit) time
-	deq  time.Time // collector pickup time; deq-enq is the queue wait
+	ctx  context.Context // client lifetime; nil means no deadline
+	enq  time.Time       // admission (Submit) time
+	deq  time.Time       // collector pickup time; deq-enq is the queue wait
 	resp chan Result
+	// answered flips just before the resp send, so the panic-recovery
+	// path can answer exactly the requests the crashed pass left hanging
+	// without ever double-sending on the 1-buffered channel.
+	answered bool
 }
 
 type reloadReq struct {
@@ -133,11 +171,23 @@ type workItem struct {
 	reload *replicaReload
 }
 
-// replica is one resident session plus the goroutine state that owns it.
+// replica is one resident session plus the goroutine state that owns
+// it. The session pointer is atomic because the supervisor swaps it on
+// respawn while Status/Stats read it from other goroutines; Forward and
+// ReloadFile still only ever run on the replica goroutine.
 type replica struct {
 	id   int
-	sess *infer.Session
+	sess atomic.Pointer[infer.Session]
 	work chan workItem
+
+	// healthy is cleared the moment a pass panics and set again only
+	// after a successful respawn probe; the collector skips unhealthy
+	// replicas. tombstone is terminal: the replica keeps draining its
+	// work channel, answering every item with an error, so neither the
+	// collector nor a drain can wedge on its channel.
+	healthy   atomic.Bool
+	tombstone atomic.Bool
+	restarts  atomic.Int64
 
 	served  atomic.Int64
 	batches atomic.Int64
@@ -181,6 +231,12 @@ type Server struct {
 	hBatchSize *telemetry.Histogram
 	gQueue     *telemetry.Gauge
 	gQPS       *telemetry.Gauge
+
+	// Supervision instruments and the chaos hook.
+	mRestarts   *telemetry.Counter
+	mShed       *telemetry.Counter
+	gDegraded   *telemetry.Gauge
+	chaosPanics atomic.Int64
 }
 
 // New builds a single-replica server over a resident session. Call
@@ -217,7 +273,9 @@ func NewReplicated(sessions []*infer.Session, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: replica %d has %d classes, replica 0 has %d (pools must host one model)",
 				i, probe.Shape[1], classes)
 		}
-		replicas[i] = &replica{id: i, sess: sess, work: make(chan workItem, 1)}
+		replicas[i] = &replica{id: i, work: make(chan workItem, 1)}
+		replicas[i].sess.Store(sess)
+		replicas[i].healthy.Store(true)
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -239,15 +297,45 @@ func NewReplicated(sessions []*infer.Session, cfg Config) (*Server, error) {
 		hBatchSize: telemetry.GetHistogram("serve.batch_size", telemetry.LinearBuckets(1, 1, 64)),
 		gQueue:     telemetry.GetGauge("serve.queue_depth"),
 		gQPS:       telemetry.GetGauge("serve.qps"),
+
+		mRestarts: telemetry.GetCounter("serve.replica_restarts"),
+		mShed:     telemetry.GetCounter("serve.deadline_shed"),
+		gDegraded: telemetry.GetGauge("serve.degraded_replicas"),
 	}
 	return s, nil
 }
 
 // Session returns replica 0's resident session.
-func (s *Server) Session() *infer.Session { return s.replicas[0].sess }
+func (s *Server) Session() *infer.Session { return s.replicas[0].sess.Load() }
 
 // Replicas returns the pool size.
 func (s *Server) Replicas() int { return len(s.replicas) }
+
+// HealthyReplicas returns how many replicas are currently able to
+// execute passes; anything below Replicas() is degraded capacity.
+func (s *Server) HealthyReplicas() int {
+	n := 0
+	for _, r := range s.replicas {
+		if r.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// updateDegraded republishes the degraded-capacity gauge.
+func (s *Server) updateDegraded() {
+	s.gDegraded.Set(float64(len(s.replicas) - s.HealthyReplicas()))
+}
+
+// InjectPanic arms n injected panics: each fires at the start of an
+// executor pass, crashing whichever replica picked the batch up — the
+// chaos drill for the supervision path.
+func (s *Server) InjectPanic(n int) {
+	if n > 0 {
+		s.chaosPanics.Add(int64(n))
+	}
+}
 
 // Classes returns the classifier width discovered at warmup.
 func (s *Server) Classes() int { return s.classes }
@@ -275,11 +363,19 @@ func (s *Server) Submit(x []float32) (<-chan Result, error) {
 // layer's X-ODQ-Request-ID) that rides through the batcher and comes
 // back in the Result.
 func (s *Server) SubmitID(x []float32, id string) (<-chan Result, error) {
+	return s.SubmitCtx(context.Background(), x, id)
+}
+
+// SubmitCtx is SubmitID honoring the client's lifetime: a request whose
+// ctx is already done when the collector picks it up is shed with
+// Result.Err instead of spending executor time on an answer nobody is
+// waiting for.
+func (s *Server) SubmitCtx(ctx context.Context, x []float32, id string) (<-chan Result, error) {
 	if want := s.cfg.InputC * s.cfg.InputH * s.cfg.InputW; len(x) != want {
 		return nil, fmt.Errorf("serve: input has %d values, want %d (%dx%dx%d)",
 			len(x), want, s.cfg.InputC, s.cfg.InputH, s.cfg.InputW)
 	}
-	p := &pending{id: id, x: x, enq: time.Now(), resp: make(chan Result, 1)}
+	p := &pending{id: id, x: x, ctx: ctx, enq: time.Now(), resp: make(chan Result, 1)}
 	// The RLock pairs with Drain's Lock: draining is never set between
 	// our check and our send, so no send can follow close(s.queue).
 	s.mu.RLock()
@@ -324,7 +420,7 @@ func (s *Server) Reload(path string) (uint64, error) {
 		olog.Error("weight reload failed", "path", path, "err", err)
 		return 0, err
 	}
-	gen := s.replicas[0].sess.Generation()
+	gen := s.replicas[0].sess.Load().Generation()
 	olog.Info("weights reloaded", "path", path, "generation", gen, "replicas", len(s.replicas))
 	return gen, nil
 }
@@ -403,6 +499,8 @@ func (s *Server) LatencyBreakdown() LatencyBreakdown {
 type ReplicaStats struct {
 	Served, Batches int64
 	Generation      uint64
+	Healthy         bool
+	Restarts        int64
 }
 
 // Stats is a point-in-time view of the serving counters.
@@ -411,6 +509,7 @@ type Stats struct {
 	MeanBatch                 float64
 	QueueDepth, QueueCap      int
 	Replicas                  int
+	HealthyReplicas           int
 	PerReplica                []ReplicaStats
 }
 
@@ -420,10 +519,11 @@ func (s *Server) Stats() Stats {
 		Served:     s.served.Load(),
 		Rejected:   s.rejected.Load(),
 		Batches:    s.batches.Load(),
-		QueueDepth: len(s.queue),
-		QueueCap:   s.cfg.QueueDepth,
-		Replicas:   len(s.replicas),
-		PerReplica: make([]ReplicaStats, len(s.replicas)),
+		QueueDepth:      len(s.queue),
+		QueueCap:        s.cfg.QueueDepth,
+		Replicas:        len(s.replicas),
+		HealthyReplicas: s.HealthyReplicas(),
+		PerReplica:      make([]ReplicaStats, len(s.replicas)),
 	}
 	if st.Batches > 0 {
 		st.MeanBatch = float64(s.batchSum.Load()) / float64(st.Batches)
@@ -432,7 +532,9 @@ func (s *Server) Stats() Stats {
 		st.PerReplica[i] = ReplicaStats{
 			Served:     r.served.Load(),
 			Batches:    r.batches.Load(),
-			Generation: r.sess.Generation(),
+			Generation: r.sess.Load().Generation(),
+			Healthy:    r.healthy.Load(),
+			Restarts:   r.restarts.Load(),
 		}
 	}
 	return st
@@ -460,7 +562,11 @@ func (s *Server) run() {
 				return
 			}
 			s.noteDequeued(p)
+			if s.shedExpired(p) {
+				continue
+			}
 			batch, closed := s.collect(p)
+			rr = s.pickReplica(rr)
 			s.replicas[rr].work <- workItem{batch: batch}
 			rr = (rr + 1) % len(s.replicas)
 			if closed {
@@ -468,6 +574,38 @@ func (s *Server) run() {
 			}
 		}
 	}
+}
+
+// pickReplica returns the next dispatch target, preferring healthy
+// replicas in round-robin order from rr. With no healthy replica it
+// falls back to rr itself: tombstoned replicas keep draining their
+// channels (answering errors), so the send cannot wedge, and a
+// mid-respawn replica picks its backlog up the moment it recovers.
+func (s *Server) pickReplica(rr int) int {
+	for i := 0; i < len(s.replicas); i++ {
+		c := (rr + i) % len(s.replicas)
+		if s.replicas[c].healthy.Load() {
+			return c
+		}
+	}
+	return rr
+}
+
+// shedExpired answers a request whose client already gave up while it
+// was queued, instead of spending an executor pass on it. The pending is
+// collector-owned at this point, so the send cannot race a replica.
+func (s *Server) shedExpired(p *pending) bool {
+	if p.ctx == nil || p.ctx.Err() == nil {
+		return false
+	}
+	s.mShed.Inc()
+	p.answered = true
+	p.resp <- Result{
+		RequestID: p.id,
+		Err: fmt.Errorf("serve: client deadline expired after %.1fms in queue: %w",
+			float64(p.deq.Sub(p.enq))/float64(time.Millisecond), p.ctx.Err()),
+	}
+	return true
 }
 
 // reloadAll routes one reload order through every replica's work
@@ -516,6 +654,9 @@ func (s *Server) collect(first *pending) (batch []*pending, closed bool) {
 				return batch, true
 			}
 			s.noteDequeued(p)
+			if s.shedExpired(p) {
+				continue
+			}
 			batch = append(batch, p)
 		case <-deadline.C:
 			s.gQueue.Set(float64(len(s.queue)))
@@ -528,27 +669,133 @@ func (s *Server) collect(first *pending) (batch []*pending, closed bool) {
 
 // replicaLoop executes this replica's work items in dispatch order —
 // the goroutine is the session's exclusive owner, so batched passes and
-// weight swaps are serialized per replica by construction.
+// weight swaps are serialized per replica by construction. Every item
+// runs under the supervisor (runItem): a panic answers the item's
+// requests with errors and respawns or tombstones the replica, it never
+// takes the process down.
 func (s *Server) replicaLoop(r *replica) {
 	defer s.wg.Done()
 	for it := range r.work {
-		if it.reload != nil {
-			sp := telemetry.StartSpan("serve.reload")
-			err := r.sess.ReloadFile(it.reload.path)
-			sp.End()
-			if err == nil {
-				s.mReloads.Inc()
-			}
-			it.reload.ack <- err
+		s.runItem(r, it)
+	}
+}
+
+// errReplicaDown answers work routed to a tombstoned replica.
+var errReplicaDown = errors.New("serve: replica is down (tombstoned after repeated panics)")
+
+// runItem executes one work item under panic supervision.
+func (s *Server) runItem(r *replica, it workItem) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.supervise(r, it, rec)
+		}
+	}()
+	if r.tombstone.Load() {
+		// A dead replica still consumes its channel so neither the
+		// collector nor a drain can wedge on it; the answers are honest
+		// errors the HTTP layer maps to 503.
+		s.failItem(r, it, errReplicaDown)
+		return
+	}
+	if it.reload != nil {
+		sp := telemetry.StartSpan("serve.reload")
+		err := r.sess.Load().ReloadFile(it.reload.path)
+		sp.End()
+		if err == nil {
+			s.mReloads.Inc()
+		}
+		it.reload.ack <- err
+		return
+	}
+	s.execBatch(r, it.batch)
+}
+
+// failItem answers everything in a work item with err: the unanswered
+// requests of a batch, or the ack of a reload order — the latter closes
+// the window where a panicked replica could strand Reload (and through
+// it the collector and any concurrent Drain) waiting for an ack that
+// would never come.
+func (s *Server) failItem(r *replica, it workItem, err error) {
+	if it.reload != nil {
+		it.reload.ack <- fmt.Errorf("serve: replica %d: %w", r.id, err)
+		return
+	}
+	for _, p := range it.batch {
+		if p.answered {
 			continue
 		}
-		s.execBatch(r, it.batch)
+		p.answered = true
+		p.resp <- Result{RequestID: p.id, Replica: r.id, Err: err}
 	}
+}
+
+// supervise is the panic path of one replica: answer the crashed item's
+// requests, mark the replica unhealthy, then respawn it with a fresh
+// session from the factory — or tombstone it when the factory is absent
+// or the respawn budget is spent.
+func (s *Server) supervise(r *replica, it workItem, rec interface{}) {
+	r.healthy.Store(false)
+	s.updateDegraded()
+	err := fmt.Errorf("serve: replica %d panicked: %v", r.id, rec)
+	olog.Error("replica panicked", "replica", r.id, "panic", fmt.Sprint(rec),
+		"restarts", r.restarts.Load())
+	s.failItem(r, it, err)
+	if s.cfg.SessionFactory == nil || r.restarts.Load() >= int64(s.cfg.MaxRespawns) {
+		r.tombstone.Store(true)
+		olog.Error("replica tombstoned", "replica", r.id, "restarts", r.restarts.Load(),
+			"max_respawns", s.cfg.MaxRespawns)
+		return
+	}
+	// Synchronous respawn on the replica goroutine: the work channel
+	// buffers (and the collector skips unhealthy replicas), so the pause
+	// costs capacity, never correctness.
+	time.Sleep(s.cfg.RespawnDelay)
+	sess, ferr := s.cfg.SessionFactory()
+	if ferr == nil {
+		var classes int
+		classes, ferr = probeSession(sess, s.cfg.InputC, s.cfg.InputH, s.cfg.InputW)
+		if ferr == nil && classes != s.classes {
+			ferr = fmt.Errorf("respawned session has %d classes, pool serves %d", classes, s.classes)
+		}
+	}
+	if ferr != nil {
+		r.tombstone.Store(true)
+		olog.Error("replica respawn failed, tombstoned", "replica", r.id, "err", ferr)
+		return
+	}
+	r.sess.Store(sess)
+	r.restarts.Add(1)
+	s.mRestarts.Inc()
+	r.healthy.Store(true)
+	s.updateDegraded()
+	olog.Info("replica respawned", "replica", r.id, "restarts", r.restarts.Load())
+}
+
+// probeSession warms a fresh session up with one batch-1 pass and
+// reports its classifier width; a panic during the probe is an error,
+// not a crash (the supervisor calls this on the recovery path).
+func probeSession(sess *infer.Session, c, h, w int) (classes int, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("serve: session probe panicked: %v", rec)
+		}
+	}()
+	probe := sess.Forward(tensor.New(1, c, h, w))
+	if probe.Rank() != 2 {
+		return 0, fmt.Errorf("serve: session probe output rank %d, want 2 (logits)", probe.Rank())
+	}
+	return probe.Shape[1], nil
 }
 
 // execBatch runs one batched pass on r's session and scatters the
 // results.
 func (s *Server) execBatch(r *replica, batch []*pending) {
+	if s.chaosPanics.Load() > 0 {
+		if s.chaosPanics.Add(-1) >= 0 {
+			panic(fmt.Sprintf("chaos: injected panic on replica %d", r.id))
+		}
+		s.chaosPanics.Add(1) // lost a decrement race; restore
+	}
 	n := len(batch)
 	per := s.cfg.InputC * s.cfg.InputH * s.cfg.InputW
 	x := tensor.New(n, s.cfg.InputC, s.cfg.InputH, s.cfg.InputW)
@@ -572,13 +819,14 @@ func (s *Server) execBatch(r *replica, batch []*pending) {
 		spExec = telemetry.StartSpan("serve.execute")
 	}
 	execStart := time.Now()
-	logits := r.sess.Forward(x)
+	sess := r.sess.Load()
+	logits := sess.Forward(x)
 	s.hExec.Record(float64(time.Since(execStart)) / float64(time.Millisecond))
 	spExec.End()
 
 	spScatter := telemetry.StartSpan("serve.scatter")
 	scatterStart := time.Now()
-	gen := r.sess.Generation()
+	gen := sess.Generation()
 	now := time.Now()
 	preds := logits.ArgmaxRows()
 	for i, p := range batch {
@@ -586,6 +834,7 @@ func (s *Server) execBatch(r *replica, batch []*pending) {
 		copy(row, logits.Data[i*s.classes:(i+1)*s.classes])
 		lat := now.Sub(p.enq)
 		s.hLatencyMS.Record(float64(lat) / float64(time.Millisecond))
+		p.answered = true
 		p.resp <- Result{
 			RequestID:  p.id,
 			Class:      preds[i],

@@ -1,0 +1,88 @@
+package train
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/dist"
+	"repro/internal/nn"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/olog"
+)
+
+var mTrainRegroups = telemetry.GetCounter("train.regroups")
+
+// FitElastic is the self-healing training loop: it joins a group
+// through the membership layer, trains with a transport-backed reducer,
+// and when the run fails with recoverable peer loss it rejoins the next
+// membership epoch — at whatever world size survives — rebuilds the
+// network with build, resumes from the last durable checkpoint, and
+// continues. Because the sync-group size G (not the worker count)
+// defines the training trajectory and G travels in the checkpoint, the
+// post-regroup run is byte-identical to an uninterrupted run at the
+// surviving worker count.
+//
+// The invariant buys its simplicity with two requirements the options
+// must meet up front, rather than defaulting to something that silently
+// breaks it:
+//
+//   - GroupSize must be explicit (>= 1): a default of "the worker
+//     count" would make G depend on WHEN a worker died relative to the
+//     first checkpoint.
+//   - CkptPath must be set, on a path all ranks can read: the regroup
+//     rolls every survivor back to the same durable state. Rank 0 is
+//     the only writer; a survivor that was rank 2 may resume as rank 1.
+//
+// Protocol violations and training errors stay fatal — a regroup can
+// outlive a dead process, not a logic bug. Fit's own retry budget is
+// bounded by the membership layer (ElasticOptions.MaxRegroups).
+//
+// The returned module is the last-built network holding the final
+// trained parameters (only meaningful when err is nil).
+func FitElastic(m dist.Membership, build func() (nn.Module, error), ds *dataset.Dataset, opts Options) (*History, nn.Module, error) {
+	if opts.GroupSize < 1 {
+		return nil, nil, fmt.Errorf("train: FitElastic requires an explicit GroupSize >= 1 (got %d): the sync-group size must not depend on which workers survive", opts.GroupSize)
+	}
+	if opts.CkptPath == "" {
+		return nil, nil, fmt.Errorf("train: FitElastic requires CkptPath: regroup recovery resumes from the last durable checkpoint")
+	}
+	if opts.Reducer != nil {
+		return nil, nil, fmt.Errorf("train: FitElastic builds its own reducer per membership epoch; Options.Reducer must be nil")
+	}
+	for attempt := 0; ; attempt++ {
+		g, err := m.Join()
+		if err != nil {
+			return nil, nil, fmt.Errorf("train: joining membership epoch: %w", err)
+		}
+		telemetry.SetRank(g.Rank())
+		net, err := build()
+		if err != nil {
+			g.Abort("building the network failed")
+			return nil, nil, fmt.Errorf("train: building network for epoch %d: %w", g.Epoch(), err)
+		}
+		o := opts
+		o.Reducer = dist.NewReducer(g)
+		if attempt > 0 {
+			// Every retry resumes from the durable checkpoint regardless of
+			// how the run was originally launched; the first attempt honors
+			// the caller's own Resume setting.
+			o.Resume = true
+		}
+		olog.Info("elastic fit", "membership_epoch", g.Epoch(), "rank", g.Rank(), "world", g.World(), "attempt", attempt)
+		hist, err := Fit(net, ds, o)
+		if err == nil {
+			g.Close()
+			return hist, net, nil
+		}
+		if !dist.IsPeerLost(err) {
+			// Fatal: tell the peers to stop waiting before giving up, so
+			// they fail fast instead of burning their regroup budget.
+			g.Abort(err.Error())
+			return hist, net, err
+		}
+		// The reducer already aborted the group on its way out; rejoin the
+		// next epoch and resume.
+		mTrainRegroups.Inc()
+		olog.Warn("peer lost, regrouping", "membership_epoch", g.Epoch(), "rank", g.Rank(), "err", err.Error())
+	}
+}

@@ -1,0 +1,163 @@
+package train
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/dist"
+	"repro/internal/nn"
+)
+
+var fitElasticOpts = dist.ElasticOptions{
+	JoinTimeout:       15 * time.Second,
+	RegroupTimeout:    5 * time.Second,
+	HeartbeatInterval: 50 * time.Millisecond,
+	HeartbeatTimeout:  time.Second,
+	MaxRegroups:       4,
+}
+
+// dyingMembership joins like a normal elastic worker but stays dead
+// after its group is killed — the in-process stand-in for a
+// SIGKILLed worker process, which never comes back either.
+type dyingMembership struct {
+	w    *dist.ElasticWorker
+	g    *dist.Group
+	dead atomic.Bool
+}
+
+func (d *dyingMembership) Join() (*dist.Group, error) {
+	if d.dead.Load() {
+		return nil, errors.New("victim stays dead")
+	}
+	g, err := d.w.Join()
+	d.g = g
+	return g, err
+}
+
+func (d *dyingMembership) Close() error { return d.w.Close() }
+
+// TestFitElasticRegroupByteEqual is the self-healing tentpole end to
+// end: a three-member elastic fleet loses one worker mid-epoch (after
+// the epoch-1 checkpoint is durable), the survivors regroup
+// automatically, resume from that checkpoint at world 2, and finish
+// with weights, history and checkpoint FILE BYTES bit-identical to an
+// uninterrupted single-worker run at the same sync-group size.
+func TestFitElasticRegroupByteEqual(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second TCP fleet test")
+	}
+	dir := t.TempDir()
+	const G = 3
+
+	// Uninterrupted reference: worker count never matters at fixed G,
+	// so one local worker defines the expected trajectory.
+	refOpts := distOpts(3, filepath.Join(dir, "ref.ckpt"))
+	refOpts.GroupSize = G
+	refNets, refHists := fitWorld(t, 1, refOpts)
+	refState := stateOf(t, refNets[0])
+	refCkpt, err := os.ReadFile(refOpts.CkptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := dist.ElasticListen("127.0.0.1:0", 3, fitElasticOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ckptPath := filepath.Join(dir, "elastic.ckpt")
+	ds := resumeData()
+	elasticOpts := func() Options {
+		o := distOpts(3, ckptPath)
+		o.GroupSize = G
+		o.Augment = dataset.NewAugmenter(2, true, 42)
+		return o
+	}
+	build := func() (nn.Module, error) { return resumeNet(7), nil }
+
+	type fitRes struct {
+		hist *History
+		net  nn.Module
+		err  error
+	}
+	survivorCh := make(chan fitRes, 1)
+	go func() {
+		w := dist.NewElasticWorker(coord.Addr(), 3, fitElasticOpts)
+		defer w.Close()
+		hist, net, err := FitElastic(w, build, ds, elasticOpts())
+		survivorCh <- fitRes{hist, net, err}
+	}()
+
+	victimCh := make(chan error, 1)
+	go func() {
+		d := &dyingMembership{w: dist.NewElasticWorker(coord.Addr(), 3, fitElasticOpts)}
+		defer d.Close()
+		o := elasticOpts()
+		// 80 samples / batch 16 = 5 batches, G 3 → 2 steps per epoch.
+		// Step 3 is mid-epoch-2, strictly after rank 0 made the epoch-1
+		// checkpoint durable (no step of epoch 2 completes before it).
+		o.StepHook = func(step int64) {
+			if step == 3 {
+				d.dead.Store(true)
+				d.g.Close() // hard death: links just vanish
+			}
+		}
+		_, _, err := FitElastic(d, build, ds, o)
+		victimCh <- err
+	}()
+
+	hist, net, err := FitElastic(coord, build, ds, elasticOpts())
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if verr := <-victimCh; verr == nil || !strings.Contains(verr.Error(), "victim stays dead") {
+		t.Fatalf("victim: err = %v, want its permanent-death marker", verr)
+	}
+	s := <-survivorCh
+	if s.err != nil {
+		t.Fatalf("survivor: %v", s.err)
+	}
+
+	assertStatesEqual(t, "coordinator after regroup", refState, stateOf(t, net))
+	assertStatesEqual(t, "survivor after regroup", refState, stateOf(t, s.net))
+	if !reflect.DeepEqual(refHists[0], hist) {
+		t.Fatalf("coordinator history mismatch:\nref %+v\ngot %+v", refHists[0], hist)
+	}
+	if !reflect.DeepEqual(refHists[0], s.hist) {
+		t.Fatalf("survivor history mismatch:\nref %+v\ngot %+v", refHists[0], s.hist)
+	}
+	finalCkpt, err := os.ReadFile(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refCkpt, finalCkpt) {
+		t.Fatal("post-regroup checkpoint differs from the uninterrupted reference — the self-healing invariant is broken")
+	}
+}
+
+// FitElastic's invariants are demanded up front, not defaulted around.
+func TestFitElasticOptionValidation(t *testing.T) {
+	ds := resumeData()
+	build := func() (nn.Module, error) { return resumeNet(7), nil }
+	if _, _, err := FitElastic(nil, build, ds, Options{Epochs: 1, CkptPath: "x.ckpt"}); err == nil ||
+		!strings.Contains(err.Error(), "GroupSize") {
+		t.Fatalf("missing GroupSize: err = %v, want rejection", err)
+	}
+	if _, _, err := FitElastic(nil, build, ds, Options{Epochs: 1, GroupSize: 2}); err == nil ||
+		!strings.Contains(err.Error(), "CkptPath") {
+		t.Fatalf("missing CkptPath: err = %v, want rejection", err)
+	}
+	if _, _, err := FitElastic(nil, build, ds, Options{
+		Epochs: 1, GroupSize: 2, CkptPath: "x.ckpt", Reducer: dist.Local{},
+	}); err == nil || !strings.Contains(err.Error(), "Reducer") {
+		t.Fatalf("preset Reducer: err = %v, want rejection", err)
+	}
+}

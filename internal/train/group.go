@@ -232,6 +232,9 @@ func (g *groupRunner) epoch(net nn.Module, ds *dataset.Dataset, opt *SGD, opts O
 			}
 			opt.Step(g.params)
 			*step++
+			if opts.StepHook != nil {
+				opts.StepHook(*step)
+			}
 			if telemetry.Enabled() {
 				mTrainSteps.Inc()
 				mStepMs.Observe(float64(time.Since(t0)) / float64(time.Millisecond))

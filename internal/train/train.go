@@ -319,6 +319,11 @@ type Options struct {
 	// checkpoints. Fit does not close the reducer; its lifecycle belongs
 	// to the caller. Only rank 0 writes checkpoints.
 	Reducer dist.GradReducer
+	// StepHook, when set, runs after every completed optimizer step with
+	// the new step count. It exists for test orchestration (the chaos
+	// harness kills a worker at an exact step) and must not mutate
+	// training state.
+	StepHook func(step int64)
 	// GroupSize is the number of global batches folded into each
 	// optimizer step. It — not the worker count — defines the training
 	// trajectory: runs with equal GroupSize are bit-identical for any
@@ -609,6 +614,9 @@ func Fit(net nn.Module, ds *dataset.Dataset, opts Options) (*History, error) {
 					}
 				}
 				step++
+				if opts.StepHook != nil {
+					opts.StepHook(step)
+				}
 				epochLoss += float64(loss) * float64(len(idx))
 				pred := logits.ArgmaxRows()
 				for i, p := range pred {

@@ -1,0 +1,191 @@
+#!/bin/sh
+# Fleet self-healing smoke test, both halves of the chaos story:
+#
+# Training (elastic regroup):
+#   1. Reference run: an uninterrupted 2-worker in-process fleet at sync
+#      group 3, per-epoch checkpoints.
+#   2. Chaos run: a 3-process TCP elastic fleet at the SAME sync group.
+#      One worker SIGKILLs itself mid-epoch (at optimizer step 3, after
+#      the epoch-1 checkpoint is durable). The survivors must detect the
+#      death via heartbeats, regroup at world 2, roll back to the last
+#      checkpoint and finish.
+#   3. Pass: the chaos run's final checkpoint is byte-identical to the
+#      uninterrupted reference — the kill is invisible in the bytes.
+#
+# Serving (supervised replicas):
+#   4. odq-serve -chaos -replicas 2; arm a panic via POST
+#      /v1/chaos/panic. The crashed batch answers 503 with Retry-After,
+#      the process survives, /readyz returns to "ready" after the
+#      supervisor respawns the replica, /v1/status shows the restart,
+#      and inference works again. SIGTERM still drains exit-0.
+set -eu
+
+tmp=$(mktemp -d)
+coord_pid=""
+w1_pid=""
+w2_pid=""
+server_pid=""
+cleanup() {
+    for p in "$coord_pid" "$w1_pid" "$w2_pid" "$server_pid"; do
+        [ -n "$p" ] && kill -9 "$p" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/odq-train" ./cmd/odq-train
+go build -o "$tmp/odq-serve" ./cmd/odq-serve
+
+# ---------- Training: SIGKILL one of three workers mid-epoch ----------
+
+# 80 samples / batch 16 = 5 batches, group 3 -> 2 optimizer steps per
+# epoch. Step 3 is mid-epoch-2, strictly after the epoch-1 checkpoint.
+flags="-model lenet5 -dataset mnist -samples 80 -batch 16 -epochs 3 -ckpt-every 1 -seed 5 -group 3"
+
+echo "chaos_smoke: reference run (uninterrupted 2-worker fleet, -group 3)"
+"$tmp/odq-train" $flags -workers 2 -o "$tmp/ref.ckpt" >"$tmp/ref.out" 2>&1
+
+echo "chaos_smoke: elastic 3-process fleet, worker 2 SIGKILLs itself at step 3"
+eflags="$flags -elastic -workers 3 -hb-interval 50ms -hb-timeout 1500ms -regroup-timeout 20s"
+attempt=0
+ok=1
+while [ "$attempt" -lt 3 ]; do
+    attempt=$((attempt + 1))
+    port=$((20000 + ($$ + attempt * 101) % 20000))
+    echo "chaos_smoke: fleet on 127.0.0.1:$port (attempt $attempt)"
+    rm -f "$tmp/elastic.ckpt"
+    "$tmp/odq-train" $eflags -rank 0 -coord "127.0.0.1:$port" \
+        -o "$tmp/elastic.ckpt" >"$tmp/r0.out" 2>&1 &
+    coord_pid=$!
+    "$tmp/odq-train" $eflags -rank 1 -coord "127.0.0.1:$port" \
+        -o "$tmp/elastic.ckpt" >"$tmp/r1.out" 2>&1 &
+    w1_pid=$!
+    "$tmp/odq-train" $eflags -rank 2 -coord "127.0.0.1:$port" \
+        -kill-after-steps 3 -o "$tmp/elastic.ckpt" >"$tmp/r2.out" 2>&1 &
+    w2_pid=$!
+
+    # The victim must die by SIGKILL (nonzero status), the survivors
+    # must regroup and finish cleanly.
+    victim_ok=1
+    if wait "$w2_pid"; then victim_ok=0; fi
+    w2_pid=""
+    if wait "$coord_pid" && wait "$w1_pid"; then
+        coord_pid=""
+        w1_pid=""
+        if [ "$victim_ok" -ne 1 ]; then
+            echo "chaos_smoke: FAIL — the victim exited cleanly instead of being killed" >&2
+            exit 1
+        fi
+        ok=0
+        break
+    fi
+    coord_pid=""
+    w1_pid=""
+done
+if [ "$ok" -ne 0 ]; then
+    echo "chaos_smoke: FAIL — elastic fleet did not survive the kill:" >&2
+    tail -5 "$tmp/r0.out" "$tmp/r1.out" "$tmp/r2.out" >&2
+    exit 1
+fi
+if ! grep -q "peer lost, regrouping" "$tmp/r0.out"; then
+    echo "chaos_smoke: FAIL — coordinator log shows no regroup:" >&2
+    tail -10 "$tmp/r0.out" >&2
+    exit 1
+fi
+if ! cmp -s "$tmp/ref.ckpt" "$tmp/elastic.ckpt"; then
+    echo "chaos_smoke: FAIL — post-regroup checkpoint differs from the uninterrupted reference" >&2
+    exit 1
+fi
+ref_acc=$(grep '^test accuracy' "$tmp/ref.out")
+chaos_acc=$(grep '^test accuracy' "$tmp/r0.out")
+if [ "$ref_acc" != "$chaos_acc" ]; then
+    echo "chaos_smoke: FAIL — accuracy mismatch: '$ref_acc' vs '$chaos_acc'" >&2
+    exit 1
+fi
+echo "chaos_smoke: regroup OK — survivors byte-identical to the uninterrupted fleet ($ref_acc)"
+
+# ---------- Serving: forced replica panic, supervised respawn ----------
+
+echo "chaos_smoke: odq-serve with 2 supervised replicas and chaos armed"
+"$tmp/odq-serve" -model lenet5 -dataset mnist -scheme odq -addr 127.0.0.1:0 \
+    -replicas 2 -chaos -respawn-delay 100ms \
+    -max-batch 4 -batch-deadline 20ms 2>"$tmp/serve.log" &
+server_pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+    base=$(sed -n 's/.*msg="odq-serve listening".* url=\(http:\/\/[0-9.:]*\).*/\1/p' "$tmp/serve.log" | head -1)
+    [ -n "$base" ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "chaos_smoke: FAIL — server died at startup:" >&2
+        cat "$tmp/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "chaos_smoke: FAIL — no listen url in serve log" >&2; exit 1; }
+
+awk 'BEGIN{printf "{\"input\":["; for(i=0;i<784;i++){printf "0.5"; if(i<783) printf ","}; printf "]}"}' >"$tmp/req.json"
+infer_code() {
+    curl -s -o "$tmp/resp.json" -D "$tmp/headers.txt" -w '%{http_code}' \
+        -X POST -H 'Content-Type: application/json' \
+        --data @"$tmp/req.json" "$base/v1/infer"
+}
+
+code=$(infer_code)
+if [ "$code" != "200" ]; then
+    echo "chaos_smoke: FAIL — warm request got HTTP $code" >&2
+    exit 1
+fi
+
+echo "chaos_smoke: injecting a replica panic"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/v1/chaos/panic")
+[ "$code" = "200" ] || { echo "chaos_smoke: FAIL — /v1/chaos/panic got $code" >&2; exit 1; }
+
+# The armed panic fires on the next executor pass: that request must be
+# answered 503 with a Retry-After — never dropped, never a process crash.
+code=$(infer_code)
+if [ "$code" != "503" ]; then
+    echo "chaos_smoke: FAIL — request on the panicked pass got HTTP $code, want 503" >&2
+    exit 1
+fi
+if ! grep -qi '^retry-after:' "$tmp/headers.txt"; then
+    echo "chaos_smoke: FAIL — 503 carries no Retry-After header" >&2
+    exit 1
+fi
+if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "chaos_smoke: FAIL — the replica panic took the whole server down" >&2
+    exit 1
+fi
+
+echo "chaos_smoke: waiting for the supervisor to respawn the replica"
+ready=1
+for _ in $(seq 1 100); do
+    if curl -s "$base/readyz" | grep -q '^ready$'; then
+        ready=0
+        break
+    fi
+    sleep 0.1
+done
+if [ "$ready" -ne 0 ]; then
+    echo "chaos_smoke: FAIL — /readyz never returned to 'ready' after the respawn: $(curl -s "$base/readyz")" >&2
+    exit 1
+fi
+if ! curl -s "$base/v1/status" | grep -q '"restarts":1'; then
+    echo "chaos_smoke: FAIL — /v1/status shows no replica restart" >&2
+    exit 1
+fi
+code=$(infer_code)
+if [ "$code" != "200" ]; then
+    echo "chaos_smoke: FAIL — post-respawn request got HTTP $code" >&2
+    exit 1
+fi
+
+kill -TERM "$server_pid"
+if wait "$server_pid"; then :; else
+    echo "chaos_smoke: FAIL — SIGTERM drain exited nonzero after the chaos drill:" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+fi
+server_pid=""
+echo "chaos_smoke: OK — kill-regroup byte-identical, panicked replica respawned, clean drain"

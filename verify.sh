@@ -29,3 +29,8 @@ go test -run 'TestODQConvBenchSnapshot|TestTrainGemmBenchSnapshot|TestTelemetryB
 # id across the dist handshake, and odq-tracemerge must fold the
 # per-rank trace files into one lane-per-rank Perfetto trace.
 ./scripts/trace_smoke.sh
+# Self-healing gate: SIGKILL one of three elastic workers mid-epoch and
+# the survivors must regroup to a byte-identical checkpoint; a forced
+# replica panic in odq-serve must answer 503 + Retry-After, respawn the
+# replica and return /readyz to ready.
+./scripts/chaos_smoke.sh
